@@ -1,0 +1,99 @@
+"""Ablation: the number of physical levels IS the protocol's tuning knob.
+
+Section 3.3's trade-off discussion in executable form: for a fixed ``n``,
+sweep the tree from one physical level (MOSTLY-READ / ROWA) to ``n/2``
+levels (MOSTLY-WRITE) and track every quantity.  Asserts the paper's claimed
+monotone trends:
+
+* more levels -> write cost and write load fall, write availability rises;
+* more levels -> read cost rises and read availability falls;
+* read load is governed by the thinnest level (1/d).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.core import analyse
+from repro.core.builder import _spread, from_physical_level_sizes
+
+N = 60
+P = 0.85
+LEVEL_COUNTS = (1, 2, 3, 4, 5, 6, 10, 12, 15, 20, 30)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    results = {}
+    for levels in LEVEL_COUNTS:
+        tree = from_physical_level_sizes(_spread(N, levels))
+        results[levels] = analyse(tree, p=P)
+    return results
+
+
+def test_shape_ablation_table(sweep, emit, benchmark):
+    benchmark(lambda: analyse(
+        from_physical_level_sizes(_spread(N, 6)), p=P
+    ))
+    rows = [
+        [levels, m.spec if len(m.spec) < 30 else m.spec[:27] + "...",
+         m.read_cost, round(m.write_cost_avg, 2),
+         round(m.read_load, 4), round(m.write_load, 4),
+         round(m.read_availability, 4), round(m.write_availability, 4)]
+        for levels, m in sweep.items()
+    ]
+    emit(
+        "ablation_tree_shape",
+        format_table(
+            ["|K_phy|", "tree", "RD cost", "WR cost", "L_RD", "L_WR",
+             "RD avail", "WR avail"],
+            rows,
+            title=f"Tree-shape ablation (n={N}, p={P})",
+        ),
+    )
+
+
+def test_write_quantities_improve_with_levels(sweep, benchmark):
+    benchmark(lambda: None)
+    counts = sorted(sweep)
+    for a, b in zip(counts, counts[1:]):
+        assert sweep[b].write_cost_avg <= sweep[a].write_cost_avg + 1e-9
+        assert sweep[b].write_load <= sweep[a].write_load + 1e-9
+
+
+def test_read_quantities_degrade_with_levels(sweep, benchmark):
+    benchmark(lambda: None)
+    counts = sorted(sweep)
+    for a, b in zip(counts, counts[1:]):
+        assert sweep[b].read_cost >= sweep[a].read_cost
+        assert sweep[b].read_availability <= sweep[a].read_availability + 1e-9
+
+
+def test_read_load_is_inverse_thinnest_level(sweep, benchmark):
+    benchmark(lambda: None)
+    for levels, m in sweep.items():
+        assert m.read_load == pytest.approx(1.0 / m.d)
+
+
+def test_endpoints_are_the_named_extremes(sweep, benchmark):
+    benchmark(lambda: None)
+    rowa_like = sweep[1]
+    assert rowa_like.read_cost == 1
+    assert rowa_like.write_cost_avg == N
+    assert rowa_like.write_load == 1.0
+    deep = sweep[30]
+    assert deep.write_cost_avg == pytest.approx(2.0)
+    assert deep.write_load == pytest.approx(1 / 30)
+    assert deep.read_load == pytest.approx(0.5)
+
+
+def test_write_availability_rises_then_saturates(sweep, benchmark):
+    benchmark(lambda: None)
+    counts = sorted(sweep)
+    # a single wide level needs ALL replicas: worst write availability
+    assert sweep[1].write_availability == min(
+        m.write_availability for m in sweep.values()
+    )
+    # thin levels are individually completable: near-perfect availability
+    assert sweep[30].write_availability > 0.999

@@ -1,0 +1,104 @@
+"""Section 3.3: Algorithm 1 claims and asymptotic availability limits.
+
+Checks, for Algorithm-1 trees over a sweep of n > 64:
+
+* write load exactly ``1/floor(sqrt(n))``, read load exactly ``1/4``;
+* average write cost and read cost both ~ ``sqrt(n)``;
+* write cost minimum 4 and maximum ``~(n-28)/(sqrt(n)-7)``;
+* availability limits: ``lim RD_avail = (1-(1-p)^4)^7`` and
+  ``lim WR_avail = 1-(1-p^4)^7`` as n grows (0.5 < p < 1);
+* for p > 0.8 both limits are ~1 (the paper's closing observation).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.core import (
+    algorithm_1,
+    analyse,
+    limit_read_availability,
+    limit_write_availability,
+)
+
+SIZES = (65, 100, 144, 225, 400, 625, 1024, 2500, 10_000)
+
+
+@pytest.fixture(scope="module")
+def metrics_by_n():
+    return {n: analyse(algorithm_1(n), p=0.7) for n in SIZES}
+
+
+def test_algorithm1_table(metrics_by_n, emit, benchmark):
+    benchmark(lambda: [analyse(algorithm_1(n), p=0.7) for n in SIZES])
+    rows = []
+    for n, m in metrics_by_n.items():
+        rows.append([
+            n, m.num_physical_levels, m.read_cost, round(m.write_cost_avg, 2),
+            round(m.read_load, 4), round(m.write_load, 4),
+            round(m.read_availability, 4), round(m.write_availability, 4),
+        ])
+    emit(
+        "algorithm1_sweep",
+        format_table(
+            ["n", "|K_phy|", "RD_cost", "WR_cost", "L_RD", "L_WR",
+             "RD_avail", "WR_avail"],
+            rows,
+            title="Algorithm 1 trees at p = 0.7",
+        ),
+    )
+
+
+def test_write_load_is_inverse_sqrt_n(metrics_by_n, benchmark):
+    benchmark(algorithm_1, SIZES[-1])
+    for n, m in metrics_by_n.items():
+        assert m.write_load == pytest.approx(1.0 / math.isqrt(n))
+
+
+def test_read_load_is_quarter(metrics_by_n):
+    for m in metrics_by_n.values():
+        assert m.read_load == pytest.approx(0.25)
+
+
+def test_costs_are_sqrt_n(metrics_by_n):
+    for n, m in metrics_by_n.items():
+        assert m.read_cost == math.isqrt(n)
+        assert m.write_cost_avg == pytest.approx(n / math.isqrt(n))
+        assert m.write_cost_min == 4
+        expected_max = math.ceil((n - 28) / (math.isqrt(n) - 7))
+        assert m.write_cost_max == pytest.approx(expected_max, abs=1)
+
+
+def test_availability_limits(emit, benchmark):
+    rows = []
+    for p in (0.55, 0.65, 0.7, 0.8, 0.9, 0.95):
+        m = analyse(algorithm_1(10_000), p=p)
+        lim_rd = limit_read_availability(p)
+        lim_wr = limit_write_availability(p)
+        rows.append([
+            p, round(m.read_availability, 4), round(lim_rd, 4),
+            round(m.write_availability, 4), round(lim_wr, 4),
+        ])
+        # at n = 10000 the finite-n availability is essentially at its limit
+        assert m.read_availability == pytest.approx(lim_rd, abs=0.02)
+        assert m.write_availability == pytest.approx(lim_wr, abs=0.02)
+    benchmark(limit_write_availability, 0.9)
+    emit(
+        "algorithm1_limits",
+        format_table(
+            ["p", "RD_avail(n=10^4)", "lim RD_avail",
+             "WR_avail(n=10^4)", "lim WR_avail"],
+            rows,
+            title="Section 3.3 asymptotic availabilities of Algorithm 1",
+        ),
+    )
+
+
+def test_high_p_gives_availability_one(benchmark):
+    benchmark(limit_read_availability, 0.85)
+    for p in (0.85, 0.9, 0.95):
+        assert limit_read_availability(p) > 0.98
+        assert limit_write_availability(p) > 0.98

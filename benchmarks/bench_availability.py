@@ -1,0 +1,113 @@
+"""Availability curves of the six configurations over p (Section 3.3 / 4).
+
+The paper discusses availability throughout (stability of expected loads,
+the p > 0.8 regime, HQC vs ARBITRARY crossovers).  This bench regenerates
+read and write availability for every configuration over a sweep of p at a
+fixed n, cross-checks the closed forms against exact enumeration for a
+small system, and asserts:
+
+* every configuration's availability is monotone in p;
+* MOSTLY-READ reads / UNMODIFIED writes are near-perfect, their duals poor;
+* HQC write availability beats ARBITRARY's for p < 0.8 at large n;
+* for p > 0.8 ARBITRARY has read and write availability ~1 (stability).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.formulas import evaluate_configuration
+from repro.analysis.tables import format_table
+from repro.core.builder import from_spec
+from repro.core.config import Configuration
+from repro.core.metrics import read_availability, write_availability
+from repro.core.protocol import ArbitraryProtocol
+from repro.quorums.availability import exact_availability
+
+P_VALUES = (0.55, 0.6, 0.65, 0.7, 0.75, 0.8, 0.85, 0.9, 0.95)
+N = 243
+
+
+@pytest.fixture(scope="module")
+def points():
+    return {
+        (config, p): evaluate_configuration(config, N, p)
+        for config in Configuration
+        for p in P_VALUES
+    }
+
+
+def test_availability_tables(points, emit, benchmark):
+    benchmark(evaluate_configuration, Configuration.ARBITRARY, N, 0.7)
+    for quantity in ("read_availability", "write_availability"):
+        rows = []
+        for p in P_VALUES:
+            row = [p]
+            for config in Configuration:
+                row.append(round(getattr(points[(config, p)], quantity), 4))
+            rows.append(row)
+        emit(
+            f"availability_{quantity.split('_')[0]}",
+            format_table(
+                ["p", *[str(c) for c in Configuration]],
+                rows,
+                title=f"{quantity} at n ~ {N}",
+            ),
+        )
+
+
+def test_availability_monotone_in_p(points):
+    for config in Configuration:
+        for low, high in zip(P_VALUES, P_VALUES[1:]):
+            assert (
+                points[(config, high)].read_availability
+                >= points[(config, low)].read_availability - 1e-12
+            )
+            assert (
+                points[(config, high)].write_availability
+                >= points[(config, low)].write_availability - 1e-12
+            )
+
+
+def test_extreme_configurations(points):
+    for p in P_VALUES:
+        mostly_read = points[(Configuration.MOSTLY_READ, p)]
+        assert mostly_read.read_availability > 0.999999
+        assert mostly_read.write_availability < p  # needs all n replicas
+        unmodified = points[(Configuration.UNMODIFIED, p)]
+        assert unmodified.write_availability > p   # paper: highly available
+        assert unmodified.read_availability < p    # gated by the root
+
+
+def test_hqc_write_availability_beats_arbitrary_below_08(points):
+    for p in (0.55, 0.6, 0.65, 0.7):
+        hqc = points[(Configuration.HQC, p)]
+        arbitrary = points[(Configuration.ARBITRARY, p)]
+        assert hqc.write_availability > arbitrary.write_availability
+
+
+def test_arbitrary_stable_above_08(points):
+    for p in (0.85, 0.9, 0.95):
+        arbitrary = points[(Configuration.ARBITRARY, p)]
+        assert arbitrary.read_availability > 0.97
+        assert arbitrary.write_availability > 0.97
+
+
+def test_closed_forms_match_exact_enumeration(benchmark):
+    """The per-level availability products equal exact DNF probabilities."""
+    tree = from_spec("1-3-5")
+    protocol = ArbitraryProtocol(tree)
+    reads = list(protocol.read_quorums())
+    writes = protocol.write_quorums()
+
+    def check(p: float) -> tuple[float, float]:
+        return (
+            exact_availability(reads, p, universe=protocol.universe),
+            exact_availability(writes, p, universe=protocol.universe),
+        )
+
+    for p in (0.55, 0.7, 0.9):
+        exact_read, exact_write = check(p)
+        assert exact_read == pytest.approx(read_availability(tree, p), abs=1e-9)
+        assert exact_write == pytest.approx(write_availability(tree, p), abs=1e-9)
+    benchmark(check, 0.7)

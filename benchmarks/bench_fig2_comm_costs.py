@@ -1,0 +1,125 @@
+"""Figure 2: read and write communication costs of the six configurations.
+
+Regenerates both panels of Figure 2 as text series (rows = system size n,
+columns = configurations) and asserts the qualitative shape the paper
+describes in Section 4.1:
+
+* MOSTLY-READ has the lowest read cost (1) and the worst write cost (n);
+* MOSTLY-WRITE has the highest read cost (~(n-1)/2) and the lowest write
+  cost (2);
+* among the first four configurations BINARY has the highest costs;
+* ARBITRARY has the lowest write cost of the first four;
+* UNMODIFIED has the least read cost (log2(n+1)) of the first four, and a
+  write cost comparable to ARBITRARY for n < 200.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.sweeps import figure2_series
+from repro.analysis.tables import format_series
+from repro.core.config import Configuration
+
+SIZES = (15, 31, 63, 127, 255, 511)
+FIRST_FOUR = (
+    Configuration.BINARY,
+    Configuration.HQC,
+    Configuration.UNMODIFIED,
+    Configuration.ARBITRARY,
+)
+
+
+@pytest.fixture(scope="module")
+def series():
+    return figure2_series(sizes=SIZES)
+
+
+def _values(series, config, quantity):
+    return {
+        point.requested_n: point.value
+        for point in series.series[config][quantity]
+    }
+
+
+def test_figure2_tables(series, emit, benchmark):
+    benchmark(figure2_series, SIZES)
+    emit(
+        "fig2_read_costs",
+        format_series(series, "read_cost", title="Figure 2 (reads): communication cost"),
+    )
+    emit(
+        "fig2_write_costs",
+        format_series(series, "write_cost", title="Figure 2 (writes): communication cost"),
+    )
+
+
+def test_mostly_read_extremes(series, benchmark):
+    read = benchmark(_values, series, Configuration.MOSTLY_READ, "read_cost")
+    write = _values(series, Configuration.MOSTLY_READ, "write_cost")
+    for n in SIZES:
+        assert read[n] == 1.0  # lowest possible read cost
+        assert write[n] == float(n)  # worst write cost: all replicas
+        for config in Configuration:
+            assert write[n] >= _values(series, config, "write_cost")[n]
+
+
+def test_mostly_write_extremes(series, benchmark):
+    read = benchmark(_values, series, Configuration.MOSTLY_WRITE, "read_cost")
+    write = _values(series, Configuration.MOSTLY_WRITE, "write_cost")
+    for n in SIZES:
+        # one replica per level on ~n/2 levels -> highest read cost
+        assert read[n] == max(
+            _values(series, config, "read_cost")[n] for config in Configuration
+        )
+        # two replicas per write (the odd leftover makes it slightly over 2)
+        assert write[n] == pytest.approx(2.0, abs=0.2)
+
+
+def test_binary_has_highest_cost_of_first_four(series, benchmark):
+    binary_read = benchmark(_values, series, Configuration.BINARY, "read_cost")
+    binary_write = _values(series, Configuration.BINARY, "write_cost")
+    for n in SIZES:
+        if n < 15:
+            continue  # tiny trees are degenerate
+        for config in FIRST_FOUR:
+            assert binary_read[n] >= _values(series, config, "read_cost")[n] - 1e-9
+            assert binary_write[n] >= _values(series, config, "write_cost")[n] - 1e-9
+
+
+def test_arbitrary_write_cost_lowest_of_first_four(series, benchmark):
+    arbitrary = benchmark(_values, series, Configuration.ARBITRARY, "write_cost")
+    for n in SIZES:
+        if n < 31:
+            # Below the Algorithm-1 regime the fallback tree has few levels
+            # and UNMODIFIED/HQC can be cheaper; the paper's figures start
+            # higher up.
+            continue
+        for config in FIRST_FOUR:
+            assert arbitrary[n] <= _values(series, config, "write_cost")[n] + 1e-9
+
+
+def test_unmodified_read_cost_is_log(series, benchmark):
+    unmodified = benchmark(_values, series, Configuration.UNMODIFIED, "read_cost")
+    for n in SIZES:
+        snapped = min(
+            (2 ** (h + 1) - 1 for h in range(1, 12)),
+            key=lambda candidate: abs(candidate - n),
+        )
+        assert unmodified[n] == pytest.approx(math.log2(snapped + 1))
+        if n < 31:
+            continue  # tiny ARBITRARY trees have fewer levels than log2(n)
+        for config in FIRST_FOUR:
+            assert unmodified[n] <= _values(series, config, "read_cost")[n] + 1e-9
+
+
+def test_arbitrary_costs_are_about_sqrt_n(series, benchmark):
+    read = benchmark(_values, series, Configuration.ARBITRARY, "read_cost")
+    write = _values(series, Configuration.ARBITRARY, "write_cost")
+    for n in SIZES:
+        if n <= 64:
+            continue
+        assert read[n] == pytest.approx(math.sqrt(n), rel=0.2)
+        assert write[n] == pytest.approx(math.sqrt(n), rel=0.2)

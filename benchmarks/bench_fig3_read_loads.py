@@ -1,0 +1,140 @@
+"""Figure 3: (expected) system loads of read operations.
+
+Regenerates the read-load and expected-read-load series of Figure 3 at the
+paper's p = 0.7 and asserts its Section 4.2.1 observations:
+
+* MOSTLY-READ has the lowest read load (1/n), stable, shrinking with n;
+* MOSTLY-WRITE sits at 1/2 regardless of n and is unstable (expected load
+  drifts towards 1);
+* UNMODIFIED is the worst of all six: load 1 (every read goes through the
+  root level);
+* HQC has the least load of the first four (n^-0.37) and the least
+  expected load for n > 15;
+* ARBITRARY's load settles at 1/4 once n > 32, comparable with BINARY's
+  2/(log2(n+1)+1).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.sweeps import figure3_series
+from repro.analysis.tables import format_series
+from repro.core.config import Configuration
+
+SIZES = (15, 31, 63, 127, 255, 511)
+FIRST_FOUR = (
+    Configuration.BINARY,
+    Configuration.HQC,
+    Configuration.UNMODIFIED,
+    Configuration.ARBITRARY,
+)
+
+
+@pytest.fixture(scope="module")
+def series():
+    return figure3_series(sizes=SIZES)
+
+
+def _values(series, config, quantity):
+    return {
+        point.requested_n: point.value
+        for point in series.series[config][quantity]
+    }
+
+
+def _actual_n(series, config):
+    return {
+        point.requested_n: point.actual_n
+        for point in series.series[config]["read_load"]
+    }
+
+
+def test_figure3_tables(series, emit, benchmark):
+    benchmark(figure3_series, SIZES)
+    emit(
+        "fig3_read_loads",
+        format_series(series, "read_load", title="Figure 3: read system load"),
+    )
+    emit(
+        "fig3_expected_read_loads",
+        format_series(
+            series, "expected_read_load",
+            title="Figure 3: expected read system load (p = 0.7)",
+        ),
+    )
+
+
+def test_mostly_read_is_lowest_and_stable(series, benchmark):
+    load = benchmark(_values, series, Configuration.MOSTLY_READ, "read_load")
+    expected = _values(series, Configuration.MOSTLY_READ, "expected_read_load")
+    previous = 1.0
+    for n in SIZES:
+        assert load[n] == pytest.approx(1.0 / n)
+        for config in Configuration:
+            assert load[n] <= _values(series, config, "read_load")[n] + 1e-12
+        # stability: expected load stays essentially at the optimal load
+        assert expected[n] - load[n] < 1e-6
+        assert load[n] < previous
+        previous = load[n]
+
+
+def test_mostly_write_is_half_and_unstable(series, benchmark):
+    load = benchmark(_values, series, Configuration.MOSTLY_WRITE, "read_load")
+    expected = _values(series, Configuration.MOSTLY_WRITE, "expected_read_load")
+    previous = 0.0
+    for n in SIZES:
+        assert load[n] == pytest.approx(0.5)
+        # instability: with ~n/2 two-replica levels the read availability
+        # collapses, so the expected load grows with n towards 1
+        assert expected[n] >= previous - 1e-9
+        previous = expected[n]
+        if n >= 63:
+            assert expected[n] > 0.9
+
+
+def test_unmodified_has_load_one(series, benchmark):
+    load = benchmark(_values, series, Configuration.UNMODIFIED, "read_load")
+    expected = _values(series, Configuration.UNMODIFIED, "expected_read_load")
+    for n in SIZES:
+        assert load[n] == pytest.approx(1.0)  # the root is in every quorum
+        assert expected[n] == pytest.approx(1.0)
+        for config in Configuration:
+            assert load[n] >= _values(series, config, "read_load")[n] - 1e-12
+
+
+def test_hqc_least_of_first_four(series, benchmark):
+    load = benchmark(_values, series, Configuration.HQC, "read_load")
+    expected = _values(series, Configuration.HQC, "expected_read_load")
+    actual_n = _actual_n(series, Configuration.HQC)
+    for n in SIZES:
+        assert load[n] == pytest.approx(actual_n[n] ** (math.log(2, 3) - 1), rel=1e-9)
+        # HQC's n^-0.37 dips below ARBITRARY's constant 1/4 once n > 42;
+        # against BINARY and UNMODIFIED it wins from n > 15 as the paper says.
+        competitors = (
+            FIRST_FOUR if n >= 63
+            else (Configuration.BINARY, Configuration.UNMODIFIED)
+        )
+        if n > 15:
+            for config in competitors:
+                assert load[n] <= _values(series, config, "read_load")[n] + 1e-9
+                assert (
+                    expected[n]
+                    <= _values(series, config, "expected_read_load")[n] + 1e-9
+                )
+
+
+def test_arbitrary_settles_at_quarter(series, benchmark):
+    load = benchmark(_values, series, Configuration.ARBITRARY, "read_load")
+    for n in SIZES:
+        if n > 32:
+            assert load[n] == pytest.approx(0.25)
+
+
+def test_binary_load_formula(series, benchmark):
+    load = benchmark(_values, series, Configuration.BINARY, "read_load")
+    actual_n = _actual_n(series, Configuration.BINARY)
+    for n in SIZES:
+        assert load[n] == pytest.approx(2.0 / (math.log2(actual_n[n] + 1) + 1))

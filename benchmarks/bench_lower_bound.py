@@ -1,0 +1,112 @@
+"""Sections 3.3 / 4.2.2: the new lower bound on the binary-tree load.
+
+The paper's UNMODIFIED configuration applies its write operation directly to
+the all-physical complete binary tree of Agrawal-El Abbadi and achieves a
+system load of ``1/log2(n+1)`` — strictly below the ``2/(log2(n+1)+1)``
+optimum Naor & Wool proved for the tree-quorum protocol itself.  This bench
+
+* regenerates the two load curves over binary-tree sizes;
+* verifies ``1/(h+1) < 2/(h+2)`` at every size;
+* cross-checks both closed forms against the LP optimum on small trees
+  (the LP solves the actual enumerated quorum systems).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.core.builder import unmodified_binary
+from repro.core.metrics import write_availability, write_cost_avg, write_load
+from repro.core.protocol import ArbitraryProtocol
+from repro.protocols.tree_quorum import TreeQuorumProtocol
+from repro.quorums.load import optimal_load
+
+SIZES = (3, 7, 15, 31, 63, 127, 255, 511, 1023)
+
+
+def test_lower_bound_table(emit, benchmark):
+    def build():
+        rows = []
+        for n in SIZES:
+            tree = unmodified_binary(n)
+            ours = write_load(tree)
+            naor_wool = TreeQuorumProtocol(n).optimal_load()
+            rows.append([
+                n, round(ours, 5), round(naor_wool, 5),
+                round(naor_wool - ours, 5),
+            ])
+        return rows
+
+    rows = benchmark(build)
+    emit(
+        "lower_bound",
+        format_table(
+            ["n", "UNMODIFIED write load 1/log2(n+1)",
+             "Naor-Wool bound 2/(log2(n+1)+1)", "gap"],
+            rows,
+            title="New lower bound for the binary tree structure of [2]",
+        ),
+    )
+    for n, ours, naor_wool, gap in rows:
+        assert ours < naor_wool
+        assert ours == pytest.approx(1.0 / math.log2(n + 1), abs=1e-5)
+
+
+def test_unmodified_write_load_matches_lp(benchmark):
+    """The closed form 1/(h+1) is LP-optimal on the enumerated system."""
+
+    def check(n: int) -> float:
+        tree = unmodified_binary(n)
+        protocol = ArbitraryProtocol(tree)
+        result = optimal_load(protocol.write_quorums(), universe=protocol.universe)
+        return result.load
+
+    for n in (3, 7, 15, 31, 63):
+        lp = check(n)
+        assert lp == pytest.approx(1.0 / math.log2(n + 1), abs=1e-6)
+    benchmark(check, 31)
+
+
+def test_tree_quorum_load_matches_lp(benchmark):
+    """Naor-Wool's 2/(h+2) is LP-optimal on the enumerated tree quorums."""
+
+    def check(n: int) -> float:
+        protocol = TreeQuorumProtocol(n)
+        quorums = list(protocol.enumerate_quorums())
+        return optimal_load(quorums, universe=range(n)).load
+
+    for n in (3, 7, 15):
+        lp = check(n)
+        assert lp == pytest.approx(
+            TreeQuorumProtocol(n).optimal_load(), abs=1e-6
+        )
+    benchmark(check, 7)
+
+
+def test_unmodified_write_side_quantities(emit):
+    """The paper's §3.3 remarks on UNMODIFIED writes: highly available
+    (always above p) with average cost n/log2(n+1)."""
+    rows = []
+    for n in (7, 31, 127, 511):
+        tree = unmodified_binary(n)
+        for p in (0.55, 0.7, 0.9):
+            availability = write_availability(tree, p)
+            assert availability > p
+        rows.append([
+            n,
+            round(write_cost_avg(tree), 3),
+            round(n / math.log2(n + 1), 3),
+        ])
+    emit(
+        "unmodified_write_costs",
+        format_table(
+            ["n", "avg write cost", "n/log2(n+1)"],
+            rows,
+            title="UNMODIFIED write cost matches n/log2(n+1)",
+        ),
+    )
+    for _n, measured, formula in rows:
+        assert measured == pytest.approx(formula)

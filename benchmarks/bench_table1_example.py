@@ -1,0 +1,90 @@
+"""Table 1 + the Section 3.4 worked example (the 1-3-5 tree).
+
+Regenerates every number the paper reports for its running example of 8
+replicas arranged as ``1-3-5`` (logical root, physical levels of 3 and 5):
+
+* Table 1 — per-level total/physical/logical node counts;
+* m(R) = 15 read quorums, m(W) = 2 write quorums;
+* RD_cost = 2, RD_availability(0.7) = 0.97, L_RD = 1/3;
+* WR_cost = 4, WR_availability(0.7) = 0.45, L_WR = 1/2;
+* E[L_RD] = 0.35, E[L_WR] = 0.775.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.core import ArbitraryProtocol, ArbitraryTree, analyse, from_spec
+
+P = 0.7
+
+
+@pytest.fixture(scope="module")
+def tree():
+    # The exact Figure 1 tree: a logical root, 3 physical nodes at level 1,
+    # and 5 physical + 4 logical nodes at level 2 (m_2 = 9 in Table 1).
+    # The compressed spec "1-3-5" captures only the physical structure, which
+    # is all the protocol's behaviour depends on.
+    return ArbitraryTree.from_level_counts([0, 3, 5], [1, 0, 4])
+
+
+def test_table1_level_counts(tree, emit, benchmark):
+    rows = benchmark(tree.level_table)
+    emit(
+        "table1_levels",
+        format_table(
+            ["level k", "m_k", "m_phy_k", "m_log_k"],
+            [[row.level, row.total, row.physical, row.logical] for row in rows],
+            title="Table 1: node counts per level of the 1-3-5 tree",
+        ),
+    )
+    assert [(r.total, r.physical, r.logical) for r in rows] == [
+        (1, 0, 1),
+        (3, 3, 0),
+        (9, 5, 4),
+    ]
+
+
+def test_example_structure(tree, benchmark):
+    benchmark(lambda: from_spec("1-3-5"))
+    assert tree.n == 8
+    assert tree.height == 2
+    assert tree.physical_levels == (1, 2)
+    assert tree.logical_levels == (0,)
+    assert tree.spec() == "1-3-5"
+
+
+def test_example_quorum_counts(tree, benchmark):
+    protocol = benchmark(ArbitraryProtocol, tree)
+    assert protocol.num_read_quorums == 15  # 3 * 5 (Fact 3.2.1)
+    assert protocol.num_write_quorums == 2  # |K_phy| (Fact 3.2.2)
+
+
+def test_example_metrics(tree, emit, benchmark):
+    metrics = benchmark(analyse, tree, P)
+    emit(
+        "table1_metrics",
+        format_table(
+            ["quantity", "measured", "paper"],
+            [
+                ["RD_cost", metrics.read_cost, 2],
+                ["RD_availability(0.7)", round(metrics.read_availability, 4), 0.97],
+                ["L_RD", round(metrics.read_load, 4), "1/3"],
+                ["WR_cost (avg)", metrics.write_cost_avg, 4],
+                ["WR_availability(0.7)", round(metrics.write_availability, 4), 0.45],
+                ["L_WR", round(metrics.write_load, 4), "1/2"],
+                ["E[L_RD]", round(metrics.expected_read_load, 4), 0.35],
+                ["E[L_WR]", round(metrics.expected_write_load, 4), 0.775],
+            ],
+            title="Section 3.4 example quantities (1-3-5 tree, p = 0.7)",
+        ),
+    )
+    assert metrics.read_cost == 2
+    assert metrics.read_availability == pytest.approx(0.97, abs=0.005)
+    assert metrics.read_load == pytest.approx(1 / 3)
+    assert metrics.write_cost_avg == pytest.approx(4.0)
+    assert metrics.write_availability == pytest.approx(0.45, abs=0.005)
+    assert metrics.write_load == pytest.approx(0.5)
+    assert metrics.expected_read_load == pytest.approx(0.35, abs=0.005)
+    assert metrics.expected_write_load == pytest.approx(0.775, abs=0.005)

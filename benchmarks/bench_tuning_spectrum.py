@@ -1,0 +1,83 @@
+"""Ablation: the "spectrum algorithm" claim of the conclusion.
+
+"Our proposal enables the shifting from one configuration into another by
+just modifying the structure of the tree."  The tuning advisor makes that
+shift automatic; this bench sweeps the read fraction from 0 to 1 and
+asserts the tree it picks walks monotonically from MOSTLY-WRITE-like (many
+thin levels) to MOSTLY-READ-like (a single wide level), with the objective
+score never worse than either fixed extreme.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.core import analyse, metrics
+from repro.core.builder import mostly_read, mostly_write
+from repro.core.tuning import recommend
+
+N = 40
+P = 0.9
+FRACTIONS = (0.0, 0.1, 0.25, 0.4, 0.5, 0.6, 0.75, 0.9, 1.0)
+
+
+@pytest.fixture(scope="module")
+def spectrum():
+    return {f: recommend(N, p=P, read_fraction=f) for f in FRACTIONS}
+
+
+def test_spectrum_table(spectrum, emit, benchmark):
+    benchmark(recommend, N, P, 0.5)
+    rows = []
+    for fraction, result in spectrum.items():
+        tree = result.tree
+        summary = analyse(tree, p=P)
+        rows.append([
+            fraction, tree.spec()[:34], tree.num_physical_levels,
+            round(result.best.score, 4),
+            round(summary.expected_read_load, 4),
+            round(summary.expected_write_load, 4),
+        ])
+    emit(
+        "tuning_spectrum",
+        format_table(
+            ["read frac", "chosen tree", "|K_phy|", "score",
+             "E[L_RD]", "E[L_WR]"],
+            rows,
+            title=f"Tuning spectrum (n={N}, p={P})",
+        ),
+    )
+
+
+def test_levels_monotone_in_read_fraction(spectrum, benchmark):
+    benchmark(lambda: None)
+    levels = [spectrum[f].tree.num_physical_levels for f in FRACTIONS]
+    assert levels == sorted(levels, reverse=True)
+
+
+def test_extremes_match_named_configurations(spectrum, benchmark):
+    benchmark(lambda: None)
+    pure_reads = spectrum[1.0].tree
+    assert pure_reads.num_physical_levels == 1       # MOSTLY-READ shape
+    pure_writes = spectrum[0.0].tree
+    assert pure_writes.d <= 2                         # MOSTLY-WRITE-ish
+
+
+def test_advisor_beats_both_fixed_extremes(spectrum, benchmark):
+    benchmark(lambda: None)
+    read_tree = mostly_read(N)
+    write_tree = mostly_write(N)
+    for fraction, result in spectrum.items():
+        for fixed in (read_tree, write_tree):
+            fixed_score = (
+                fraction * metrics.expected_read_load(fixed, P)
+                + (1 - fraction) * metrics.expected_write_load(fixed, P)
+            )
+            assert result.best.score <= fixed_score + 1e-9
+
+
+def test_scores_bounded_by_unit_load(spectrum, benchmark):
+    benchmark(lambda: None)
+    for result in spectrum.values():
+        assert 0.0 < result.best.score <= 1.0

@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures, prints the
+series (run with ``pytest benchmarks/ --benchmark-only -s`` to see them),
+and writes the same text into ``benchmarks/results/`` so EXPERIMENTS.md can
+reference stable artefacts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def emit():
+    """Print a rendered table and persist it under benchmarks/results/."""
+
+    def _emit(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}")
+
+    return _emit

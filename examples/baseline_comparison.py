@@ -1,0 +1,112 @@
+"""Head-to-head: the arbitrary protocol vs the tree-quorum baseline, live.
+
+The paper's Figures 2-4 compare protocols analytically.  This example runs
+the actual message-level protocols side by side on the same simulated
+cluster conditions — the BINARY baseline through a
+:class:`~repro.sim.coordinator.SymmetricQuorumPolicy` around the
+Agrawal-El Abbadi quorum constructor, the ARBITRARY configuration natively —
+and prints measured cost, load and availability next to each paper formula.
+
+Run:  python examples/baseline_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.core import analyse, recommended_tree
+from repro.protocols.tree_quorum import TreeQuorumProtocol
+from repro.sim import BernoulliFailures, SimulationConfig, WorkloadSpec, simulate
+from repro.sim.coordinator import SymmetricQuorumPolicy
+
+N = 31     # a complete-binary-tree size so both protocols fit the same n
+P = 0.8
+OPERATIONS = 4000
+
+
+def run_arbitrary():
+    tree = recommended_tree(N)
+    result = simulate(
+        SimulationConfig(
+            tree=tree,
+            workload=WorkloadSpec(
+                operations=OPERATIONS, read_fraction=0.5, keys=32,
+                arrival="poisson", rate=0.25,
+            ),
+            failures=BernoulliFailures(p=P, seed=1, resample_every=40.0),
+            max_attempts=1,
+            timeout=8.0,
+            seed=1,
+        )
+    )
+    predicted = analyse(tree, p=P)
+    return result.summary(), predicted, tree
+
+
+def run_binary():
+    protocol = TreeQuorumProtocol(N)
+    result = simulate(
+        SimulationConfig(
+            policy=SymmetricQuorumPolicy(protocol.construct_quorum),
+            n=N,
+            workload=WorkloadSpec(
+                operations=OPERATIONS, read_fraction=0.5, keys=32,
+                arrival="poisson", rate=0.25,
+            ),
+            failures=BernoulliFailures(p=P, seed=1, resample_every=40.0),
+            max_attempts=1,
+            timeout=8.0,
+            seed=1,
+        )
+    )
+    return result.summary(), protocol
+
+
+def main() -> None:
+    arbitrary, predicted, tree = run_arbitrary()
+    binary, protocol = run_binary()
+
+    print(f"ARBITRARY tree: {tree.spec()}   |   BINARY: complete tree, n={N}")
+    print(f"{OPERATIONS} operations each, Bernoulli failures at p = {P}\n")
+    rows = [
+        ["read cost",
+         round(arbitrary["read_cost"], 2), predicted.read_cost,
+         round(binary["read_cost"], 2), round(protocol.average_cost(), 2)],
+        ["write cost",
+         round(arbitrary["write_cost"], 2), round(predicted.write_cost_avg, 2),
+         round(binary["write_cost"], 2), round(protocol.average_cost(), 2)],
+        ["read load",
+         round(arbitrary["read_load"], 3), round(predicted.read_load, 3),
+         round(binary["read_load"], 3), round(protocol.optimal_load(), 3)],
+        ["write load",
+         round(arbitrary["write_load"], 3), round(predicted.write_load, 3),
+         round(binary["write_load"], 3), round(protocol.optimal_load(), 3)],
+        ["read availability",
+         round(arbitrary["read_availability"], 3),
+         round(predicted.read_availability, 3),
+         round(binary["read_availability"], 3),
+         round(protocol.availability(P), 3)],
+        ["write availability",
+         round(arbitrary["write_availability"], 3),
+         round(predicted.write_availability, 3),
+         round(binary["write_availability"], 3),
+         round(protocol.availability(P), 3)],
+    ]
+    print(format_table(
+        ["quantity", "ARB sim", "ARB paper", "BIN sim", "BIN paper"],
+        rows,
+    ))
+    print()
+    print("The paper's Figure 2/4 story, measured: the arbitrary protocol's")
+    print("writes touch far fewer replicas and its uniform strategies land")
+    print("the busiest replica near the analytical optimum without any")
+    print("coordination.  BINARY is doubly penalised in practice: its")
+    print("greedy constructor takes cheap root-to-leaf paths (sim cost")
+    print("below the formula's average) but those paths all pass through")
+    print("the root, so the measured load blows far past the 2/(h+2)")
+    print("optimum — achieving that optimum needs a carefully balanced")
+    print("mixture over expensive quorums, exactly the trade-off the")
+    print("paper's introduction criticises.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,128 @@
+"""A replicated key-value store built on the arbitrary protocol.
+
+A small session against the full simulated stack (sites, lossy network,
+centralised locking, 2PC): write a few keys, crash an entire physical
+level, keep reading and writing, recover, and verify one-copy equivalence —
+every read returned the latest committed value for its key.
+
+This is the "client library" view: :class:`ReplicatedKV` wraps the
+event-driven coordinator behind a blocking get/put API by running the
+simulation loop until each operation completes.
+
+Run:  python examples/replicated_kv.py
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.core import from_spec
+from repro.core.tree import ArbitraryTree
+from repro.sim.coordinator import OperationOutcome, QuorumCoordinator
+from repro.sim.engine import SimulationConfig, build_simulation
+
+
+class ReplicatedKV:
+    """Blocking get/put facade over the simulated replicated store."""
+
+    def __init__(self, tree: ArbitraryTree, seed: int = 0) -> None:
+        config = SimulationConfig(tree=tree, seed=seed)
+        (self._scheduler, _workload, self._monitor,
+         self._network, self.sites) = build_simulation(config)
+        self._coordinator: QuorumCoordinator = self._network.endpoint(-1)
+
+    def _run(self, op) -> OperationOutcome:
+        outcome: list[OperationOutcome] = []
+        op(outcome.append)
+        while not outcome:
+            if not self._scheduler.step():
+                raise RuntimeError("simulation stalled")
+        return outcome[0]
+
+    def put(self, key: str, value: Any) -> OperationOutcome:
+        """Write through a quorum (2PC); returns the outcome."""
+        return self._run(lambda done: self._coordinator.write(key, value, done))
+
+    def get(self, key: str) -> OperationOutcome:
+        """Read through a quorum; returns the outcome."""
+        return self._run(lambda done: self._coordinator.read(key, done))
+
+    def crash_level(self, tree: ArbitraryTree, level: int) -> None:
+        """Fail-stop every replica of one physical level."""
+        for sid in tree.replica_ids_at(level):
+            self.sites[sid].crash()
+
+    def recover_all(self) -> None:
+        """Bring every replica back up."""
+        for site in self.sites:
+            site.recover()
+
+
+def show(label: str, outcome: OperationOutcome) -> None:
+    status = "ok " if outcome.success else "FAIL"
+    detail = (
+        f"value={outcome.value!r} ts={outcome.timestamp}"
+        if outcome.success
+        else f"reason={outcome.reason.value}"
+    )
+    print(f"  [{status}] {label:<28} quorum={sorted(outcome.quorum)} {detail}")
+
+
+def main() -> None:
+    tree = from_spec("1-3-5")
+    print(f"replicated KV over {tree.spec()} ({tree.n} replicas)\n")
+    kv = ReplicatedKV(tree, seed=1)
+    audit: dict[str, Any] = {}
+
+    print("healthy cluster:")
+    for key, value in [("city", "Toulouse"), ("venue", "ICDCS"), ("year", 2008)]:
+        outcome = kv.put(key, value)
+        show(f"put {key}={value!r}", outcome)
+        if outcome.success:
+            audit[key] = value
+    show("get city", kv.get("city"))
+
+    print("\ncrash ALL of physical level 1 (replicas 0-2):")
+    kv.crash_level(tree, 1)
+    outcome = kv.put("year", 2026)   # level 2 is still complete
+    show("put year=2026", outcome)
+    if outcome.success:
+        audit["year"] = 2026
+    outcome = kv.get("year")          # reads need one replica of EVERY level
+    show("get year", outcome)
+    print("  -> writes survive (level 2 forms a write quorum); reads cannot")
+    print("     cover level 1, so the protocol refuses them rather than risk")
+    print("     returning stale data.")
+
+    print("\nrecover everyone:")
+    kv.recover_all()
+    for key in ("city", "venue", "year"):
+        outcome = kv.get(key)
+        show(f"get {key}", outcome)
+        assert outcome.success and outcome.value == audit[key], (
+            f"one-copy equivalence violated for {key}"
+        )
+    print("\none-copy equivalence held: every read returned the latest")
+    print("committed value, including the write performed during the outage.")
+
+    # A mixed random session as a stress finale.
+    rng = random.Random(7)
+    failures = 0
+    for i in range(200):
+        key = f"k{rng.randrange(6)}"
+        if rng.random() < 0.5:
+            outcome = kv.put(key, i)
+            if outcome.success:
+                audit[key] = i
+        else:
+            outcome = kv.get(key)
+            if outcome.success and key in audit:
+                assert outcome.value == audit[key]
+        failures += not outcome.success
+    print(f"\nstress session: 200 mixed ops, {failures} failures, "
+          "zero consistency violations")
+
+
+if __name__ == "__main__":
+    main()

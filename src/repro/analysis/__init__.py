@@ -1,0 +1,41 @@
+"""Figure/table analysis layer: sweeps, expected loads and text tables.
+
+These helpers regenerate the series behind the paper's Figures 2-4 and
+Table 1; the executable entry points live in ``benchmarks/``.
+"""
+
+from repro.analysis.crossover import (
+    expected_write_crossover_p,
+    first_crossing,
+    quantity_crossover_n,
+)
+from repro.analysis.expected import expected_loads, stability_report
+from repro.analysis.formulas import (
+    ConfigPoint,
+    evaluate_configuration,
+    evaluate_all,
+)
+from repro.analysis.sweeps import (
+    figure2_series,
+    figure3_series,
+    figure4_series,
+    sweep_configurations,
+)
+from repro.analysis.tables import format_series, format_table
+
+__all__ = [
+    "ConfigPoint",
+    "evaluate_all",
+    "evaluate_configuration",
+    "expected_loads",
+    "expected_write_crossover_p",
+    "first_crossing",
+    "quantity_crossover_n",
+    "figure2_series",
+    "figure3_series",
+    "figure4_series",
+    "format_series",
+    "format_table",
+    "stability_report",
+    "sweep_configurations",
+]

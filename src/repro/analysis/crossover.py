@@ -1,0 +1,79 @@
+"""Crossover finding: where one configuration starts beating another.
+
+Section 4's narrative is full of crossovers — "HQC has the least expected
+system loads when n > 15", "comparable ... when p < 0.8", "comparable when
+n < 200".  This module locates such crossings programmatically so the
+benches can assert them instead of eyeballing figures.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.analysis.formulas import evaluate_configuration
+from repro.core.config import Configuration
+
+
+def first_crossing(
+    f: Callable[[float], float],
+    g: Callable[[float], float],
+    xs: Sequence[float],
+) -> float | None:
+    """The first swept ``x`` from which ``f(x) < g(x)`` *and stays* below.
+
+    Returns ``None`` when no such point exists within the sweep.  The
+    "stays below" requirement rejects single-point dips caused by size
+    snapping.
+    """
+    values = [(x, f(x), g(x)) for x in xs]
+    for index, (x, fx, gx) in enumerate(values):
+        if fx < gx and all(
+            later_f <= later_g for _x, later_f, later_g in values[index:]
+        ):
+            return x
+    return None
+
+
+def quantity_crossover_n(
+    winner: Configuration,
+    loser: Configuration,
+    quantity: str,
+    sizes: Sequence[int],
+    p: float = 0.7,
+) -> int | None:
+    """Smallest swept ``n`` from which ``winner``'s quantity stays below
+    ``loser``'s (both snapped to their admissible sizes)."""
+
+    def value(config: Configuration) -> Callable[[float], float]:
+        return lambda n: getattr(
+            evaluate_configuration(config, int(n), p), quantity
+        )
+
+    result = first_crossing(value(winner), value(loser), sizes)
+    return None if result is None else int(result)
+
+
+def expected_write_crossover_p(
+    n: int,
+    p_values: Sequence[float] = tuple(
+        round(0.5 + 0.02 * i, 2) for i in range(1, 25)
+    ),
+) -> float | None:
+    """The ``p`` from which ARBITRARY's expected write load stays below
+    HQC's at (about) ``n`` replicas.
+
+    The paper observes HQC's better write availability hands it the best
+    expected load at large n "when p < 0.8"; this returns the flip point.
+    """
+
+    def arbitrary(p: float) -> float:
+        return evaluate_configuration(
+            Configuration.ARBITRARY, n, p
+        ).expected_write_load
+
+    def hqc(p: float) -> float:
+        return evaluate_configuration(
+            Configuration.HQC, n, p
+        ).expected_write_load
+
+    return first_crossing(arbitrary, hqc, p_values)

@@ -1,0 +1,82 @@
+"""Equation-3.2 expected loads and the Section-3.2.3 stability notion.
+
+A system is *stable* when the expected load stays close to the optimal
+system load, which happens exactly when the operation's availability is
+high — the paper uses this to argue Algorithm-1 trees behave well once
+``p > 0.8``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import metrics
+from repro.core.tree import ArbitraryTree
+
+
+@dataclass(frozen=True)
+class ExpectedLoads:
+    """Optimal and expected loads of one tree at one ``p``."""
+
+    p: float
+    read_load: float
+    write_load: float
+    expected_read_load: float
+    expected_write_load: float
+
+
+def expected_loads(tree: ArbitraryTree, p: float) -> ExpectedLoads:
+    """Evaluate Equation 3.2 for both operations of one tree."""
+    return ExpectedLoads(
+        p=p,
+        read_load=metrics.read_load(tree),
+        write_load=metrics.write_load(tree),
+        expected_read_load=metrics.expected_read_load(tree, p),
+        expected_write_load=metrics.expected_write_load(tree, p),
+    )
+
+
+@dataclass(frozen=True)
+class StabilityReport:
+    """How far expected loads drift from optimal loads across ``p`` values."""
+
+    p_values: tuple[float, ...]
+    read_gaps: tuple[float, ...]
+    write_gaps: tuple[float, ...]
+
+    def stable_from(self, tolerance: float = 0.05) -> float | None:
+        """Smallest swept ``p`` from which *both* gaps stay within tolerance.
+
+        Returns ``None`` when no swept ``p`` achieves it.
+        """
+        for i, p in enumerate(self.p_values):
+            if all(
+                read_gap <= tolerance and write_gap <= tolerance
+                for read_gap, write_gap in zip(
+                    self.read_gaps[i:], self.write_gaps[i:]
+                )
+            ):
+                return p
+        return None
+
+
+def stability_report(
+    tree: ArbitraryTree,
+    p_values: tuple[float, ...] = (0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99),
+) -> StabilityReport:
+    """Expected-vs-optimal load gaps over a sweep of ``p``.
+
+    The paper observes the ARBITRARY configuration's expected loads converge
+    to the optimal loads once ``p > 0.8``; this report quantifies that.
+    """
+    read_gaps = []
+    write_gaps = []
+    for p in p_values:
+        loads = expected_loads(tree, p)
+        read_gaps.append(loads.expected_read_load - loads.read_load)
+        write_gaps.append(loads.expected_write_load - loads.write_load)
+    return StabilityReport(
+        p_values=tuple(p_values),
+        read_gaps=tuple(read_gaps),
+        write_gaps=tuple(write_gaps),
+    )

@@ -1,0 +1,63 @@
+"""Closed-form evaluation of the six Section-4 configurations.
+
+One :class:`ConfigPoint` holds every quantity the paper plots for one
+configuration at one system size: read/write communication cost (Figure 2),
+read/write optimal system load and Equation-3.2 expected load (Figures 3-4),
+and the underlying availabilities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import ALL_CONFIGURATIONS, Configuration, make_model
+
+
+@dataclass(frozen=True)
+class ConfigPoint:
+    """All paper-plotted quantities for one configuration at one size."""
+
+    config: Configuration
+    n: int
+    p: float
+    read_cost: float
+    write_cost: float
+    read_load: float
+    write_load: float
+    read_availability: float
+    write_availability: float
+    expected_read_load: float
+    expected_write_load: float
+
+
+def evaluate_configuration(
+    config: Configuration, n: int, p: float = 0.7
+) -> ConfigPoint:
+    """Evaluate one configuration at (approximately) ``n`` replicas.
+
+    ``n`` is snapped to the configuration's nearest admissible size (e.g.
+    complete-binary-tree sizes for BINARY/UNMODIFIED); the point records the
+    size actually used.
+    """
+    model = make_model(config, n)
+    return ConfigPoint(
+        config=config,
+        n=model.n,
+        p=p,
+        read_cost=model.read_cost(),
+        write_cost=model.write_cost(),
+        read_load=model.read_load(),
+        write_load=model.write_load(),
+        read_availability=model.read_availability(p),
+        write_availability=model.write_availability(p),
+        expected_read_load=model.expected_read_load(p),
+        expected_write_load=model.expected_write_load(p),
+    )
+
+
+def evaluate_all(n: int, p: float = 0.7) -> dict[Configuration, ConfigPoint]:
+    """Evaluate every configuration at (approximately) ``n`` replicas."""
+    return {
+        config: evaluate_configuration(config, n, p)
+        for config in ALL_CONFIGURATIONS
+    }

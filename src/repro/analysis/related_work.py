@@ -1,0 +1,166 @@
+"""The introduction's related-work comparison as an executable table.
+
+Section 1 of the paper walks through the replica control landscape with a
+specific cost/load figure for each protocol.  This module reproduces that
+survey as data: one :class:`RelatedWorkEntry` per protocol with the intro's
+formulas evaluated at a given ``n`` (snapped to each protocol's admissible
+sizes), used by ``benchmarks/bench_related_work.py``.
+
+Two of the surveyed tree protocols are represented by their published cost
+formulas only (the paper cites but does not define them):
+
+* Koch [7] — ternary tree (S = 3), read cost 1 .. S^h, write cost
+  O(log n); cost-1 reads load the root: load 1;
+* Choi-Youn-Choi [5] — symmetric ternary tree, read cost 1 .. S^(h/2),
+  write cost O(log n); cost-1 reads induce load 0.5.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.builder import recommended_tree
+from repro.core.metrics import read_cost as arbitrary_read_cost
+from repro.core.metrics import read_load as arbitrary_read_load
+from repro.core.metrics import write_cost_avg, write_load
+from repro.protocols.agrawal_tree import AgrawalTreeProtocol
+from repro.protocols.fpp import FiniteProjectivePlaneProtocol, fpp_sizes
+from repro.protocols.grid import GridProtocol
+from repro.protocols.hqc import HQCProtocol, hqc_sizes
+from repro.protocols.majority import MajorityProtocol
+from repro.protocols.rowa import RowaProtocol
+from repro.protocols.tree_quorum import TreeQuorumProtocol, binary_tree_sizes
+
+
+@dataclass(frozen=True)
+class RelatedWorkEntry:
+    """One row of the intro survey, evaluated at a concrete size."""
+
+    protocol: str
+    reference: str
+    n: int
+    read_cost_best: float
+    read_cost_worst: float
+    write_cost: float
+    read_load: float
+    write_load: float
+
+
+def _nearest(sizes: list[int], n: int) -> int:
+    return min(sizes, key=lambda candidate: abs(candidate - n))
+
+
+def survey(n: int = 121) -> list[RelatedWorkEntry]:
+    """Evaluate every intro protocol at (approximately) ``n`` replicas."""
+    entries: list[RelatedWorkEntry] = []
+
+    rowa = RowaProtocol(n)
+    entries.append(RelatedWorkEntry(
+        protocol="ROWA", reference="[3]", n=n,
+        read_cost_best=1, read_cost_worst=1, write_cost=n,
+        read_load=rowa.read_load(), write_load=rowa.write_load(),
+    ))
+
+    odd = n if n % 2 == 1 else n + 1
+    majority = MajorityProtocol(odd)
+    entries.append(RelatedWorkEntry(
+        protocol="Majority", reference="[13]", n=odd,
+        read_cost_best=(odd + 1) / 2, read_cost_worst=(odd + 1) / 2,
+        write_cost=(odd + 1) / 2,
+        read_load=majority.read_load(), write_load=majority.write_load(),
+    ))
+
+    fpp_n = _nearest(fpp_sizes(23), n)
+    fpp = FiniteProjectivePlaneProtocol(fpp_n)
+    entries.append(RelatedWorkEntry(
+        protocol="FPP (sqrt n)", reference="[9]", n=fpp_n,
+        read_cost_best=fpp.quorum_size(), read_cost_worst=fpp.quorum_size(),
+        write_cost=fpp.quorum_size(),
+        read_load=fpp.read_load(), write_load=fpp.write_load(),
+    ))
+
+    side = max(2, math.isqrt(n))
+    grid = GridProtocol(side * side)
+    entries.append(RelatedWorkEntry(
+        protocol="Grid", reference="[4]", n=side * side,
+        read_cost_best=grid.read_cost(), read_cost_worst=grid.read_cost(),
+        write_cost=grid.write_cost(),
+        read_load=grid.read_load(), write_load=grid.write_load(),
+    ))
+
+    binary_n = _nearest(binary_tree_sizes(12), n)
+    binary = TreeQuorumProtocol(binary_n)
+    entries.append(RelatedWorkEntry(
+        protocol="Tree quorum", reference="[2]", n=binary_n,
+        read_cost_best=binary.min_cost(), read_cost_worst=binary.max_cost(),
+        write_cost=binary.average_cost(),
+        read_load=binary.optimal_load(), write_load=binary.optimal_load(),
+    ))
+
+    hqc_n = _nearest(hqc_sizes(7), n)
+    hqc = HQCProtocol(hqc_n)
+    entries.append(RelatedWorkEntry(
+        protocol="HQC", reference="[8]", n=hqc_n,
+        read_cost_best=hqc.quorum_size(), read_cost_worst=hqc.quorum_size(),
+        write_cost=hqc.quorum_size(),
+        read_load=hqc.optimal_load(), write_load=hqc.optimal_load(),
+    ))
+
+    # [1]: complete (2d+1)-ary tree with d = 1 -> ternary; pick the height
+    # whose size is nearest n.
+    heights = range(1, 8)
+    sizes = {(3 ** (h + 1) - 1) // 2: h for h in heights}
+    ae_n = _nearest(list(sizes), n)
+    ae = AgrawalTreeProtocol(d=1, height=sizes[ae_n])
+    entries.append(RelatedWorkEntry(
+        protocol="AE tree (VLDB90)", reference="[1]", n=ae.n,
+        read_cost_best=ae.read_cost_min(), read_cost_worst=ae.read_cost_max(),
+        write_cost=ae.write_cost_exact(),
+        read_load=ae.read_load(), write_load=ae.write_load(),
+    ))
+
+    entries.append(koch_model(n))
+    entries.append(choi_model(n))
+
+    arbitrary = recommended_tree(n)
+    entries.append(RelatedWorkEntry(
+        protocol="Arbitrary (this paper)", reference="-", n=n,
+        read_cost_best=arbitrary_read_cost(arbitrary),
+        read_cost_worst=arbitrary_read_cost(arbitrary),
+        write_cost=write_cost_avg(arbitrary),
+        read_load=arbitrary_read_load(arbitrary),
+        write_load=write_load(arbitrary),
+    ))
+    return entries
+
+
+def _ternary_height(n: int) -> tuple[int, int]:
+    """(height, size) of the complete ternary tree with size nearest n."""
+    sizes = {(3 ** (h + 1) - 1) // 2: h for h in range(1, 10)}
+    snapped = _nearest(list(sizes), n)
+    return sizes[snapped], snapped
+
+
+def koch_model(n: int) -> RelatedWorkEntry:
+    """Koch [7] per the intro: reads 1..3^h, writes O(log n), load 1."""
+    height, snapped = _ternary_height(n)
+    return RelatedWorkEntry(
+        protocol="Koch", reference="[7]", n=snapped,
+        read_cost_best=1, read_cost_worst=3.0**height,
+        write_cost=math.log(snapped, 3) + 1,   # O(log n) path-style writes
+        read_load=1.0,                          # cost-1 reads hit the root
+        write_load=1.0,                         # the root is in every write
+    )
+
+
+def choi_model(n: int) -> RelatedWorkEntry:
+    """Choi-Youn-Choi [5] per the intro: reads 1..3^(h/2), load 0.5."""
+    height, snapped = _ternary_height(n)
+    return RelatedWorkEntry(
+        protocol="Choi symmetric", reference="[5]", n=snapped,
+        read_cost_best=1, read_cost_worst=3.0 ** (height / 2),
+        write_cost=math.log(snapped, 3) + 1,
+        read_load=0.5,                          # the intro's quoted load
+        write_load=1.0,
+    )

@@ -1,0 +1,103 @@
+"""Parameter sweeps producing the series behind Figures 2-4.
+
+Each figure plots one quantity for all six configurations against the
+number of replicas ``n``.  Because BINARY/UNMODIFIED only exist at
+``n = 2^(h+1)-1`` and HQC at ``n = 3^l``, every requested ``n`` is snapped
+per-configuration to the nearest admissible size; each data point records
+the size actually evaluated, mirroring how the paper plots the protocols at
+their natural sizes on a common axis.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.analysis.formulas import ConfigPoint, evaluate_configuration
+from repro.core.config import ALL_CONFIGURATIONS, Configuration
+
+#: The default x-axis: roughly the range the paper's figures cover.
+DEFAULT_SIZES: tuple[int, ...] = (7, 15, 31, 63, 81, 127, 243, 255, 511, 729)
+
+#: The paper computes expected loads at p = 0.7 in the running example; the
+#: figure discussion also references p < 0.8 vs p > 0.8 behaviour.
+DEFAULT_P = 0.7
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One (x, y) point of a figure series, recording the snapped size."""
+
+    requested_n: int
+    actual_n: int
+    value: float
+
+
+@dataclass(frozen=True)
+class FigureSeries:
+    """All series of one figure: configuration -> quantity -> points."""
+
+    quantities: tuple[str, ...]
+    series: dict[Configuration, dict[str, tuple[SeriesPoint, ...]]]
+    p: float
+
+
+def sweep_configurations(
+    quantities: Sequence[str],
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    p: float = DEFAULT_P,
+    configs: Sequence[Configuration] = ALL_CONFIGURATIONS,
+) -> FigureSeries:
+    """Evaluate the named :class:`ConfigPoint` fields over a size sweep.
+
+    ``quantities`` are attribute names of :class:`ConfigPoint`, e.g.
+    ``("read_cost", "write_cost")``.
+    """
+    getters: dict[str, Callable[[ConfigPoint], float]] = {
+        quantity: (lambda point, _q=quantity: getattr(point, _q))
+        for quantity in quantities
+    }
+    series: dict[Configuration, dict[str, tuple[SeriesPoint, ...]]] = {}
+    for config in configs:
+        per_quantity: dict[str, list[SeriesPoint]] = {
+            quantity: [] for quantity in quantities
+        }
+        for n in sizes:
+            point = evaluate_configuration(config, n, p)
+            for quantity, getter in getters.items():
+                per_quantity[quantity].append(
+                    SeriesPoint(
+                        requested_n=n,
+                        actual_n=point.n,
+                        value=float(getter(point)),
+                    )
+                )
+        series[config] = {
+            quantity: tuple(points) for quantity, points in per_quantity.items()
+        }
+    return FigureSeries(quantities=tuple(quantities), series=series, p=p)
+
+
+def figure2_series(
+    sizes: Sequence[int] = DEFAULT_SIZES, p: float = DEFAULT_P
+) -> FigureSeries:
+    """Figure 2: read and write communication costs of the six configurations."""
+    return sweep_configurations(("read_cost", "write_cost"), sizes, p)
+
+
+def figure3_series(
+    sizes: Sequence[int] = DEFAULT_SIZES, p: float = DEFAULT_P
+) -> FigureSeries:
+    """Figure 3: (expected) system loads of read operations."""
+    return sweep_configurations(
+        ("read_load", "expected_read_load"), sizes, p
+    )
+
+
+def figure4_series(
+    sizes: Sequence[int] = DEFAULT_SIZES, p: float = DEFAULT_P
+) -> FigureSeries:
+    """Figure 4: (expected) system loads of write operations."""
+    return sweep_configurations(
+        ("write_load", "expected_write_load"), sizes, p
+    )

@@ -1,0 +1,77 @@
+"""Plain-text rendering of figure series and tables.
+
+The paper's evaluation consists of line charts; the benchmark harness prints
+the underlying numbers as aligned text tables (one row per system size, one
+column per configuration) so the series can be diffed against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.analysis.sweeps import FigureSeries
+from repro.core.config import Configuration
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned monospace table."""
+    rendered_rows = [
+        [_format_cell(cell) for cell in row] for row in rows
+    ]
+    widths = [
+        max(len(str(header)), *(len(row[i]) for row in rendered_rows))
+        if rendered_rows
+        else len(str(header))
+        for i, header in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(str(header).rjust(width) for header, width in zip(headers, widths))
+    )
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rendered_rows:
+        lines.append(
+            "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 0.001:
+            return f"{cell:.3e}"
+        return f"{cell:.4f}".rstrip("0").rstrip(".")
+    return str(cell)
+
+
+def format_series(
+    figure: FigureSeries,
+    quantity: str,
+    title: str | None = None,
+    configs: Sequence[Configuration] | None = None,
+) -> str:
+    """Render one quantity of a figure sweep: rows = sizes, cols = configs.
+
+    Each cell shows the value at the configuration's snapped size; the row
+    label is the requested ``n``.
+    """
+    if configs is None:
+        configs = list(figure.series)
+    first_config = configs[0]
+    points = figure.series[first_config][quantity]
+    headers = ["n", *(str(config) for config in configs)]
+    rows = []
+    for i, point in enumerate(points):
+        row: list[object] = [point.requested_n]
+        for config in configs:
+            row.append(figure.series[config][quantity][i].value)
+        rows.append(row)
+    return format_table(headers, rows, title=title)

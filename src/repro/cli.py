@@ -1,0 +1,240 @@
+"""Command-line interface: regenerate the paper's tables from a terminal.
+
+``python -m repro <command>``:
+
+* ``example``   — Table 1 and the Section 3.4 worked example;
+* ``fig2``      — Figure 2 communication-cost series;
+* ``fig3``      — Figure 3 read-load series;
+* ``fig4``      — Figure 4 write-load series;
+* ``survey``    — the Section 1 related-work survey;
+* ``analyse``   — analyse an arbitrary tree spec (e.g. ``1-3-5``);
+* ``tune``      — recommend a tree for a given n / p / read fraction;
+* ``simulate``  — run the discrete-event simulator and print measurements;
+* ``all``       — everything above with default parameters.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.analysis.related_work import survey
+from repro.analysis.sweeps import figure2_series, figure3_series, figure4_series
+from repro.analysis.tables import format_series, format_table
+from repro.core import analyse, from_spec
+from repro.core.tuning import recommend
+
+
+def _print_example() -> None:
+    from repro.core.tree import ArbitraryTree
+
+    tree = ArbitraryTree.from_level_counts([0, 3, 5], [1, 0, 4])
+    rows = [
+        [row.level, row.total, row.physical, row.logical]
+        for row in tree.level_table()
+    ]
+    print(format_table(
+        ["level k", "m_k", "m_phy_k", "m_log_k"], rows,
+        title="Table 1: the Figure 1 tree",
+    ))
+    metrics = analyse(tree, p=0.7)
+    print()
+    print(format_table(
+        ["quantity", "value"],
+        [
+            ["m(R)", 15], ["m(W)", 2],
+            ["RD_cost", metrics.read_cost],
+            ["RD_availability(0.7)", round(metrics.read_availability, 4)],
+            ["L_RD", round(metrics.read_load, 4)],
+            ["WR_cost", metrics.write_cost_avg],
+            ["WR_availability(0.7)", round(metrics.write_availability, 4)],
+            ["L_WR", round(metrics.write_load, 4)],
+            ["E[L_RD]", round(metrics.expected_read_load, 4)],
+            ["E[L_WR]", round(metrics.expected_write_load, 4)],
+        ],
+        title="Section 3.4 example (p = 0.7)",
+    ))
+
+
+def _print_figure(which: str, p: float) -> None:
+    builders = {
+        "fig2": (figure2_series, ("read_cost", "write_cost")),
+        "fig3": (figure3_series, ("read_load", "expected_read_load")),
+        "fig4": (figure4_series, ("write_load", "expected_write_load")),
+    }
+    build, quantities = builders[which]
+    series = build(p=p)
+    for quantity in quantities:
+        print(format_series(
+            series, quantity,
+            title=f"{which.upper()}: {quantity} (p = {p})",
+        ))
+        print()
+
+
+def _print_survey(n: int) -> None:
+    rows = [
+        [e.protocol, e.reference, e.n, e.read_cost_best, e.read_cost_worst,
+         round(e.write_cost, 2), round(e.read_load, 4), round(e.write_load, 4)]
+        for e in survey(n)
+    ]
+    print(format_table(
+        ["protocol", "ref", "n", "rd min", "rd max", "wr cost",
+         "rd load", "wr load"],
+        rows,
+        title=f"Section 1 related-work survey at n ~ {n}",
+    ))
+
+
+def _print_analysis(spec: str, p: float) -> None:
+    tree = from_spec(spec)
+    print(tree.describe())
+    metrics = analyse(tree, p=p)
+    print()
+    print(format_table(
+        ["quantity", "value"],
+        [
+            ["read cost", metrics.read_cost],
+            ["write cost (min/avg/max)",
+             f"{metrics.write_cost_min}/{metrics.write_cost_avg:g}/"
+             f"{metrics.write_cost_max}"],
+            ["read availability", round(metrics.read_availability, 4)],
+            ["write availability", round(metrics.write_availability, 4)],
+            ["read load", round(metrics.read_load, 4)],
+            ["write load", round(metrics.write_load, 4)],
+            ["E[read load]", round(metrics.expected_read_load, 4)],
+            ["E[write load]", round(metrics.expected_write_load, 4)],
+        ],
+        title=f"analysis of {spec} at p = {p}",
+    ))
+
+
+def _print_tuning(n: int, p: float, read_fraction: float) -> None:
+    result = recommend(n, p=p, read_fraction=read_fraction)
+    print(f"best tree for n={n}, p={p}, read fraction {read_fraction}:")
+    print(f"  {result.tree.spec()}  (score {result.best.score:.4f})")
+    print()
+    rows = [
+        [item.tree.spec()[:40], item.tree.num_physical_levels,
+         round(item.score, 4), round(item.read_metric, 4),
+         round(item.write_metric, 4)]
+        for item in result.alternatives[:8]
+    ]
+    print(format_table(
+        ["tree", "|K_phy|", "score", "read metric", "write metric"],
+        rows, title="top candidates",
+    ))
+
+
+def _print_simulation(spec: str, operations: int, read_fraction: float,
+                      p: float, seed: int) -> None:
+    from repro.sim import BernoulliFailures, SimulationConfig, WorkloadSpec, simulate
+    from repro.sim.failures import NoFailures
+
+    tree = from_spec(spec)
+    failures = (
+        NoFailures() if p >= 1.0
+        else BernoulliFailures(p=p, seed=seed, resample_every=40.0)
+    )
+    result = simulate(
+        SimulationConfig(
+            tree=tree,
+            workload=WorkloadSpec(
+                operations=operations, read_fraction=read_fraction, keys=32,
+                arrival="poisson", rate=0.25,
+            ),
+            failures=failures,
+            max_attempts=1,
+            timeout=8.0,
+            seed=seed,
+        )
+    )
+    metrics = analyse(tree, p=min(p, 1.0))
+    summary = result.summary()
+    print(format_table(
+        ["quantity", "simulated", "closed form"],
+        [
+            ["read cost", round(summary["read_cost"], 3), metrics.read_cost],
+            ["write cost", round(summary["write_cost"], 3),
+             round(metrics.write_cost_avg, 3)],
+            ["read load", round(summary["read_load"], 3),
+             round(metrics.read_load, 3)],
+            ["write load", round(summary["write_load"], 3),
+             round(metrics.write_load, 3)],
+            ["read availability", round(summary["read_availability"], 3),
+             round(metrics.read_availability, 3)],
+            ["write availability", round(summary["write_availability"], 3),
+             round(metrics.write_availability, 3)],
+            ["messages", int(summary["messages_sent"]), "-"],
+        ],
+        title=f"simulation of {spec}: {operations} ops, p = {p}, seed {seed}",
+    ))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Arbitrary tree-structured replica control protocol "
+                    "(ICDCS 2008) — analysis and simulation toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("example", help="Table 1 + the Section 3.4 example")
+
+    for fig in ("fig2", "fig3", "fig4"):
+        fig_parser = sub.add_parser(fig, help=f"regenerate {fig} series")
+        fig_parser.add_argument("--p", type=float, default=0.7)
+
+    survey_parser = sub.add_parser("survey", help="related-work survey")
+    survey_parser.add_argument("--n", type=int, default=121)
+
+    analyse_parser = sub.add_parser("analyse", help="analyse a tree spec")
+    analyse_parser.add_argument("spec", help="tree spec, e.g. 1-3-5")
+    analyse_parser.add_argument("--p", type=float, default=0.9)
+
+    tune_parser = sub.add_parser("tune", help="recommend a tree shape")
+    tune_parser.add_argument("--n", type=int, default=48)
+    tune_parser.add_argument("--p", type=float, default=0.9)
+    tune_parser.add_argument("--read-fraction", type=float, default=0.5)
+
+    sim_parser = sub.add_parser("simulate", help="run the simulator")
+    sim_parser.add_argument("spec", nargs="?", default="1-3-5")
+    sim_parser.add_argument("--operations", type=int, default=2000)
+    sim_parser.add_argument("--read-fraction", type=float, default=0.5)
+    sim_parser.add_argument("--p", type=float, default=1.0,
+                            help="per-replica availability (1.0 = no failures)")
+    sim_parser.add_argument("--seed", type=int, default=0)
+
+    all_parser = sub.add_parser("all", help="everything, default parameters")
+    all_parser.add_argument("--p", type=float, default=0.7)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "example":
+        _print_example()
+    elif args.command in ("fig2", "fig3", "fig4"):
+        _print_figure(args.command, args.p)
+    elif args.command == "survey":
+        _print_survey(args.n)
+    elif args.command == "analyse":
+        _print_analysis(args.spec, args.p)
+    elif args.command == "tune":
+        _print_tuning(args.n, args.p, args.read_fraction)
+    elif args.command == "simulate":
+        _print_simulation(
+            args.spec, args.operations, args.read_fraction, args.p, args.seed
+        )
+    elif args.command == "all":
+        _print_example()
+        print()
+        for fig in ("fig2", "fig3", "fig4"):
+            _print_figure(fig, args.p)
+        _print_survey(121)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

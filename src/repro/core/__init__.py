@@ -1,0 +1,85 @@
+"""The paper's primary contribution: the arbitrary tree protocol.
+
+* :mod:`repro.core.tree` — the logical/physical tree structure (Section 3.1);
+* :mod:`repro.core.builder` — tree constructors, including Algorithm 1 and the
+  MOSTLY-READ / MOSTLY-WRITE / UNMODIFIED shapes (Sections 3.3 and 4);
+* :mod:`repro.core.protocol` — read/write quorum construction (Section 3.2);
+* :mod:`repro.core.metrics` — closed-form cost/availability/load analysis
+  (Sections 3.2-3.3 and the appendix);
+* :mod:`repro.core.config` — the six named configurations of Section 4;
+* :mod:`repro.core.tuning` — frequency-aware tree configuration advisor.
+"""
+
+from repro.core.builder import (
+    algorithm_1,
+    balanced_tree,
+    from_spec,
+    mostly_read,
+    mostly_write,
+    recommended_tree,
+    sqrt_levels,
+    uniform_tree,
+)
+from repro.core.config import Configuration, make_tree
+from repro.core.metrics import (
+    TreeMetrics,
+    analyse,
+    expected_read_load,
+    expected_write_load,
+    limit_read_availability,
+    limit_write_availability,
+    read_availability,
+    read_cost,
+    read_load,
+    write_availability,
+    write_cost_avg,
+    write_cost_max,
+    write_cost_min,
+    write_load,
+)
+from repro.core.proofs import (
+    OptimalityProof,
+    prove_lower_bound_for_binary_tree,
+    prove_read_load,
+    prove_write_load,
+)
+from repro.core.protocol import ArbitraryProtocol
+from repro.core.tree import ArbitraryTree, NodeKind, TreeNode
+from repro.core.tuning import TuningResult, recommend
+
+__all__ = [
+    "ArbitraryProtocol",
+    "ArbitraryTree",
+    "Configuration",
+    "NodeKind",
+    "OptimalityProof",
+    "TreeMetrics",
+    "TreeNode",
+    "TuningResult",
+    "algorithm_1",
+    "analyse",
+    "balanced_tree",
+    "expected_read_load",
+    "expected_write_load",
+    "from_spec",
+    "limit_read_availability",
+    "limit_write_availability",
+    "make_tree",
+    "mostly_read",
+    "mostly_write",
+    "prove_lower_bound_for_binary_tree",
+    "prove_read_load",
+    "prove_write_load",
+    "read_availability",
+    "read_cost",
+    "read_load",
+    "recommend",
+    "recommended_tree",
+    "sqrt_levels",
+    "uniform_tree",
+    "write_availability",
+    "write_cost_avg",
+    "write_cost_max",
+    "write_cost_min",
+    "write_load",
+]

@@ -1,0 +1,218 @@
+"""Tree constructors: Algorithm 1 and the named shapes of Sections 3.3-4.
+
+Every constructor returns an :class:`repro.core.tree.ArbitraryTree` that
+satisfies Assumption 3.1 and conserves the requested number of replicas
+``n``.  Where the paper's arithmetic is non-integral (``sqrt(n)`` levels,
+``(n-28)/(sqrt(n)-7)`` replicas per level) we floor the level count and
+spread the remainder over the *deepest* levels, which keeps the level sizes
+non-decreasing; see DESIGN.md §4 for the two documented deviations.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from repro.core.tree import ArbitraryTree
+
+_SPEC_PATTERN = re.compile(r"^(?:(?P<physroot>P)?1-)?(?P<sizes>\d+(?:-\d+)*)$")
+
+
+def from_spec(spec: str) -> ArbitraryTree:
+    """Parse the paper's compressed tree notation.
+
+    ``"1-3-5"`` denotes a logical root above physical levels of sizes 3 and
+    5 (the Figure 1 / Table 1 example).  ``"P1-2-4"`` denotes a *physical*
+    root of one replica above physical levels 2 and 4 (used for UNMODIFIED
+    trees).  A bare ``"8"`` is a logical root above a single physical level
+    of 8 replicas (MOSTLY-READ).
+    """
+    text = spec.strip()
+    if text.startswith("P"):
+        sizes = [int(token) for token in text[1:].split("-")]
+        if sizes[0] != 1:
+            raise ValueError(f"physical root level must have size 1: {spec!r}")
+        return from_physical_level_sizes(sizes, logical_root=False)
+    tokens = [int(token) for token in text.split("-")]
+    if len(tokens) > 1 and tokens[0] == 1:
+        tokens = tokens[1:]
+    return from_physical_level_sizes(tokens, logical_root=True)
+
+
+def from_physical_level_sizes(
+    sizes: list[int] | tuple[int, ...],
+    logical_root: bool = True,
+) -> ArbitraryTree:
+    """Build a tree from explicit physical-level sizes.
+
+    With ``logical_root=True`` a single logical node is placed at level 0
+    and ``sizes[u]`` physical nodes at level ``u + 1``.  With
+    ``logical_root=False`` the first size must be 1 (the physical root) and
+    the remaining sizes occupy levels 1, 2, ...
+    """
+    if not sizes:
+        raise ValueError("at least one physical level is required")
+    if any(size < 1 for size in sizes):
+        raise ValueError(f"level sizes must be positive: {sizes}")
+    if logical_root:
+        physical = [0, *sizes]
+        logical = [1] + [0] * len(sizes)
+    else:
+        if sizes[0] != 1:
+            raise ValueError("a physical root level must have exactly 1 node")
+        physical = list(sizes)
+        logical = [0] * len(sizes)
+    return ArbitraryTree.from_level_counts(physical, logical)
+
+
+def _spread(total: int, buckets: int, minimum: int = 1) -> list[int]:
+    """Split ``total`` into ``buckets`` non-decreasing parts, each >= minimum.
+
+    The base share goes to every bucket and the remainder is added one unit
+    at a time to the *deepest* buckets, so the resulting sequence is sorted
+    ascending — exactly what Assumption 3.1 needs.
+    """
+    if buckets < 1:
+        raise ValueError("need at least one bucket")
+    base, remainder = divmod(total, buckets)
+    if base < minimum:
+        raise ValueError(
+            f"cannot place {total} replicas on {buckets} levels with "
+            f"at least {minimum} each"
+        )
+    sizes = [base] * buckets
+    for offset in range(remainder):
+        sizes[buckets - 1 - offset] += 1
+    return sizes
+
+
+def mostly_read(n: int) -> ArbitraryTree:
+    """The MOSTLY-READ configuration: all replicas on one physical level.
+
+    Behaves like ROWA: read cost 1, write cost ``n``, read load ``1/n``,
+    write load 1.
+    """
+    if n < 1:
+        raise ValueError("need at least one replica")
+    return from_physical_level_sizes([n])
+
+
+def mostly_write(n: int) -> ArbitraryTree:
+    """The MOSTLY-WRITE configuration: two replicas per physical level.
+
+    For odd ``n`` the paper prescribes ``(n-1)/2`` physical levels of two
+    replicas, which accounts for ``n - 1`` replicas; we attach the leftover
+    replica to the deepest level (making it 3) so that ``n`` is conserved.
+    The paper's reported quantities are unchanged: read cost ``(n-1)/2``,
+    write cost 2 (minimum), read load ``1/2``, write load ``2/(n-1)``.
+    """
+    if n < 2:
+        raise ValueError("MOSTLY-WRITE needs at least two replicas")
+    levels = n // 2
+    sizes = [2] * levels
+    if n % 2 == 1:
+        sizes[-1] += 1
+    return from_physical_level_sizes(sizes)
+
+
+def algorithm_1(n: int) -> ArbitraryTree:
+    """Algorithm 1 of Section 3.3 (defined by the paper for ``n > 64``).
+
+    1. logical root; ``|K_phy| = floor(sqrt(n))`` physical levels;
+    2. four replicas on each of the first seven physical levels;
+    3. the remaining ``n - 28`` replicas spread evenly over the remaining
+       ``|K_phy| - 7`` levels, remainder pushed to the deepest levels so
+       Assumption 3.1 holds.
+
+    Yields write load ``1/sqrt(n)``, average write cost ``~sqrt(n)``, read
+    cost ``~sqrt(n)`` and read load ``1/4``.
+    """
+    if n <= 64:
+        raise ValueError(
+            "Algorithm 1 is defined for n > 64; "
+            "use balanced_tree or recommended_tree for smaller systems"
+        )
+    levels = math.isqrt(n)
+    head = [4] * 7
+    tail = _spread(n - 28, levels - 7, minimum=4)
+    return from_physical_level_sizes(head + tail)
+
+
+def balanced_tree(n: int) -> ArbitraryTree:
+    """The Section 3.3 prescription for ``32 < n <= 64``.
+
+    Seven physical levels of four replicas each; the remaining ``n - 28``
+    replicas go to succeeding physical levels (one extra level when at least
+    four remain, otherwise appended to the deepest level) while obeying
+    Assumption 3.1.
+    """
+    if n <= 28:
+        raise ValueError("balanced_tree needs n > 28; use sqrt_levels instead")
+    sizes = [4] * 7
+    leftover = n - 28
+    if leftover == 0:
+        pass
+    elif leftover >= 4:
+        sizes.append(leftover)
+    else:
+        sizes[-1] += leftover
+    return from_physical_level_sizes(sizes)
+
+
+def sqrt_levels(n: int) -> ArbitraryTree:
+    """A generalisation of Algorithm 1 that works for every ``n >= 1``.
+
+    Uses ``floor(sqrt(n))`` physical levels with near-even, non-decreasing
+    sizes.  For ``n > 64`` prefer :func:`algorithm_1`, which reproduces the
+    paper's exact head-of-tree shape (seven levels of four).
+    """
+    if n < 1:
+        raise ValueError("need at least one replica")
+    levels = max(1, math.isqrt(n))
+    return from_physical_level_sizes(_spread(n, levels))
+
+
+def recommended_tree(n: int) -> ArbitraryTree:
+    """The paper's recommended proportional-frequency configuration.
+
+    Dispatches on ``n``: Algorithm 1 for ``n > 64``, the Section 3.3 balanced
+    prescription for ``28 < n <= 64``, and near-even ``sqrt(n)`` levels below
+    that (the paper gives no recipe for very small systems).
+    """
+    if n > 64:
+        return algorithm_1(n)
+    if n > 28:
+        return balanced_tree(n)
+    return sqrt_levels(n)
+
+
+def uniform_tree(branching: int, height: int) -> ArbitraryTree:
+    """A complete ``branching``-ary tree whose nodes are *all* physical.
+
+    This is the UNMODIFIED configuration of Section 4: the paper's protocol
+    applied directly to the tree-quorum structure of Agrawal-El Abbadi
+    without reshaping.  ``n = (branching^(h+1) - 1) / (branching - 1)`` for
+    ``branching >= 2``.
+    """
+    if branching < 2:
+        raise ValueError("branching factor must be at least 2")
+    if height < 0:
+        raise ValueError("height must be non-negative")
+    sizes = [branching**k for k in range(height + 1)]
+    return from_physical_level_sizes(sizes, logical_root=False)
+
+
+def unmodified_binary(n: int) -> ArbitraryTree:
+    """UNMODIFIED on a complete binary tree of ``n = 2^(h+1) - 1`` replicas."""
+    height = _complete_binary_height(n)
+    return uniform_tree(2, height)
+
+
+def _complete_binary_height(n: int) -> int:
+    """Height of the complete binary tree with exactly ``n`` nodes."""
+    height = (n + 1).bit_length() - 2
+    if n < 1 or 2 ** (height + 1) - 1 != n:
+        raise ValueError(
+            f"n={n} is not of the form 2^(h+1)-1 (complete binary tree)"
+        )
+    return height

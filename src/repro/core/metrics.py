@@ -1,0 +1,243 @@
+"""Closed-form analysis of the arbitrary protocol (Sections 3.2-3.3).
+
+All formulas take an :class:`~repro.core.tree.ArbitraryTree` and, where
+relevant, the per-replica availability probability ``p`` (replicas fail
+independently, Section 2.2).  Notation: ``K_phy`` the physical levels,
+``m_phy_k`` their sizes, ``d``/``e`` the min/max size, ``h`` the height and
+``|K_log|`` the number of logical levels, so ``|K_phy| = 1 + h - |K_log|``.
+
+=====================  =====================================================
+read cost              ``1 + h - |K_log|``                       (§3.2.1)
+read availability      ``prod_k (1 - (1-p)^{m_phy_k})``          (§3.2.1)
+read load              ``1 / d``                                 (§3.2.1, §6.1)
+write cost (min/max)   ``d`` / ``e``                             (§3.2.2)
+write cost (average)   ``n / |K_phy|``                           (§3.2.2)
+write failure          ``prod_k (1 - p^{m_phy_k})``              (§3.2.2)
+write availability     ``1 - write failure``                     (§3.2.2)
+write load             ``1 / |K_phy|``                           (§3.2.2, §6.2)
+expected read load     ``A_rd (L_rd - 1) + 1``                   (Eq. 3.2)
+expected write load    ``A_wr L_wr + (1 - A_wr)``                (Eq. 3.2)
+=====================  =====================================================
+
+The asymptotic Algorithm-1 availabilities of Section 3.3 are
+``lim RD_avail = (1 - (1-p)^4)^7`` and ``lim WR_avail = 1 - (1 - p^4)^7``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.core.tree import ArbitraryTree
+
+#: Either one probability for every replica (the paper's model) or a
+#: per-SID mapping (heterogeneous fleets).
+Availability = float | Mapping[int, float]
+
+
+def _check_probability(p: float) -> None:
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"availability probability must be in [0, 1], got {p}")
+
+
+def _replica_probability(p: Availability, sid: int) -> float:
+    value = p[sid] if isinstance(p, Mapping) else p
+    _check_probability(value)
+    return value
+
+
+def _level_up_probabilities(
+    tree: ArbitraryTree, p: Availability
+) -> list[list[float]]:
+    return [
+        [_replica_probability(p, sid) for sid in tree.replica_ids_at(level)]
+        for level in tree.physical_levels
+    ]
+
+
+# ----------------------------------------------------------------------
+# read operation (Section 3.2.1)
+# ----------------------------------------------------------------------
+
+def read_cost(tree: ArbitraryTree) -> int:
+    """Replicas contacted by a read: one per physical level.
+
+    ``RD_cost = 1 + h - |K_log| = |K_phy|``.
+    """
+    return tree.num_physical_levels
+
+
+def read_availability(tree: ArbitraryTree, p: Availability) -> float:
+    """Probability a read quorum can be assembled.
+
+    A read needs one live replica on *every* physical level, and replicas
+    fail independently: ``prod_k (1 - prod_{i in level k} (1 - p_i))`` —
+    the paper's ``prod_k (1 - (1-p)^{m_phy_k})`` when every replica shares
+    one ``p``.  ``p`` may be a scalar or a per-SID mapping.
+    """
+    return math.prod(
+        1.0 - math.prod(1.0 - value for value in level)
+        for level in _level_up_probabilities(tree, p)
+    )
+
+
+def read_load(tree: ArbitraryTree) -> float:
+    """Optimal system load of reads: ``1/d`` (proved in Appendix 6.1)."""
+    return 1.0 / tree.d
+
+
+# ----------------------------------------------------------------------
+# write operation (Section 3.2.2)
+# ----------------------------------------------------------------------
+
+def write_cost_min(tree: ArbitraryTree) -> int:
+    """Cheapest write: the thinnest physical level, ``d`` replicas."""
+    return tree.d
+
+
+def write_cost_max(tree: ArbitraryTree) -> int:
+    """Costliest write: the widest physical level, ``e`` replicas."""
+    return tree.e
+
+
+def write_cost_avg(tree: ArbitraryTree) -> float:
+    """Average write cost under the uniform strategy: ``n / |K_phy|``."""
+    return tree.n / tree.num_physical_levels
+
+
+def write_failure(tree: ArbitraryTree, p: Availability) -> float:
+    """Probability *no* physical level is fully live.
+
+    ``WR_fail = prod_k (1 - prod_{i in level k} p_i)`` — a write needs at
+    least one level whose replicas are all up.  Scalar ``p`` recovers the
+    paper's ``prod_k (1 - p^{m_phy_k})``.
+    """
+    return math.prod(
+        1.0 - math.prod(level)
+        for level in _level_up_probabilities(tree, p)
+    )
+
+
+def write_availability(tree: ArbitraryTree, p: Availability) -> float:
+    """``WR_availability = 1 - WR_fail`` (Section 3.2.2)."""
+    return 1.0 - write_failure(tree, p)
+
+
+def write_load(tree: ArbitraryTree) -> float:
+    """Optimal system load of writes: ``1/|K_phy|`` (Appendix 6.2)."""
+    return 1.0 / tree.num_physical_levels
+
+
+# ----------------------------------------------------------------------
+# expected loads (Equation 3.2) and stability
+# ----------------------------------------------------------------------
+
+def expected_read_load(tree: ArbitraryTree, p: Availability) -> float:
+    """``E[L_RD] = RD_avail * (L_RD - 1) + 1`` (Equation 3.2).
+
+    As failures accumulate a read degenerates towards hitting the single
+    surviving replica of some level, so the expectation interpolates between
+    the optimal load (fully available) and 1 (barely available).
+    """
+    availability = read_availability(tree, p)
+    return availability * (read_load(tree) - 1.0) + 1.0
+
+
+def expected_write_load(tree: ArbitraryTree, p: Availability) -> float:
+    """``E[L_WR] = WR_avail * L_WR + WR_fail * 1`` (Equation 3.2)."""
+    availability = write_availability(tree, p)
+    return availability * write_load(tree) + (1.0 - availability) * 1.0
+
+
+def is_stable(
+    tree: ArbitraryTree, p: float, tolerance: float = 0.05
+) -> tuple[bool, bool]:
+    """Section 3.2.3 stability: expected load close to the optimal load.
+
+    Returns ``(read_stable, write_stable)`` — whether the expected load of
+    each operation is within ``tolerance`` of its optimal system load.
+    """
+    read_stable = expected_read_load(tree, p) - read_load(tree) <= tolerance
+    write_stable = expected_write_load(tree, p) - write_load(tree) <= tolerance
+    return read_stable, write_stable
+
+
+# ----------------------------------------------------------------------
+# Algorithm 1 asymptotics (Section 3.3)
+# ----------------------------------------------------------------------
+
+def limit_read_availability(p: float) -> float:
+    """``lim_{n->inf} RD_avail`` for Algorithm-1 trees: ``(1-(1-p)^4)^7``.
+
+    As ``n`` grows the tail levels become wide enough that only the seven
+    four-replica head levels limit read availability.
+    """
+    _check_probability(p)
+    return (1.0 - (1.0 - p) ** 4) ** 7
+
+
+def limit_write_availability(p: float) -> float:
+    """``lim_{n->inf} WR_avail`` for Algorithm-1 trees: ``1-(1-p^4)^7``.
+
+    In the limit a write can only rely on the seven four-replica head
+    levels; wide tail levels almost surely contain a failed replica.
+    """
+    _check_probability(p)
+    return 1.0 - (1.0 - p**4) ** 7
+
+
+# ----------------------------------------------------------------------
+# one-call summary
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TreeMetrics:
+    """All closed-form quantities of Sections 3.2-3.3 for one tree."""
+
+    spec: str
+    n: int
+    height: int
+    num_physical_levels: int
+    num_logical_levels: int
+    d: int
+    e: int
+    num_read_quorums: int
+    num_write_quorums: int
+    read_cost: int
+    write_cost_min: int
+    write_cost_max: int
+    write_cost_avg: float
+    read_load: float
+    write_load: float
+    p: float
+    read_availability: float
+    write_availability: float
+    expected_read_load: float
+    expected_write_load: float
+
+
+def analyse(tree: ArbitraryTree, p: float = 0.9) -> TreeMetrics:
+    """Evaluate every Section 3.2-3.3 formula for one tree at one ``p``."""
+    return TreeMetrics(
+        spec=tree.spec(),
+        n=tree.n,
+        height=tree.height,
+        num_physical_levels=tree.num_physical_levels,
+        num_logical_levels=tree.num_logical_levels,
+        d=tree.d,
+        e=tree.e,
+        num_read_quorums=math.prod(tree.physical_level_sizes),
+        num_write_quorums=tree.num_physical_levels,
+        read_cost=read_cost(tree),
+        write_cost_min=write_cost_min(tree),
+        write_cost_max=write_cost_max(tree),
+        write_cost_avg=write_cost_avg(tree),
+        read_load=read_load(tree),
+        write_load=write_load(tree),
+        p=p,
+        read_availability=read_availability(tree, p),
+        write_availability=write_availability(tree, p),
+        expected_read_load=expected_read_load(tree, p),
+        expected_write_load=expected_write_load(tree, p),
+    )

@@ -1,0 +1,119 @@
+"""Executable versions of the appendix's load-optimality proofs.
+
+Appendix 6 proves ``L_RD = 1/d`` and ``L_WR = 1/|K_phy|`` by exhibiting,
+for each bound, a concrete object:
+
+* **upper bounds** — the uniform strategies of Sections 3.2.1/3.2.2, whose
+  induced load is computed and shown to equal the claimed value;
+* **lower bounds** — Proposition 2.1 witnesses: for reads, mass ``1/d`` on
+  every replica of the thinnest physical level (6.1.2); for writes, mass
+  ``1/|K_phy|`` on one replica per physical level (6.2.2).
+
+This module constructs those exact objects for *any* tree and verifies both
+halves mechanically — a certificate check, independent of the LP solver in
+:mod:`repro.quorums.load` (which the test suite uses to cross-validate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import metrics
+from repro.core.protocol import ArbitraryProtocol
+from repro.core.tree import ArbitraryTree
+from repro.quorums.base import SetSystem
+from repro.quorums.load import verify_load_witness
+from repro.quorums.strategy import Strategy
+
+
+@dataclass(frozen=True)
+class OptimalityProof:
+    """A verified two-sided optimality certificate for one operation."""
+
+    claimed_load: float
+    strategy_load: float
+    upper_bound_holds: bool
+    lower_bound_holds: bool
+
+    @property
+    def optimal(self) -> bool:
+        """True iff both halves of the proof check out."""
+        return self.upper_bound_holds and self.lower_bound_holds
+
+
+def read_witness(tree: ArbitraryTree) -> dict[int, float]:
+    """The 6.1.2 witness: mass ``1/d`` on each replica of a thinnest level."""
+    thinnest = min(tree.physical_levels, key=tree.m_phy)
+    return {sid: 1.0 / tree.d for sid in tree.replica_ids_at(thinnest)}
+
+
+def write_witness(tree: ArbitraryTree) -> dict[int, float]:
+    """The 6.2.2 witness: ``1/|K_phy|`` on one replica of every level."""
+    share = 1.0 / tree.num_physical_levels
+    return {
+        tree.replica_ids_at(level)[0]: share for level in tree.physical_levels
+    }
+
+
+def prove_read_load(
+    tree: ArbitraryTree, max_quorums: int = 100_000
+) -> OptimalityProof:
+    """Verify ``L_RD = 1/d`` for one tree by certificate checking.
+
+    Materialises the read quorum system (guarded by ``max_quorums``),
+    evaluates the uniform strategy's induced load, and validates the
+    appendix witness via Proposition 2.1.
+    """
+    protocol = ArbitraryProtocol(tree)
+    if protocol.num_read_quorums > max_quorums:
+        raise ValueError(
+            f"{protocol.num_read_quorums} read quorums exceed the limit "
+            f"{max_quorums}"
+        )
+    claimed = metrics.read_load(tree)
+    system = SetSystem(protocol.read_quorums(), universe=protocol.universe)
+    strategy_load = Strategy.uniform(system).induced_load()
+    return OptimalityProof(
+        claimed_load=claimed,
+        strategy_load=strategy_load,
+        upper_bound_holds=strategy_load <= claimed + 1e-9,
+        lower_bound_holds=verify_load_witness(
+            system, read_witness(tree), claimed
+        ),
+    )
+
+
+def prove_write_load(tree: ArbitraryTree) -> OptimalityProof:
+    """Verify ``L_WR = 1/|K_phy|`` for one tree by certificate checking."""
+    protocol = ArbitraryProtocol(tree)
+    claimed = metrics.write_load(tree)
+    system = SetSystem(protocol.write_quorums(), universe=protocol.universe)
+    strategy_load = Strategy.uniform(system).induced_load()
+    return OptimalityProof(
+        claimed_load=claimed,
+        strategy_load=strategy_load,
+        upper_bound_holds=strategy_load <= claimed + 1e-9,
+        lower_bound_holds=verify_load_witness(
+            system, write_witness(tree), claimed
+        ),
+    )
+
+
+def prove_lower_bound_for_binary_tree(n: int) -> tuple[float, float, bool]:
+    """The paper's §3.3 result: write load ``1/log2(n+1)`` on [2]'s tree,
+    strictly below Naor-Wool's ``2/(log2(n+1)+1)`` for the tree-quorum
+    protocol itself.
+
+    Returns ``(our_load, naor_wool_load, strictly_lower)`` with the write
+    optimality certificate checked along the way.
+    """
+    from repro.core.builder import unmodified_binary
+    from repro.protocols.tree_quorum import TreeQuorumProtocol
+
+    tree = unmodified_binary(n)
+    proof = prove_write_load(tree)
+    if not proof.optimal:  # pragma: no cover - the certificate always holds
+        raise AssertionError("write-load certificate failed")
+    ours = proof.claimed_load
+    naor_wool = TreeQuorumProtocol(n).optimal_load()
+    return ours, naor_wool, ours < naor_wool

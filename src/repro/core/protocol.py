@@ -1,0 +1,227 @@
+"""Read and write quorum construction for the arbitrary protocol (Section 3.2).
+
+Given an :class:`~repro.core.tree.ArbitraryTree`:
+
+* a **read quorum** contains *any one* physical node from *every* physical
+  level; there are ``m(R) = prod_k m_phy_k`` of them (Fact 3.2.1);
+* a **write quorum** contains *all* physical nodes of *any one* physical
+  level; there are ``m(W) = 1 + h - |K_log| = |K_phy|`` of them (Fact 3.2.2).
+
+Every read quorum intersects every write quorum (the induction of
+Section 3.2.3), so the protocol is a bi-coterie.  The uniform strategies of
+Sections 3.2.1-3.2.2 pick quorums with equal probability; the failure-aware
+selectors used by the simulator pick among quorums whose members are live.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections.abc import Callable, Collection, Iterator
+
+from repro.core.tree import ArbitraryTree
+from repro.quorums.base import BiCoterie
+
+LivenessOracle = Callable[[int], bool]
+
+
+def _as_oracle(live: Collection[int] | LivenessOracle) -> LivenessOracle:
+    """Accept either a set of live SIDs or a predicate on SIDs."""
+    if callable(live):
+        return live
+    live_set = frozenset(live)
+    return lambda sid: sid in live_set
+
+
+class ArbitraryProtocol:
+    """The arbitrary tree-structured replica control protocol.
+
+    Parameters
+    ----------
+    tree:
+        The logical/physical tree the replicas are organised into.
+
+    Notes
+    -----
+    The number of read quorums is the product of physical-level sizes and
+    grows combinatorially; :meth:`read_quorums` is therefore a lazy iterator
+    and :meth:`bicoterie` guards materialisation behind a limit.
+    """
+
+    def __init__(self, tree: ArbitraryTree) -> None:
+        if tree.n < 1:
+            raise ValueError("the tree must host at least one replica")
+        self._tree = tree
+        self._level_sids: tuple[tuple[int, ...], ...] = tuple(
+            tree.replica_ids_at(k) for k in tree.physical_levels
+        )
+
+    @property
+    def tree(self) -> ArbitraryTree:
+        """The underlying tree structure."""
+        return self._tree
+
+    @property
+    def universe(self) -> frozenset[int]:
+        """All replica SIDs."""
+        return frozenset(self._tree.replica_ids())
+
+    # ------------------------------------------------------------------
+    # quorum enumeration (Facts 3.2.1 / 3.2.2)
+    # ------------------------------------------------------------------
+
+    @property
+    def num_read_quorums(self) -> int:
+        """``m(R) = prod_{k in K_phy} m_phy_k`` (Fact 3.2.1)."""
+        return math.prod(len(level) for level in self._level_sids)
+
+    @property
+    def num_write_quorums(self) -> int:
+        """``m(W) = 1 + h - |K_log|`` (Fact 3.2.2)."""
+        return len(self._level_sids)
+
+    def read_quorums(self) -> Iterator[frozenset[int]]:
+        """Lazily enumerate every read quorum.
+
+        A read quorum is one SID per physical level; enumeration is the
+        cartesian product of the physical levels, in level-major order.
+        """
+        levels = self._level_sids
+
+        def generate(prefix: tuple[int, ...], depth: int) -> Iterator[frozenset[int]]:
+            if depth == len(levels):
+                yield frozenset(prefix)
+                return
+            for sid in levels[depth]:
+                yield from generate(prefix + (sid,), depth + 1)
+
+        yield from generate((), 0)
+
+    def write_quorums(self) -> tuple[frozenset[int], ...]:
+        """Every write quorum: the full SID set of each physical level."""
+        return tuple(frozenset(level) for level in self._level_sids)
+
+    def read_quorum_at(self, choices: Collection[int]) -> frozenset[int]:
+        """Build one read quorum from explicit per-level position choices.
+
+        ``choices[u]`` is the 0-based position within physical level ``u``
+        (levels in ascending depth).  Useful for deterministic tests.
+        """
+        picks = list(choices)
+        if len(picks) != len(self._level_sids):
+            raise ValueError(
+                f"need one choice per physical level "
+                f"({len(self._level_sids)}), got {len(picks)}"
+            )
+        return frozenset(
+            level[position] for level, position in zip(self._level_sids, picks)
+        )
+
+    # ------------------------------------------------------------------
+    # uniform strategies (Sections 3.2.1 / 3.2.2)
+    # ------------------------------------------------------------------
+
+    def uniform_read_weight(self) -> float:
+        """Probability of each read quorum under the paper's strategy."""
+        return 1.0 / self.num_read_quorums
+
+    def uniform_write_weight(self) -> float:
+        """Probability of each write quorum under the paper's strategy."""
+        return 1.0 / self.num_write_quorums
+
+    def sample_read_quorum(self, rng: random.Random) -> frozenset[int]:
+        """Draw a read quorum from the uniform strategy ``w_read``."""
+        return frozenset(rng.choice(level) for level in self._level_sids)
+
+    def sample_write_quorum(self, rng: random.Random) -> frozenset[int]:
+        """Draw a write quorum from the uniform strategy ``w_write``."""
+        return frozenset(rng.choice(self._level_sids))
+
+    # ------------------------------------------------------------------
+    # failure-aware selection (used by the simulator / clients)
+    # ------------------------------------------------------------------
+
+    def select_read_quorum(
+        self,
+        live: Collection[int] | LivenessOracle,
+        rng: random.Random | None = None,
+    ) -> frozenset[int] | None:
+        """Assemble a read quorum from live replicas, or ``None``.
+
+        A read succeeds iff every physical level has at least one live
+        replica (this is exactly the availability product of Section 3.2.1).
+        When ``rng`` is given the live member of each level is picked
+        uniformly at random, spreading load as the uniform strategy does;
+        otherwise the first live member is taken (deterministic).
+        """
+        oracle = _as_oracle(live)
+        members: list[int] = []
+        for level in self._level_sids:
+            alive = [sid for sid in level if oracle(sid)]
+            if not alive:
+                return None
+            members.append(rng.choice(alive) if rng is not None else alive[0])
+        return frozenset(members)
+
+    def select_write_quorum(
+        self,
+        live: Collection[int] | LivenessOracle,
+        rng: random.Random | None = None,
+    ) -> frozenset[int] | None:
+        """Pick a physical level whose replicas are *all* live, or ``None``.
+
+        A write succeeds iff some physical level is fully live (the
+        availability complement of Section 3.2.2).  With ``rng`` the level is
+        picked uniformly among the fully-live ones; otherwise the shallowest
+        (and by Assumption 3.1 cheapest) fully-live level is used.
+        """
+        oracle = _as_oracle(live)
+        candidates = [
+            frozenset(level)
+            for level in self._level_sids
+            if all(oracle(sid) for sid in level)
+        ]
+        if not candidates:
+            return None
+        if rng is not None:
+            return rng.choice(candidates)
+        return min(candidates, key=len)
+
+    # ------------------------------------------------------------------
+    # bi-coterie view
+    # ------------------------------------------------------------------
+
+    def bicoterie(self, max_read_quorums: int = 100_000) -> BiCoterie:
+        """Materialise the protocol as an explicit bi-coterie.
+
+        Raises :class:`ValueError` when the read-quorum count exceeds
+        ``max_read_quorums`` — enumeration is exponential in the number of
+        physical levels, so this view is for analysis of small systems.
+        Constructing the :class:`~repro.quorums.base.BiCoterie` re-validates
+        the read/write intersection property from first principles.
+        """
+        if self.num_read_quorums > max_read_quorums:
+            raise ValueError(
+                f"{self.num_read_quorums} read quorums exceed the "
+                f"materialisation limit of {max_read_quorums}"
+            )
+        return BiCoterie(
+            self.read_quorums(),
+            self.write_quorums(),
+            universe=self.universe,
+        )
+
+    def is_bicoterie(self) -> bool:
+        """Re-verify the read/write intersection property by construction.
+
+        Cheap (no enumeration): every read quorum holds one member of every
+        physical level, and every write quorum is an entire physical level,
+        so it suffices that each physical level is non-empty.
+        """
+        return all(len(level) > 0 for level in self._level_sids)
+
+    def __repr__(self) -> str:
+        return (
+            f"ArbitraryProtocol(tree={self._tree.spec()!r}, "
+            f"m_R={self.num_read_quorums}, m_W={self.num_write_quorums})"
+        )

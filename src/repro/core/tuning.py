@@ -1,0 +1,168 @@
+"""Frequency-aware tree configuration advisor (Section 3.3 trade-offs).
+
+The paper's central selling point is that the protocol is a *spectrum*: the
+same read/write rules run over any tree, and the tree shape is chosen from
+the system's read/write mix.  This module automates that choice: it searches
+the space of level partitions of ``n`` replicas (each candidate satisfying
+Assumption 3.1) and scores each with a user-selectable objective combining
+the read fraction ``f``:
+
+* ``"expected_load"`` (default) — ``f * E[L_RD] + (1-f) * E[L_WR]``,
+  the Equation-3.2 expected loads, which fold availability in;
+* ``"load"`` — the same mix over the optimal loads (ignores failures);
+* ``"cost"`` — ``f * RD_cost + (1-f) * WR_cost_avg``, normalised by ``n``.
+
+Candidates are the near-even partitions into ``1..n`` levels plus the
+paper's own shapes (Algorithm 1 / balanced head-of-tree, MOSTLY-READ,
+MOSTLY-WRITE), so the advisor can never do worse than the paper's
+prescription under the chosen objective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import builder, metrics
+from repro.core.tree import ArbitraryTree
+
+_OBJECTIVES = ("expected_load", "load", "cost")
+
+
+@dataclass(frozen=True)
+class ScoredTree:
+    """One candidate tree and its objective score (lower is better)."""
+
+    tree: ArbitraryTree
+    score: float
+    read_metric: float
+    write_metric: float
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """Outcome of a tuning search.
+
+    Attributes
+    ----------
+    best:
+        The best-scoring candidate.
+    alternatives:
+        All evaluated candidates sorted by ascending score (best first);
+        ``alternatives[0]`` is ``best``.
+    objective:
+        The objective name that was optimised.
+    read_fraction:
+        The read fraction ``f`` used in the mix.
+    p:
+        The per-replica availability used for expected-load objectives.
+    """
+
+    best: ScoredTree
+    alternatives: tuple[ScoredTree, ...]
+    objective: str
+    read_fraction: float
+    p: float
+
+    @property
+    def tree(self) -> ArbitraryTree:
+        """Shorthand for the winning tree."""
+        return self.best.tree
+
+
+def _score(
+    tree: ArbitraryTree, objective: str, read_fraction: float, p: float
+) -> ScoredTree:
+    f = read_fraction
+    if objective == "expected_load":
+        read_metric = metrics.expected_read_load(tree, p)
+        write_metric = metrics.expected_write_load(tree, p)
+    elif objective == "load":
+        read_metric = metrics.read_load(tree)
+        write_metric = metrics.write_load(tree)
+    elif objective == "cost":
+        read_metric = metrics.read_cost(tree) / tree.n
+        write_metric = metrics.write_cost_avg(tree) / tree.n
+    else:
+        raise ValueError(
+            f"unknown objective {objective!r}; pick one of {_OBJECTIVES}"
+        )
+    return ScoredTree(
+        tree=tree,
+        score=f * read_metric + (1.0 - f) * write_metric,
+        read_metric=read_metric,
+        write_metric=write_metric,
+    )
+
+
+def candidate_trees(n: int, max_levels: int | None = None) -> list[ArbitraryTree]:
+    """The candidate pool: near-even partitions plus the paper's shapes.
+
+    Near-even partitions cover every level count from 1 (MOSTLY-READ-like)
+    to ``n`` (one replica per level); duplicates by spec are dropped.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    limit = n if max_levels is None else min(max_levels, n)
+    seen: set[str] = set()
+    pool: list[ArbitraryTree] = []
+
+    def add(tree: ArbitraryTree) -> None:
+        spec = tree.spec()
+        if spec not in seen:
+            seen.add(spec)
+            pool.append(tree)
+
+    for levels in range(1, limit + 1):
+        sizes = builder._spread(n, levels)
+        add(builder.from_physical_level_sizes(sizes))
+    add(builder.mostly_read(n))
+    if n >= 2:
+        add(builder.mostly_write(n))
+    add(builder.recommended_tree(n))
+    if n > 64:
+        add(builder.algorithm_1(n))
+    return pool
+
+
+def recommend(
+    n: int,
+    p: float = 0.9,
+    read_fraction: float = 0.5,
+    objective: str = "expected_load",
+    max_levels: int | None = None,
+) -> TuningResult:
+    """Pick the tree shape best suited to the given read/write mix.
+
+    Parameters
+    ----------
+    n:
+        Number of replicas.
+    p:
+        Per-replica availability (used by the expected-load objective).
+    read_fraction:
+        Fraction ``f`` of operations that are reads, in [0, 1].
+    objective:
+        ``"expected_load"``, ``"load"`` or ``"cost"`` (see module docs).
+    max_levels:
+        Optional cap on the number of physical levels to consider (bounds
+        the search for very large ``n``).
+
+    Returns
+    -------
+    TuningResult
+        The best tree plus the full scored candidate list.
+    """
+    if not 0.0 <= read_fraction <= 1.0:
+        raise ValueError(f"read_fraction must be in [0, 1], got {read_fraction}")
+    scored = [
+        _score(tree, objective, read_fraction, p)
+        for tree in candidate_trees(n, max_levels=max_levels)
+    ]
+    scored.sort(key=lambda item: (item.score, item.tree.num_physical_levels))
+    return TuningResult(
+        best=scored[0],
+        alternatives=tuple(scored),
+        objective=objective,
+        read_fraction=read_fraction,
+        p=p,
+    )

@@ -1,0 +1,35 @@
+"""Baseline replica control protocols the paper compares against.
+
+Each protocol is exposed as a :class:`~repro.protocols.base.ProtocolModel`
+with analytic communication cost, availability and optimal system load, plus
+explicit quorum enumeration for sizes small enough to cross-check against
+the LP machinery of :mod:`repro.quorums`.
+
+* :mod:`repro.protocols.rowa` — Read-One/Write-All [3];
+* :mod:`repro.protocols.majority` — majority voting [13];
+* :mod:`repro.protocols.tree_quorum` — Agrawal-El Abbadi binary tree quorums
+  [2], the paper's **BINARY** configuration;
+* :mod:`repro.protocols.hqc` — Kumar's Hierarchical Quorum Consensus [8],
+  the paper's **HQC** configuration;
+* :mod:`repro.protocols.grid` — the grid protocol [4];
+* :mod:`repro.protocols.fpp` — Maekawa's sqrt(n) / finite-projective-plane
+  protocol [9].
+"""
+
+from repro.protocols.base import ProtocolModel
+from repro.protocols.fpp import FiniteProjectivePlaneProtocol
+from repro.protocols.grid import GridProtocol
+from repro.protocols.hqc import HQCProtocol
+from repro.protocols.majority import MajorityProtocol
+from repro.protocols.rowa import RowaProtocol
+from repro.protocols.tree_quorum import TreeQuorumProtocol
+
+__all__ = [
+    "FiniteProjectivePlaneProtocol",
+    "GridProtocol",
+    "HQCProtocol",
+    "MajorityProtocol",
+    "ProtocolModel",
+    "RowaProtocol",
+    "TreeQuorumProtocol",
+]

@@ -1,0 +1,107 @@
+"""Common interface for replica control protocol models.
+
+A :class:`ProtocolModel` bundles the four analytic quantities the paper
+compares protocols by — read/write communication cost, read/write
+availability, and read/write optimal system load — together with (optional)
+explicit quorum enumeration so that small instances can be cross-checked
+against the LP-based load computation and the exact availability machinery
+in :mod:`repro.quorums`.
+
+Costs reported by :meth:`read_cost` / :meth:`write_cost` are the *average*
+number of replicas contacted under the protocol's quorum-picking strategy,
+matching the series plotted in the paper's Figure 2.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Iterator
+
+from repro.quorums.base import BiCoterie
+
+
+class ProtocolModel(abc.ABC):
+    """Analytic model of a replica control protocol over ``n`` replicas."""
+
+    #: Human-readable protocol name (used in bench output tables).
+    name: str = "abstract"
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ValueError("a protocol needs at least one replica")
+        self._n = n
+
+    @property
+    def n(self) -> int:
+        """Number of replicas in the system."""
+        return self._n
+
+    # -- communication cost (average replicas contacted) -----------------
+
+    @abc.abstractmethod
+    def read_cost(self) -> float:
+        """Average number of replicas contacted by a read operation."""
+
+    @abc.abstractmethod
+    def write_cost(self) -> float:
+        """Average number of replicas contacted by a write operation."""
+
+    # -- availability under i.i.d. replica up-probability p ---------------
+
+    @abc.abstractmethod
+    def read_availability(self, p: float) -> float:
+        """Probability that some read quorum is fully live."""
+
+    @abc.abstractmethod
+    def write_availability(self, p: float) -> float:
+        """Probability that some write quorum is fully live."""
+
+    # -- optimal system load ----------------------------------------------
+
+    @abc.abstractmethod
+    def read_load(self) -> float:
+        """Optimal system load induced by read operations."""
+
+    @abc.abstractmethod
+    def write_load(self) -> float:
+        """Optimal system load induced by write operations."""
+
+    # -- expected loads (the paper's Equation 3.2) ------------------------
+
+    def expected_read_load(self, p: float) -> float:
+        """``E[L_RD] = A_rd (L_rd - 1) + 1`` — Equation 3.2 applied to this
+        protocol's read availability and optimal read load."""
+        availability = self.read_availability(p)
+        return availability * (self.read_load() - 1.0) + 1.0
+
+    def expected_write_load(self, p: float) -> float:
+        """``E[L_WR] = A_wr L_wr + (1 - A_wr)`` — Equation 3.2."""
+        availability = self.write_availability(p)
+        return availability * self.write_load() + (1.0 - availability)
+
+    # -- optional explicit quorum enumeration ------------------------------
+
+    def read_quorums(self) -> Iterator[frozenset[int]]:
+        """Enumerate read quorums (override where tractable)."""
+        raise NotImplementedError(f"{self.name} does not enumerate read quorums")
+
+    def write_quorums(self) -> Iterator[frozenset[int]]:
+        """Enumerate write quorums (override where tractable)."""
+        raise NotImplementedError(f"{self.name} does not enumerate write quorums")
+
+    def bicoterie(self) -> BiCoterie:
+        """Materialise the protocol as an explicit bi-coterie (small n only)."""
+        return BiCoterie(
+            list(self.read_quorums()),
+            list(self.write_quorums()),
+            universe=range(self._n),
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(n={self._n})"
+
+
+def check_probability(p: float) -> None:
+    """Shared probability-domain validation for availability formulas."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"availability probability must be in [0, 1], got {p}")

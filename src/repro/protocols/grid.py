@@ -1,0 +1,145 @@
+"""The grid protocol — Cheung, Ammar & Ahamad [4].
+
+The ``n = rows x cols`` replicas are arranged in a rectangular grid.
+
+* **Read quorum** — one replica from *every column* (a column cover),
+  so reads cost ``cols`` messages.
+* **Write quorum** — *all* replicas of one column plus one replica from
+  every other column, so writes cost ``rows + cols - 1`` messages.
+
+Every read quorum intersects every write quorum (the cover meets the full
+column), and two write quorums intersect as well (each cover meets the other
+full column).  On a square ``sqrt(n) x sqrt(n)`` grid the smallest quorum
+has size ``sqrt(n)``, which by Naor-Wool is what makes the optimal load
+reach the best possible ``O(1/sqrt(n))`` — the standard the paper measures
+tree protocols against in its introduction.
+
+SIDs are assigned row-major: replica ``(row, col)`` has SID
+``row * cols + col``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterator
+from itertools import product
+
+from repro.protocols.base import ProtocolModel, check_probability
+
+
+def square_side(n: int) -> int:
+    """Side length of a square grid with ``n`` replicas (n must be square)."""
+    side = math.isqrt(n)
+    if side * side != n:
+        raise ValueError(f"n={n} is not a perfect square")
+    return side
+
+
+class GridProtocol(ProtocolModel):
+    """The grid protocol on a ``rows x cols`` grid (square by default)."""
+
+    name = "Grid"
+
+    def __init__(self, n: int, rows: int | None = None, cols: int | None = None) -> None:
+        super().__init__(n)
+        if rows is None and cols is None:
+            rows = cols = square_side(n)
+        elif rows is None:
+            assert cols is not None
+            rows = n // cols
+        elif cols is None:
+            cols = n // rows
+        if rows * cols != n:
+            raise ValueError(f"{rows}x{cols} grid does not hold {n} replicas")
+        self._rows = rows
+        self._cols = cols
+
+    @property
+    def rows(self) -> int:
+        """Number of grid rows."""
+        return self._rows
+
+    @property
+    def cols(self) -> int:
+        """Number of grid columns."""
+        return self._cols
+
+    def sid(self, row: int, col: int) -> int:
+        """SID of the replica at grid position (row, col)."""
+        if not (0 <= row < self._rows and 0 <= col < self._cols):
+            raise IndexError(f"({row}, {col}) outside {self._rows}x{self._cols}")
+        return row * self._cols + col
+
+    def column(self, col: int) -> frozenset[int]:
+        """All SIDs of one column."""
+        return frozenset(self.sid(row, col) for row in range(self._rows))
+
+    # ------------------------------------------------------------------
+    # quorum enumeration
+    # ------------------------------------------------------------------
+
+    def read_quorums(self) -> Iterator[frozenset[int]]:
+        """Every column cover: one replica per column (``rows^cols`` covers)."""
+        for rows in product(range(self._rows), repeat=self._cols):
+            yield frozenset(
+                self.sid(row, col) for col, row in enumerate(rows)
+            )
+
+    def write_quorums(self) -> Iterator[frozenset[int]]:
+        """One full column plus a cover of the remaining columns."""
+        for full_col in range(self._cols):
+            other_cols = [c for c in range(self._cols) if c != full_col]
+            for rows in product(range(self._rows), repeat=len(other_cols)):
+                cover = frozenset(
+                    self.sid(row, col) for col, row in zip(other_cols, rows)
+                )
+                yield self.column(full_col) | cover
+
+    # ------------------------------------------------------------------
+    # analytic quantities
+    # ------------------------------------------------------------------
+
+    def read_cost(self) -> float:
+        """One replica per column: ``cols``."""
+        return float(self._cols)
+
+    def write_cost(self) -> float:
+        """A full column plus a cover: ``rows + cols - 1``."""
+        return float(self._rows + self._cols - 1)
+
+    def read_availability(self, p: float) -> float:
+        """Every column needs a live replica: ``(1 - (1-p)^rows)^cols``."""
+        check_probability(p)
+        return (1.0 - (1.0 - p) ** self._rows) ** self._cols
+
+    def write_availability(self, p: float) -> float:
+        """Some fully-live column plus a live replica in every other column.
+
+        With ``a = p^rows`` (column fully live) and ``b = 1 - (1-p)^rows``
+        (column non-empty of live replicas), independence across columns
+        gives ``b^cols - (b - a)^cols``: covers exist everywhere minus the
+        event that no column is fully live.
+        """
+        check_probability(p)
+        a = p**self._rows
+        b = 1.0 - (1.0 - p) ** self._rows
+        return b**self._cols - (b - a) ** self._cols
+
+    def read_load(self) -> float:
+        """Uniform covers touch each replica with probability ``1/rows``.
+
+        For the square grid this is the optimal ``1/sqrt(n)``.
+        """
+        return 1.0 / self._rows
+
+    def write_load(self) -> float:
+        """Load of the uniform write strategy.
+
+        A replica is in the fully-written column with probability
+        ``1/cols`` and in the cover of another column with probability
+        ``(cols - 1)/cols * 1/rows``; roughly ``2/sqrt(n)`` on a square
+        grid.
+        """
+        in_full = 1.0 / self._cols
+        in_cover = (self._cols - 1.0) / self._cols / self._rows
+        return in_full + in_cover

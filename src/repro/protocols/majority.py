@@ -1,0 +1,110 @@
+"""Majority quorum consensus — Thomas [13].
+
+Both reads and writes contact any majority of the replicas, i.e. any subset
+of size ``ceil((n+1)/2)``.  For odd ``n`` this is the paper's quoted cost of
+``(n+1)/2`` for both operations, with system load at least ``1/2`` and good
+availability for ``p > 1/2`` (availability tends to 1 as ``n`` grows).
+
+The model also supports asymmetric read/write thresholds (weighted-voting
+style): thresholds ``r`` and ``w`` are valid when ``r + w > n`` (read/write
+intersection) and ``2w > n`` (write/write intersection).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterator
+from itertools import combinations
+
+from repro.protocols.base import ProtocolModel, check_probability
+
+
+def _at_least(n: int, k: int, p: float) -> float:
+    """P[Binomial(n, p) >= k]."""
+    return math.fsum(
+        math.comb(n, i) * p**i * (1.0 - p) ** (n - i) for i in range(k, n + 1)
+    )
+
+
+class MajorityProtocol(ProtocolModel):
+    """Quorum consensus with (possibly asymmetric) size thresholds.
+
+    Parameters
+    ----------
+    n:
+        Number of replicas.
+    read_threshold, write_threshold:
+        Quorum sizes ``r`` and ``w``.  Default: simple majorities
+        ``r = w = ceil((n+1)/2)``.
+    """
+
+    name = "Majority"
+
+    def __init__(
+        self,
+        n: int,
+        read_threshold: int | None = None,
+        write_threshold: int | None = None,
+    ) -> None:
+        super().__init__(n)
+        majority = (n + 2) // 2  # ceil((n+1)/2)
+        self._r = majority if read_threshold is None else read_threshold
+        self._w = majority if write_threshold is None else write_threshold
+        if not 1 <= self._r <= n or not 1 <= self._w <= n:
+            raise ValueError("thresholds must lie in [1, n]")
+        if self._r + self._w <= n:
+            raise ValueError(
+                f"read/write thresholds {self._r}+{self._w} <= n={n}: "
+                "read quorums would miss writes"
+            )
+        if 2 * self._w <= n:
+            raise ValueError(
+                f"write threshold {self._w} too small: concurrent writes "
+                "could miss each other"
+            )
+
+    @property
+    def read_threshold(self) -> int:
+        """The read quorum size ``r``."""
+        return self._r
+
+    @property
+    def write_threshold(self) -> int:
+        """The write quorum size ``w``."""
+        return self._w
+
+    def read_cost(self) -> float:
+        """Every read contacts exactly ``r`` replicas."""
+        return float(self._r)
+
+    def write_cost(self) -> float:
+        """Every write contacts exactly ``w`` replicas."""
+        return float(self._w)
+
+    def read_availability(self, p: float) -> float:
+        """At least ``r`` live replicas: a binomial tail."""
+        check_probability(p)
+        return _at_least(self.n, self._r, p)
+
+    def write_availability(self, p: float) -> float:
+        """At least ``w`` live replicas: a binomial tail."""
+        check_probability(p)
+        return _at_least(self.n, self._w, p)
+
+    def read_load(self) -> float:
+        """Optimal load of the k-of-n system: ``k/n`` (perfectly balanced)."""
+        return self._r / self.n
+
+    def write_load(self) -> float:
+        """Optimal load ``w/n``; at least ``1/2`` as quoted in the intro."""
+        return self._w / self.n
+
+    def read_quorums(self) -> Iterator[frozenset[int]]:
+        """All ``r``-subsets of the replicas (combinatorial: small n only)."""
+        for subset in combinations(range(self.n), self._r):
+            yield frozenset(subset)
+
+    def write_quorums(self) -> Iterator[frozenset[int]]:
+        """All ``w``-subsets of the replicas."""
+        for subset in combinations(range(self.n), self._w):
+            yield frozenset(subset)

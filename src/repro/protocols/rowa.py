@@ -1,0 +1,58 @@
+"""Read-One/Write-All (ROWA) — Bernstein & Goodman [3].
+
+A read contacts any single replica; a write contacts all ``n`` replicas.
+The paper's intro quotes the resulting trade-off: read cost 1 and read load
+``1/n`` with excellent read availability, against write cost ``n``, write
+load 1, and write availability ``p^n`` (a single crash blocks writes).
+
+The MOSTLY-READ configuration of the arbitrary protocol (all replicas on a
+single physical level under a logical root) is exactly ROWA; the test suite
+checks the two models agree on every quantity.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.protocols.base import ProtocolModel, check_probability
+
+
+class RowaProtocol(ProtocolModel):
+    """ROWA over ``n`` replicas."""
+
+    name = "ROWA"
+
+    def read_cost(self) -> float:
+        """A read touches exactly one replica."""
+        return 1.0
+
+    def write_cost(self) -> float:
+        """A write touches every replica."""
+        return float(self.n)
+
+    def read_availability(self, p: float) -> float:
+        """Any live replica serves a read: ``1 - (1-p)^n``."""
+        check_probability(p)
+        return 1.0 - (1.0 - p) ** self.n
+
+    def write_availability(self, p: float) -> float:
+        """All replicas must be live: ``p^n``."""
+        check_probability(p)
+        return p**self.n
+
+    def read_load(self) -> float:
+        """Spreading singleton reads uniformly gives load ``1/n``."""
+        return 1.0 / self.n
+
+    def write_load(self) -> float:
+        """Every replica is in the (unique) write quorum: load 1."""
+        return 1.0
+
+    def read_quorums(self) -> Iterator[frozenset[int]]:
+        """The ``n`` singletons."""
+        for sid in range(self.n):
+            yield frozenset({sid})
+
+    def write_quorums(self) -> Iterator[frozenset[int]]:
+        """The single all-replica quorum."""
+        yield frozenset(range(self.n))

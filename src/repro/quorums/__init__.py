@@ -1,0 +1,65 @@
+"""Quorum-system theory substrate.
+
+This subpackage implements the classical machinery from Naor & Wool,
+"The load, capacity, and availability of quorum systems" (SIAM J. Comput.,
+1998), that the paper builds on:
+
+* set systems, quorum systems, coteries and bi-coteries
+  (Definitions 2.1-2.3 of the paper);
+* strategies and the load they induce (Definitions 2.4-2.5);
+* the optimal system load as a linear program, together with the dual
+  witness characterisation (Proposition 2.1);
+* availability of a quorum system under independent fail-stop replicas.
+
+Everything here is protocol-agnostic: the arbitrary tree protocol, the
+tree-quorum protocol, HQC, grids and so on are all expressed as (bi-)coteries
+over a finite universe of replica identifiers and analysed with these tools.
+"""
+
+from repro.quorums.availability import (
+    estimate_availability_monte_carlo,
+    exact_availability,
+    system_availability,
+)
+from repro.quorums.base import (
+    BiCoterie,
+    Coterie,
+    QuorumSystem,
+    SetSystem,
+    is_antichain,
+    is_intersecting,
+    minimise,
+)
+from repro.quorums.domination import (
+    dominates,
+    dominating_coterie,
+    is_non_dominated,
+)
+from repro.quorums.load import (
+    OptimalLoad,
+    optimal_load,
+    verify_load_witness,
+)
+from repro.quorums.strategy import Strategy, induced_loads, system_load
+
+__all__ = [
+    "BiCoterie",
+    "Coterie",
+    "OptimalLoad",
+    "dominates",
+    "dominating_coterie",
+    "is_non_dominated",
+    "QuorumSystem",
+    "SetSystem",
+    "Strategy",
+    "estimate_availability_monte_carlo",
+    "exact_availability",
+    "induced_loads",
+    "is_antichain",
+    "is_intersecting",
+    "minimise",
+    "optimal_load",
+    "system_availability",
+    "system_load",
+    "verify_load_witness",
+]

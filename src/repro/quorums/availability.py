@@ -1,0 +1,178 @@
+"""Availability of quorum systems under independent fail-stop replicas.
+
+The paper assumes every replica is up independently with the same probability
+``p = 1 - q`` (Section 2.2), and an operation is *available* when at least one
+of its quorums consists entirely of live replicas.  This module provides:
+
+* :func:`exact_availability` — exact probability, computed either by
+  enumerating live-set configurations (2^n, good for small universes) or by
+  inclusion-exclusion over the quorum list (2^m, good for few quorums);
+* :func:`estimate_availability_monte_carlo` — a vectorised numpy estimator
+  for systems too large for exact computation;
+* :func:`system_availability` — a dispatcher choosing a method automatically.
+
+The closed-form per-level products used by the paper for the arbitrary
+protocol (Sections 3.2.1-3.2.2) live in :mod:`repro.core.metrics`; the tests
+cross-check them against the exact computations here.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection, Hashable, Iterable, Mapping
+from itertools import combinations
+from typing import TypeVar
+
+import numpy as np
+
+Element = TypeVar("Element", bound=Hashable)
+
+_EXACT_UNIVERSE_LIMIT = 22
+_EXACT_QUORUM_LIMIT = 20
+
+
+def _normalise_probabilities(
+    universe: Collection[Element],
+    p: float | Mapping[Element, float],
+) -> dict[Element, float]:
+    """Expand a scalar or per-element mapping into per-element probabilities."""
+    if isinstance(p, Mapping):
+        probabilities = {element: float(p[element]) for element in universe}
+    else:
+        probabilities = {element: float(p) for element in universe}
+    for element, value in probabilities.items():
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"availability of {element!r} is {value}, not in [0,1]")
+    return probabilities
+
+
+def _availability_by_universe_enumeration(
+    quorums: tuple[frozenset[Element], ...],
+    probabilities: dict[Element, float],
+) -> float:
+    """Sum P(live-set) over all live-sets containing at least one quorum."""
+    elements = sorted(probabilities)
+    n = len(elements)
+    index = {element: i for i, element in enumerate(elements)}
+    quorum_masks = [
+        sum(1 << index[element] for element in quorum) for quorum in quorums
+    ]
+    total = 0.0
+    for live in range(1 << n):
+        if not any(live & mask == mask for mask in quorum_masks):
+            continue
+        probability = 1.0
+        for i, element in enumerate(elements):
+            p_i = probabilities[element]
+            probability *= p_i if live & (1 << i) else 1.0 - p_i
+        total += probability
+    return total
+
+
+def _availability_by_inclusion_exclusion(
+    quorums: tuple[frozenset[Element], ...],
+    probabilities: dict[Element, float],
+) -> float:
+    """P(union of 'quorum fully live' events) via inclusion-exclusion."""
+    total = 0.0
+    m = len(quorums)
+    for size in range(1, m + 1):
+        sign = 1.0 if size % 2 == 1 else -1.0
+        for subset in combinations(quorums, size):
+            union: frozenset[Element] = frozenset().union(*subset)
+            probability = 1.0
+            for element in union:
+                probability *= probabilities[element]
+            total += sign * probability
+    return total
+
+
+def exact_availability(
+    quorums: Iterable[Collection[Element]],
+    p: float | Mapping[Element, float],
+    universe: Collection[Element] | None = None,
+) -> float:
+    """Exact probability that at least one quorum is fully live.
+
+    Chooses universe enumeration (``2^n``) or inclusion-exclusion (``2^m``)
+    depending on which is cheaper; raises :class:`ValueError` when both the
+    universe and the quorum list are too large — use the Monte-Carlo
+    estimator or a protocol-specific closed form instead.
+    """
+    frozen = tuple(frozenset(q) for q in quorums)
+    if universe is None:
+        universe = frozenset().union(*frozen) if frozen else frozenset()
+    probabilities = _normalise_probabilities(universe, p)
+    if not frozen:
+        return 0.0
+    if len(probabilities) <= _EXACT_UNIVERSE_LIMIT:
+        return _availability_by_universe_enumeration(frozen, probabilities)
+    if len(frozen) <= _EXACT_QUORUM_LIMIT:
+        return _availability_by_inclusion_exclusion(frozen, probabilities)
+    raise ValueError(
+        f"system too large for exact availability "
+        f"(n={len(probabilities)}, m={len(frozen)}); "
+        "use estimate_availability_monte_carlo"
+    )
+
+
+def estimate_availability_monte_carlo(
+    quorums: Iterable[Collection[Element]],
+    p: float | Mapping[Element, float],
+    universe: Collection[Element] | None = None,
+    samples: int = 100_000,
+    seed: int | None = 0,
+) -> float:
+    """Monte-Carlo estimate of quorum-system availability.
+
+    Draws ``samples`` independent live/dead configurations of the universe
+    and reports the fraction in which some quorum is fully live.  The default
+    fixed seed makes results reproducible; pass ``seed=None`` for fresh
+    randomness.
+    """
+    frozen = tuple(frozenset(q) for q in quorums)
+    if universe is None:
+        universe = frozenset().union(*frozen) if frozen else frozenset()
+    probabilities = _normalise_probabilities(universe, p)
+    if not frozen:
+        return 0.0
+
+    elements = sorted(probabilities)
+    index = {element: i for i, element in enumerate(elements)}
+    p_vector = np.array([probabilities[element] for element in elements])
+
+    rng = np.random.default_rng(seed)
+    alive = rng.random((samples, len(elements))) < p_vector  # (samples, n)
+
+    hit = np.zeros(samples, dtype=bool)
+    for quorum in frozen:
+        columns = [index[element] for element in quorum]
+        hit |= alive[:, columns].all(axis=1)
+        if hit.all():
+            break
+    return float(hit.mean())
+
+
+def system_availability(
+    quorums: Iterable[Collection[Element]],
+    p: float | Mapping[Element, float],
+    universe: Collection[Element] | None = None,
+    samples: int = 100_000,
+    seed: int | None = 0,
+) -> float:
+    """Availability via the exact method when feasible, else Monte-Carlo."""
+    frozen = tuple(frozenset(q) for q in quorums)
+    if universe is None:
+        universe = frozenset().union(*frozen) if frozen else frozenset()
+    n = len(frozenset(universe))
+    if n <= _EXACT_UNIVERSE_LIMIT or len(frozen) <= _EXACT_QUORUM_LIMIT:
+        return exact_availability(frozen, p, universe=universe)
+    return estimate_availability_monte_carlo(
+        frozen, p, universe=universe, samples=samples, seed=seed
+    )
+
+
+def best_not_to_replicate(p: float) -> bool:
+    """Peleg-Wool criterion: with per-replica availability below 1/2 the
+    most available "quorum system" is a single centralised site (the paper
+    cites this to justify assuming ``p > 1/2``)."""
+    return p < 0.5

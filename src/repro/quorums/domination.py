@@ -1,0 +1,103 @@
+"""Coterie domination (Garcia-Molina & Barbara [6]).
+
+A coterie ``D`` *dominates* a coterie ``C`` (over the same universe) when
+``D != C`` and every quorum of ``C`` contains some quorum of ``D`` — i.e.
+``D`` is available whenever ``C`` is, and possibly more often, with no
+larger quorums.  A coterie dominated by no other is *non-dominated* (ND);
+only ND coteries are Pareto-optimal for availability.
+
+The paper leans on this theory implicitly: minimising a quorum system
+(dropping superset quorums) yields a dominating coterie, and Naor-Wool's
+load results are stated for ND systems.  This module provides the checks,
+a dominating-coterie search, and the classical transversal
+characterisation: ``C`` is ND iff every set that intersects all quorums of
+``C`` contains a quorum of ``C`` — which also powers
+:func:`is_self_intersecting_complement` style diagnostics for small
+universes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection, Iterable
+from itertools import chain, combinations
+
+from repro.quorums.base import Coterie, minimise
+
+
+def dominates(
+    dominator: Iterable[Collection[int]],
+    dominated: Iterable[Collection[int]],
+) -> bool:
+    """True iff ``dominator`` dominates ``dominated`` (as coteries).
+
+    Both arguments are quorum collections over the same universe.  The
+    definition requires the two coteries to differ and every quorum of the
+    dominated one to be a (non-strict) superset of some dominator quorum.
+    """
+    strong = tuple(frozenset(q) for q in dominator)
+    weak = tuple(frozenset(q) for q in dominated)
+    if set(strong) == set(weak):
+        return False
+    return all(any(s <= w for s in strong) for w in weak)
+
+
+def _subsets(universe: tuple[int, ...]) -> Iterable[frozenset[int]]:
+    return (
+        frozenset(c)
+        for c in chain.from_iterable(
+            combinations(universe, size) for size in range(1, len(universe) + 1)
+        )
+    )
+
+
+def is_non_dominated(
+    quorums: Iterable[Collection[int]],
+    universe: Collection[int],
+) -> bool:
+    """Exhaustively test non-domination (small universes only).
+
+    Uses the transversal characterisation: ``C`` is ND iff every subset
+    ``T`` of the universe that intersects all quorums of ``C`` contains a
+    quorum of ``C``.  (If some transversal ``T`` contains no quorum, then
+    ``minimise(C + {T})`` dominates ``C``.)  Exponential in ``|universe|``;
+    guarded at 16 elements.
+    """
+    frozen = tuple(frozenset(q) for q in quorums)
+    ground = tuple(sorted(frozenset(universe)))
+    if len(ground) > 16:
+        raise ValueError(
+            f"non-domination check is exponential; universe of {len(ground)} "
+            "exceeds the limit of 16"
+        )
+    for candidate in _subsets(ground):
+        if all(candidate & quorum for quorum in frozen):
+            if not any(quorum <= candidate for quorum in frozen):
+                return False
+    return True
+
+
+def dominating_coterie(
+    quorums: Iterable[Collection[int]],
+    universe: Collection[int],
+) -> Coterie:
+    """A coterie that dominates (or equals) the given one and is ND.
+
+    Repeatedly adjoins minimal transversals that contain no quorum, then
+    minimises.  Terminates because each round strictly enlarges the set of
+    subsets containing a quorum; exponential in ``|universe|`` (<= 16).
+    """
+    current = list(minimise(quorums))
+    ground = tuple(sorted(frozenset(universe)))
+    if len(ground) > 16:
+        raise ValueError("universe too large (limit 16)")
+    changed = True
+    while changed:
+        changed = False
+        for candidate in _subsets(ground):
+            if all(candidate & quorum for quorum in current) and not any(
+                quorum <= candidate for quorum in current
+            ):
+                current = list(minimise([*current, candidate]))
+                changed = True
+                break
+    return Coterie(current, universe=ground)

@@ -1,0 +1,75 @@
+"""Discrete-event distributed-system simulator (the paper's Section 2.2).
+
+The paper's evaluation is analytical; this subpackage provides the system
+model it assumes, so that every closed-form quantity (communication cost,
+availability, per-replica load) can also be *measured* end-to-end:
+
+* sites = processing unit + storage + unique SID, fail-stop with transient,
+  detectable failures (:mod:`repro.sim.site`, :mod:`repro.sim.failures`);
+* bidirectional links with latency, loss and partitions
+  (:mod:`repro.sim.network`);
+* timestamps of (version, SID) and one-copy-equivalent reads
+  (:mod:`repro.sim.replica`);
+* a centralised concurrency-control scheme (:mod:`repro.sim.locks`);
+* transactions executed atomically with 2PC (:mod:`repro.sim.transactions`,
+  :mod:`repro.sim.coordinator`);
+* client workload generation and measurement (:mod:`repro.sim.workload`,
+  :mod:`repro.sim.monitor`);
+* one-call experiment wiring (:mod:`repro.sim.engine`).
+"""
+
+from repro.sim.coordinator import OperationOutcome, QuorumCoordinator
+from repro.sim.engine import SimulationConfig, SimulationResult, simulate
+from repro.sim.events import Scheduler
+from repro.sim.failures import BernoulliFailures, CrashRepairProcess, FailureInjector
+from repro.sim.locks import LockManager, LockMode
+from repro.sim.messages import (
+    AbortMessage,
+    CommitMessage,
+    PrepareMessage,
+    ReadReply,
+    ReadRequest,
+    VoteMessage,
+)
+from repro.sim.monitor import Monitor
+from repro.sim.network import Network, PartitionSpec
+from repro.sim.reconfigure import ReconfigOutcome, ReconfigStatus, TreeReconfigurer
+from repro.sim.replica import Timestamp, VersionedStore
+from repro.sim.site import Site, SiteState
+from repro.sim.transactions import Operation, OperationType, Transaction
+from repro.sim.workload import Workload, WorkloadSpec
+
+__all__ = [
+    "AbortMessage",
+    "BernoulliFailures",
+    "CommitMessage",
+    "CrashRepairProcess",
+    "FailureInjector",
+    "LockManager",
+    "LockMode",
+    "Monitor",
+    "Network",
+    "Operation",
+    "OperationOutcome",
+    "OperationType",
+    "PartitionSpec",
+    "PrepareMessage",
+    "QuorumCoordinator",
+    "ReadReply",
+    "ReconfigOutcome",
+    "ReconfigStatus",
+    "TreeReconfigurer",
+    "ReadRequest",
+    "Scheduler",
+    "SimulationConfig",
+    "SimulationResult",
+    "Site",
+    "SiteState",
+    "Timestamp",
+    "Transaction",
+    "VersionedStore",
+    "VoteMessage",
+    "Workload",
+    "WorkloadSpec",
+    "simulate",
+]

@@ -1,0 +1,662 @@
+"""Quorum operation coordinator: executes reads and writes over the network.
+
+The coordinator turns the abstract quorum rules into the message-level
+protocol of Section 2.2:
+
+* **read(key)** — take a shared lock at the centralised lock manager,
+  assemble a read quorum from live replicas, fetch every member's
+  value+timestamp, and return the value whose timestamp has the highest
+  version number and lowest SID;
+* **write(key, value)** — take an exclusive lock, obtain the highest
+  version number from a read quorum and increment it (Section 3.2.2),
+  assemble a write quorum, and run two-phase commit (prepare/vote then
+  commit/abort) across its members.
+
+Failures are transient and *detectable* (Section 2.2), so quorum selection
+consults a liveness oracle; replicas that crash between selection and
+delivery simply never answer, the attempt times out, and the coordinator
+retries with a fresh quorum up to ``max_attempts`` times.  Every completed
+operation is reported as an :class:`OperationOutcome`.
+
+The coordinator is protocol-agnostic: anything exposing
+``select_read_quorum(live, rng)`` / ``select_write_quorum(live, rng)`` works
+(:class:`repro.core.protocol.ArbitraryProtocol` natively;
+:class:`SymmetricQuorumPolicy` adapts single-quorum protocols such as tree
+quorums or HQC).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from collections.abc import Callable, Collection
+from dataclasses import dataclass, field
+from typing import Any, Protocol
+
+from repro.sim.events import EventHandle, Scheduler
+from repro.sim.locks import LockManager, LockMode
+from repro.sim.messages import (
+    AbortMessage,
+    AckMessage,
+    CommitMessage,
+    DecisionRequest,
+    Message,
+    PrepareMessage,
+    ReadReply,
+    ReadRequest,
+    VersionReply,
+    VersionRequest,
+    VoteMessage,
+)
+from repro.sim.network import Network
+from repro.sim.replica import ZERO_TIMESTAMP, Timestamp, dominant
+from repro.sim.transactions import TransactionIdSource
+
+LivenessOracle = Callable[[int], bool]
+
+
+class QuorumPolicy(Protocol):
+    """The quorum-selection interface the coordinator needs."""
+
+    def select_read_quorum(
+        self, live: LivenessOracle, rng: random.Random | None = None
+    ) -> frozenset[int] | None:
+        """A read quorum of live replicas, or None when unavailable."""
+        ...
+
+    def select_write_quorum(
+        self, live: LivenessOracle, rng: random.Random | None = None
+    ) -> frozenset[int] | None:
+        """A write quorum of live replicas, or None when unavailable."""
+        ...
+
+
+class SymmetricQuorumPolicy:
+    """Adapts single-quorum protocols (tree quorums, HQC, majority, ...).
+
+    Wraps any ``construct(live, rng) -> frozenset | None`` callable and uses
+    it for both reads and writes — those protocols do not distinguish the
+    two operations.
+    """
+
+    def __init__(
+        self,
+        construct: Callable[..., frozenset[int] | None],
+    ) -> None:
+        self._construct = construct
+
+    def select_read_quorum(
+        self, live: LivenessOracle, rng: random.Random | None = None
+    ) -> frozenset[int] | None:
+        """Delegate to the wrapped constructor."""
+        return self._construct(live, rng)
+
+    def select_write_quorum(
+        self, live: LivenessOracle, rng: random.Random | None = None
+    ) -> frozenset[int] | None:
+        """Delegate to the wrapped constructor."""
+        return self._construct(live, rng)
+
+
+class FailureReason(enum.Enum):
+    """Why an operation did not succeed."""
+
+    NONE = "none"
+    UNAVAILABLE = "no-quorum-available"
+    TIMEOUT = "quorum-timeout"
+    LOCK_TIMEOUT = "lock-timeout"
+    VOTE_REFUSED = "participant-refused"
+
+
+@dataclass
+class OperationOutcome:
+    """The result of one read or write operation."""
+
+    op_type: str
+    key: Any
+    success: bool
+    value: Any = None
+    timestamp: Timestamp | None = None
+    quorum: frozenset[int] = frozenset()
+    version_quorum: frozenset[int] = frozenset()
+    attempts: int = 1
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    reason: FailureReason = FailureReason.NONE
+
+    @property
+    def latency(self) -> float:
+        """Wall-clock (simulated) duration of the operation."""
+        return self.finished_at - self.started_at
+
+
+DoneCallback = Callable[[OperationOutcome], None]
+
+
+class _Stage(enum.Enum):
+    READ = "read"
+    VERSION = "version"
+    PREPARE = "prepare"
+    COMMIT = "commit"
+
+
+@dataclass
+class _OpContext:
+    op_type: str
+    key: Any
+    on_done: DoneCallback
+    lock_token: int
+    started_at: float
+    value: Any = None
+    stage: _Stage = _Stage.READ
+    attempts: int = 0
+    request_id: int = 0
+    txid: int = 0
+    quorum: frozenset[int] = frozenset()
+    version_quorum: frozenset[int] = frozenset()
+    replies: dict[int, ReadReply] = field(default_factory=dict)
+    versions: dict[int, Timestamp] = field(default_factory=dict)
+    votes: dict[int, bool] = field(default_factory=dict)
+    acks: set[int] = field(default_factory=set)
+    write_timestamp: Timestamp | None = None
+    timeout_handle: EventHandle | None = None
+    finished: bool = False
+    write_policy: "QuorumPolicy | None" = None
+
+
+class QuorumCoordinator:
+    """Client-side executor of quorum reads and 2PC writes.
+
+    Parameters
+    ----------
+    sid:
+        Network address of this coordinator; must be negative so it never
+        collides with replica SIDs.
+    network:
+        The shared message fabric.
+    policy:
+        Quorum selection rules (see :class:`QuorumPolicy`).
+    locks:
+        The centralised lock manager.
+    detector:
+        Perfect failure detector: ``detector(sid)`` is the replica's
+        liveness (Section 2.2 makes failures detectable).
+    rng:
+        Randomness for quorum selection (spreads load like the paper's
+        uniform strategies).
+    timeout:
+        How long to wait for a quorum's replies before retrying.
+    max_attempts:
+        Total quorum attempts per operation (1 = measure pure availability).
+    writer_id:
+        The SID recorded inside write timestamps.
+    """
+
+    def __init__(
+        self,
+        sid: int,
+        network: Network,
+        policy: QuorumPolicy,
+        locks: LockManager,
+        detector: LivenessOracle,
+        rng: random.Random,
+        timeout: float = 10.0,
+        max_attempts: int = 3,
+        writer_id: int = 0,
+        tx_ids: TransactionIdSource | None = None,
+        unavailable_delay: float | None = None,
+        version_floor: dict | None = None,
+    ) -> None:
+        if sid >= 0:
+            raise ValueError("coordinator SIDs must be negative")
+        if timeout <= 0:
+            raise ValueError("timeout must be positive")
+        if max_attempts < 1:
+            raise ValueError("need at least one attempt")
+        self.sid = sid
+        self._network = network
+        self._policy = policy
+        self._locks = locks
+        self._detector = detector
+        self._rng = rng
+        self._timeout = timeout
+        self._unavailable_delay = (
+            timeout if unavailable_delay is None else unavailable_delay
+        )
+        self._max_attempts = max_attempts
+        self._writer_id = writer_id
+        self._tx_ids = tx_ids or TransactionIdSource()
+        self._by_request: dict[int, _OpContext] = {}
+        self._by_txid: dict[int, _OpContext] = {}
+        self._in_flight = 0
+        self._decisions: dict[int, bool] = {}
+        # The per-key version floor embodies the paper's centralised
+        # concurrency-control point; multiple coordinators in one system
+        # must SHARE it (pass the same dict) so versions stay monotone even
+        # when a write quorum cannot see the previous write's level.
+        self._version_floor: dict[Any, Timestamp] = (
+            version_floor if version_floor is not None else {}
+        )
+        network.register(sid, self)
+
+    @property
+    def is_up(self) -> bool:
+        """Coordinators do not fail in this model."""
+        return True
+
+    @property
+    def policy(self) -> QuorumPolicy:
+        """The active quorum policy."""
+        return self._policy
+
+    def set_policy(self, policy: QuorumPolicy) -> None:
+        """Swap the quorum policy (used by tree reconfiguration)."""
+        self._policy = policy
+
+    def policy_universe(self) -> frozenset[int]:
+        """The replica SIDs the active policy spans (if it reports them)."""
+        universe = getattr(self._policy, "universe", None)
+        if universe is None:
+            raise TypeError(
+                f"{type(self._policy).__name__} does not expose a universe"
+            )
+        return frozenset(universe)
+
+    def is_quiescent(self) -> bool:
+        """True iff no operation is in flight on this coordinator.
+
+        Counts operations from submission (including lock waits) to their
+        ``on_done`` callback.
+        """
+        return self._in_flight == 0
+
+    @property
+    def scheduler(self) -> Scheduler:
+        """The simulation scheduler (via the network)."""
+        return self._network.scheduler
+
+    # ------------------------------------------------------------------
+    # public operations
+    # ------------------------------------------------------------------
+
+    def read(self, key: Any, on_done: DoneCallback) -> None:
+        """Issue a quorum read of ``key``; ``on_done`` fires exactly once."""
+        self._in_flight += 1
+        ctx = _OpContext(
+            op_type="read",
+            key=key,
+            on_done=on_done,
+            lock_token=self._tx_ids.next_id(),
+            started_at=self.scheduler.now,
+            stage=_Stage.READ,
+        )
+        self._locks.acquire(
+            ctx.lock_token,
+            key,
+            LockMode.SHARED,
+            lambda granted: self._lock_decided(ctx, granted),
+        )
+
+    def write(self, key: Any, value: Any, on_done: DoneCallback) -> None:
+        """Issue a quorum write; ``on_done`` fires exactly once."""
+        self._write(key, value, on_done, write_policy=None)
+
+    def write_with_policy(
+        self,
+        key: Any,
+        value: Any,
+        policy: QuorumPolicy,
+        on_done: DoneCallback,
+    ) -> None:
+        """A write whose *write quorum* comes from a different policy.
+
+        Versions are still obtained through the current policy's read
+        quorums (which intersect every past write), while the data lands on
+        the override policy's write quorum — the primitive tree
+        reconfiguration needs for state transfer.
+        """
+        self._write(key, value, on_done, write_policy=policy)
+
+    def _write(
+        self,
+        key: Any,
+        value: Any,
+        on_done: DoneCallback,
+        write_policy: QuorumPolicy | None,
+    ) -> None:
+        self._in_flight += 1
+        ctx = _OpContext(
+            op_type="write",
+            key=key,
+            value=value,
+            on_done=on_done,
+            lock_token=self._tx_ids.next_id(),
+            started_at=self.scheduler.now,
+            stage=_Stage.VERSION,
+            write_policy=write_policy,
+        )
+        self._locks.acquire(
+            ctx.lock_token,
+            key,
+            LockMode.EXCLUSIVE,
+            lambda granted: self._lock_decided(ctx, granted),
+        )
+
+    # ------------------------------------------------------------------
+    # lock handling
+    # ------------------------------------------------------------------
+
+    def _lock_decided(self, ctx: _OpContext, granted: bool) -> None:
+        if not granted:
+            self._finish(ctx, success=False, reason=FailureReason.LOCK_TIMEOUT)
+            return
+        self._start_attempt(ctx)
+
+    # ------------------------------------------------------------------
+    # attempt lifecycle
+    # ------------------------------------------------------------------
+
+    def _start_attempt(self, ctx: _OpContext) -> None:
+        if ctx.finished:
+            return
+        ctx.attempts += 1
+        ctx.replies.clear()
+        ctx.versions.clear()
+        ctx.votes.clear()
+        if ctx.op_type == "read":
+            self._start_read_phase(ctx)
+        else:
+            ctx.stage = _Stage.VERSION
+            self._start_version_phase(ctx)
+
+    def _defer_unavailable(self, ctx: _OpContext) -> None:
+        """No quorum is currently live: report/retry after a detection delay.
+
+        Discovering unavailability costs real time (a probe round); charging
+        it here keeps the simulated clock moving, so periodic failure
+        injectors and the workload stay correctly interleaved.
+        """
+        self._cancel_timeout(ctx)
+        self.scheduler.schedule(
+            self._unavailable_delay,
+            lambda: self._retry_or_fail(ctx, FailureReason.UNAVAILABLE),
+        )
+
+    def _retry_or_fail(self, ctx: _OpContext, reason: FailureReason) -> None:
+        if ctx.finished:
+            return
+        if ctx.attempts >= self._max_attempts:
+            self._finish(ctx, success=False, reason=reason)
+            return
+        self._start_attempt(ctx)
+
+    def _arm_timeout(self, ctx: _OpContext) -> None:
+        self._cancel_timeout(ctx)
+        attempt = ctx.attempts
+        stage = ctx.stage
+        ctx.timeout_handle = self.scheduler.schedule(
+            self._timeout, lambda: self._on_timeout(ctx, attempt, stage)
+        )
+
+    def _cancel_timeout(self, ctx: _OpContext) -> None:
+        if ctx.timeout_handle is not None:
+            ctx.timeout_handle.cancel()
+            ctx.timeout_handle = None
+
+    def _on_timeout(self, ctx: _OpContext, attempt: int, stage: _Stage) -> None:
+        if ctx.finished or ctx.attempts != attempt or ctx.stage is not stage:
+            return
+        if stage is _Stage.COMMIT:
+            self._continue_commit(ctx)
+            return
+        self._unregister(ctx)
+        if stage is _Stage.PREPARE:
+            self._broadcast_decision(ctx, commit=False)
+        self._retry_or_fail(ctx, FailureReason.TIMEOUT)
+
+    def _unregister(self, ctx: _OpContext) -> None:
+        self._by_request.pop(ctx.request_id, None)
+        self._by_txid.pop(ctx.txid, None)
+
+    def _finish(
+        self,
+        ctx: _OpContext,
+        success: bool,
+        reason: FailureReason = FailureReason.NONE,
+        value: Any = None,
+        timestamp: Timestamp | None = None,
+    ) -> None:
+        if ctx.finished:
+            return
+        ctx.finished = True
+        self._in_flight -= 1
+        self._cancel_timeout(ctx)
+        self._unregister(ctx)
+        self._locks.release(ctx.lock_token, ctx.key)
+        outcome = OperationOutcome(
+            op_type=ctx.op_type,
+            key=ctx.key,
+            success=success,
+            value=value,
+            timestamp=timestamp,
+            quorum=ctx.quorum,
+            version_quorum=ctx.version_quorum,
+            attempts=ctx.attempts,
+            started_at=ctx.started_at,
+            finished_at=self.scheduler.now,
+            reason=reason if not success else FailureReason.NONE,
+        )
+        ctx.on_done(outcome)
+
+    # ------------------------------------------------------------------
+    # read phase
+    # ------------------------------------------------------------------
+
+    def _start_read_phase(self, ctx: _OpContext) -> None:
+        quorum = self._policy.select_read_quorum(self._detector, self._rng)
+        if quorum is None:
+            self._defer_unavailable(ctx)
+            return
+        ctx.stage = _Stage.READ
+        ctx.quorum = quorum
+        ctx.request_id = self._tx_ids.next_id()
+        self._by_request[ctx.request_id] = ctx
+        self._arm_timeout(ctx)
+        for member in sorted(quorum):
+            self._network.send(
+                ReadRequest(
+                    src=self.sid, dst=member,
+                    key=ctx.key, request_id=ctx.request_id,
+                )
+            )
+
+    def _on_read_reply(self, ctx: _OpContext, message: ReadReply) -> None:
+        ctx.replies[message.src] = message
+        if set(ctx.replies) < ctx.quorum:
+            return
+        best = max(
+            ctx.replies.values(), key=lambda reply: reply.timestamp.sort_key()
+        )
+        self._finish(
+            ctx, success=True, value=best.value, timestamp=best.timestamp
+        )
+
+    # ------------------------------------------------------------------
+    # write: version phase
+    # ------------------------------------------------------------------
+
+    def _start_version_phase(self, ctx: _OpContext) -> None:
+        quorum = self._policy.select_read_quorum(self._detector, self._rng)
+        if quorum is None:
+            # The paper's write availability depends only on the write
+            # quorum (Section 3.2.2): obtain the version numbers from the
+            # write quorum itself when no read quorum is assemblable.  The
+            # coordinator's per-key version floor (it is the centralised
+            # concurrency-control point of Section 2.2, so every write's
+            # version passes through it) keeps versions monotone even when
+            # the fallback quorum missed the latest committed write.
+            quorum = self._policy.select_write_quorum(self._detector, self._rng)
+        if quorum is None:
+            self._defer_unavailable(ctx)
+            return
+        ctx.stage = _Stage.VERSION
+        ctx.version_quorum = quorum
+        ctx.request_id = self._tx_ids.next_id()
+        self._by_request[ctx.request_id] = ctx
+        self._arm_timeout(ctx)
+        for member in sorted(quorum):
+            self._network.send(
+                VersionRequest(
+                    src=self.sid, dst=member,
+                    key=ctx.key, request_id=ctx.request_id,
+                )
+            )
+
+    def _on_version_reply(self, ctx: _OpContext, message: VersionReply) -> None:
+        ctx.versions[message.src] = message.timestamp
+        if set(ctx.versions) < ctx.version_quorum:
+            return
+        self._cancel_timeout(ctx)
+        observed = dominant(list(ctx.versions.values()))
+        floor = self._version_floor.get(ctx.key, ZERO_TIMESTAMP)
+        current = observed if observed.version >= floor.version else floor
+        ctx.write_timestamp = current.next_version(self._writer_id)
+        self._by_request.pop(ctx.request_id, None)
+        self._start_prepare_phase(ctx)
+
+    # ------------------------------------------------------------------
+    # write: 2PC
+    # ------------------------------------------------------------------
+
+    def _start_prepare_phase(self, ctx: _OpContext) -> None:
+        policy = ctx.write_policy if ctx.write_policy is not None else self._policy
+        quorum = policy.select_write_quorum(self._detector, self._rng)
+        if quorum is None:
+            self._defer_unavailable(ctx)
+            return
+        assert ctx.write_timestamp is not None
+        ctx.stage = _Stage.PREPARE
+        ctx.quorum = quorum
+        ctx.txid = self._tx_ids.next_id()
+        self._by_txid[ctx.txid] = ctx
+        self._arm_timeout(ctx)
+        for member in sorted(quorum):
+            self._network.send(
+                PrepareMessage(
+                    src=self.sid, dst=member,
+                    txid=ctx.txid, key=ctx.key,
+                    value=ctx.value, timestamp=ctx.write_timestamp,
+                )
+            )
+
+    def _on_vote(self, ctx: _OpContext, message: VoteMessage) -> None:
+        ctx.votes[message.src] = message.vote_commit
+        if not message.vote_commit:
+            self._cancel_timeout(ctx)
+            self._unregister(ctx)
+            self._broadcast_decision(ctx, commit=False)
+            self._retry_or_fail(ctx, FailureReason.VOTE_REFUSED)
+            return
+        if set(ctx.votes) < ctx.quorum:
+            return
+        # Decision reached: the write is now durable (commit logged), but the
+        # exclusive lock is held until every live quorum member has applied
+        # it, so no later read can observe a pre-commit value.
+        self._broadcast_decision(ctx, commit=True)
+        assert ctx.write_timestamp is not None
+        self._version_floor[ctx.key] = ctx.write_timestamp
+        ctx.stage = _Stage.COMMIT
+        self._arm_timeout(ctx)
+
+    def _on_ack(self, ctx: _OpContext, message: AckMessage) -> None:
+        if not message.committed:
+            return  # stale abort-acks from earlier attempts
+        ctx.acks.add(message.src)
+        if ctx.acks >= ctx.quorum:
+            self._complete_commit(ctx)
+
+    def _continue_commit(self, ctx: _OpContext) -> None:
+        """Commit-phase timeout: retransmit to laggards, skip the dead.
+
+        A quorum member that crashed after voting yes will apply the write
+        through the recovery termination protocol (and refuses reads of the
+        key while in doubt), so the coordinator only waits for members the
+        failure detector still reports live.
+        """
+        pending = [
+            member for member in ctx.quorum - ctx.acks
+            if self._detector(member)
+        ]
+        if not pending:
+            self._complete_commit(ctx)
+            return
+        for member in sorted(pending):
+            self._network.send(
+                CommitMessage(src=self.sid, dst=member, txid=ctx.txid)
+            )
+        self._arm_timeout(ctx)
+
+    def _complete_commit(self, ctx: _OpContext) -> None:
+        self._cancel_timeout(ctx)
+        self._unregister(ctx)
+        self._finish(
+            ctx, success=True, value=ctx.value, timestamp=ctx.write_timestamp
+        )
+
+    def _broadcast_decision(self, ctx: _OpContext, commit: bool) -> None:
+        self._decisions[ctx.txid] = commit
+        for member in sorted(ctx.quorum):
+            if commit:
+                self._network.send(
+                    CommitMessage(src=self.sid, dst=member, txid=ctx.txid)
+                )
+            else:
+                self._network.send(
+                    AbortMessage(src=self.sid, dst=member, txid=ctx.txid)
+                )
+
+    def _on_decision_request(self, message: DecisionRequest) -> None:
+        """2PC termination: answer a recovered participant's in-doubt query.
+
+        Unknown transactions are answered with abort (presumed abort): if no
+        commit decision was logged, the transaction cannot have committed
+        anywhere.
+        """
+        committed = self._decisions.get(message.txid, False)
+        if committed:
+            self._network.send(
+                CommitMessage(src=self.sid, dst=message.src, txid=message.txid)
+            )
+        else:
+            self._network.send(
+                AbortMessage(src=self.sid, dst=message.src, txid=message.txid)
+            )
+
+    # ------------------------------------------------------------------
+    # message dispatch
+    # ------------------------------------------------------------------
+
+    def receive(self, message: Message) -> None:
+        """Route replies to their pending operation (stale ones are ignored)."""
+        if isinstance(message, ReadReply):
+            ctx = self._by_request.get(message.request_id)
+            if ctx is not None and ctx.stage is _Stage.READ:
+                self._on_read_reply(ctx, message)
+        elif isinstance(message, VersionReply):
+            ctx = self._by_request.get(message.request_id)
+            if ctx is not None and ctx.stage is _Stage.VERSION:
+                self._on_version_reply(ctx, message)
+        elif isinstance(message, VoteMessage):
+            ctx = self._by_txid.get(message.txid)
+            if ctx is not None and ctx.stage is _Stage.PREPARE:
+                self._on_vote(ctx, message)
+        elif isinstance(message, DecisionRequest):
+            self._on_decision_request(message)
+        elif isinstance(message, AckMessage):
+            ctx = self._by_txid.get(message.txid)
+            if ctx is not None and ctx.stage is _Stage.COMMIT:
+                self._on_ack(ctx, message)
+        else:
+            raise TypeError(
+                f"coordinator cannot handle {type(message).__name__}"
+            )

@@ -1,0 +1,206 @@
+"""One-call experiment wiring: tree + network + failures + workload.
+
+:func:`simulate` assembles every piece of the Section 2.2 system model —
+replica sites, lossy network, centralised lock manager, quorum coordinator,
+failure injection and a client workload — runs the event loop to
+completion, and returns the measured quantities side by side with the
+closed-form predictions so experiments can compare them directly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.protocol import ArbitraryProtocol
+from repro.core.tree import ArbitraryTree
+from repro.sim.coordinator import QuorumCoordinator, QuorumPolicy
+from repro.sim.events import Scheduler
+from repro.sim.failures import FailureInjector, NoFailures
+from repro.sim.locks import LockManager
+from repro.sim.monitor import Monitor
+from repro.sim.network import Network, NetworkStats
+from repro.sim.site import Site
+from repro.sim.workload import Workload, WorkloadSpec
+
+#: Network address of the (single) coordinator.
+COORDINATOR_SID = -1
+
+
+@dataclass
+class SimulationConfig:
+    """Everything a simulation run needs.
+
+    Attributes
+    ----------
+    tree:
+        The arbitrary-protocol tree to replicate over.  (To simulate a
+        different protocol, pass ``policy`` and ``n`` instead.)
+    policy / n:
+        Alternative to ``tree``: an explicit quorum policy over replicas
+        ``0..n-1`` (e.g. a :class:`~repro.sim.coordinator.SymmetricQuorumPolicy`
+        around a tree-quorum constructor).
+    workload:
+        The operation stream (mix, arrivals, key popularity).
+    failures:
+        Failure injector (default: none).
+    latency:
+        Per-message latency (a float for fixed, or a latency model callable).
+    drop_probability:
+        I.i.d. message loss probability.
+    service_time:
+        Per-message processing time at each replica (0 = instantaneous,
+        the analytical setting; positive values add FIFO queueing so load
+        becomes a throughput bottleneck).
+    timeout:
+        Coordinator quorum-phase timeout.
+    max_attempts:
+        Quorum attempts per operation; 1 measures raw availability.
+    clients:
+        Number of coordinators issuing operations (round-robin).  They
+        share the centralised lock manager, transaction-id source and
+        version registry, so concurrent clients stay serialisable.
+    seed:
+        Master RNG seed; every run with the same config is identical.
+    """
+
+    tree: ArbitraryTree | None = None
+    policy: QuorumPolicy | None = None
+    n: int | None = None
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    failures: FailureInjector = field(default_factory=NoFailures)
+    latency: Any = 1.0
+    drop_probability: float = 0.0
+    duplicate_probability: float = 0.0
+    timeout: float = 16.0
+    max_attempts: int = 3
+    clients: int = 1
+    service_time: float = 0.0
+    seed: int = 0
+
+    def resolve(self) -> tuple[QuorumPolicy, int]:
+        """The (policy, replica count) pair this config describes."""
+        if self.tree is not None:
+            return ArbitraryProtocol(self.tree), self.tree.n
+        if self.policy is None or self.n is None:
+            raise ValueError("provide either tree, or policy together with n")
+        return self.policy, self.n
+
+
+@dataclass
+class SimulationResult:
+    """Everything measured by one simulation run."""
+
+    config: SimulationConfig
+    monitor: Monitor
+    network_stats: NetworkStats
+    sites: list[Site]
+    duration: float
+    events_processed: int
+
+    def summary(self) -> dict[str, float]:
+        """Monitor headline numbers plus network/message counters."""
+        result = self.monitor.summary()
+        result["messages_sent"] = float(self.network_stats.sent)
+        result["messages_delivered"] = float(self.network_stats.delivered)
+        result["messages_dropped"] = float(self.network_stats.dropped)
+        result["duration"] = self.duration
+        return result
+
+
+def build_simulation(
+    config: SimulationConfig,
+) -> tuple[Scheduler, Workload, Monitor, Network, list[Site]]:
+    """Wire a simulation without running it (useful for custom driving)."""
+    policy, n = config.resolve()
+    scheduler = Scheduler()
+    rng = random.Random(config.seed)
+    network = Network(
+        scheduler,
+        random.Random(rng.random()),
+        latency=config.latency,
+        drop_probability=config.drop_probability,
+        duplicate_probability=config.duplicate_probability,
+    )
+    sites = [
+        Site(sid, network, service_time=config.service_time)
+        for sid in range(n)
+    ]
+    locks = LockManager(scheduler)
+    monitor = Monitor(replica_ids=tuple(range(n)))
+
+    if config.clients < 1:
+        raise ValueError("need at least one client")
+    from repro.sim.transactions import TransactionIdSource
+
+    tx_ids = TransactionIdSource()
+    version_floor: dict = {}
+    coordinators = []
+    for index in range(config.clients):
+        coordinator_sid = COORDINATOR_SID - index
+
+        def detector(sid: int, _csid: int = coordinator_sid) -> bool:
+            # From a coordinator's vantage point a replica on the far side
+            # of a partition is indistinguishable from a crashed one
+            # (Section 2.2 treats partitioning as a special case of site
+            # and link failures).
+            return sites[sid].is_up and network.reachable(_csid, sid)
+
+        coordinators.append(
+            QuorumCoordinator(
+                sid=coordinator_sid,
+                network=network,
+                policy=policy,
+                locks=locks,
+                detector=detector,
+                rng=random.Random(rng.random()),
+                timeout=config.timeout,
+                max_attempts=config.max_attempts,
+                writer_id=n + index,  # distinct from every replica SID
+                tx_ids=tx_ids,
+                version_floor=version_floor,
+            )
+        )
+    workload = Workload(
+        spec=config.workload,
+        coordinator=coordinators,
+        scheduler=scheduler,
+        rng=random.Random(rng.random()),
+        on_outcome=monitor.record,
+    )
+    config.failures.install(scheduler, sites, network)
+    return scheduler, workload, monitor, network, sites
+
+
+def simulate(config: SimulationConfig, max_events: int = 5_000_000) -> SimulationResult:
+    """Run one configured simulation until the workload completes.
+
+    Stops as soon as the last operation reports its outcome (periodic
+    injectors such as resampling failures would otherwise keep the queue
+    non-empty forever).  ``max_events`` is a safety net against
+    configuration errors, raising rather than spinning.
+    """
+    scheduler, workload, monitor, network, sites = build_simulation(config)
+    workload.start()
+    executed = 0
+    while workload.completed < config.workload.operations:
+        if executed >= max_events:
+            raise RuntimeError(
+                f"simulation exceeded {max_events} events "
+                f"({workload.completed}/{config.workload.operations} ops done)"
+            )
+        if not scheduler.step():
+            raise RuntimeError(
+                "event queue drained before the workload completed "
+                f"({workload.completed}/{config.workload.operations} ops done)"
+            )
+        executed += 1
+    return SimulationResult(
+        config=config,
+        monitor=monitor,
+        network_stats=network.stats,
+        sites=sites,
+        duration=scheduler.now,
+        events_processed=scheduler.processed_events,
+    )

@@ -1,0 +1,118 @@
+"""Deterministic discrete-event scheduler.
+
+A minimal event kernel: callbacks are scheduled at absolute simulation
+times and executed in (time, insertion-order) order, so two events at the
+same instant fire in the order they were scheduled — this makes every
+simulation run bit-for-bit reproducible for a fixed RNG seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(order=True)
+class _QueuedEvent:
+    time: float
+    sequence: int
+    callback: Callable[[], Any] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`Scheduler.schedule`; allows cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _QueuedEvent) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if it already fired)."""
+        self._event.cancelled = True
+
+    @property
+    def time(self) -> float:
+        """Absolute simulation time the event is scheduled for."""
+        return self._event.time
+
+
+class Scheduler:
+    """Priority-queue event loop with a virtual clock."""
+
+    def __init__(self) -> None:
+        self._queue: list[_QueuedEvent] = []
+        self._sequence = 0
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    def schedule(
+        self, delay: float, callback: Callable[[], Any]
+    ) -> EventHandle:
+        """Run ``callback`` after ``delay`` simulated time units."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        event = _QueuedEvent(
+            time=self._now + delay, sequence=self._sequence, callback=callback
+        )
+        self._sequence += 1
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def schedule_at(
+        self, time: float, callback: Callable[[], Any]
+    ) -> EventHandle:
+        """Run ``callback`` at absolute simulation time ``time``."""
+        return self.schedule(time - self._now, callback)
+
+    def step(self) -> bool:
+        """Execute the next event; returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._processed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Drain the queue, optionally stopping at a time or event budget.
+
+        ``until`` is an absolute simulation time: events scheduled strictly
+        later stay queued and the clock is advanced to ``until``.
+        """
+        executed = 0
+        while self._queue:
+            if max_events is not None and executed >= max_events:
+                return
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until is not None and head.time > until:
+                self._now = until
+                return
+            self.step()
+            executed += 1
+        if until is not None and until > self._now:
+            self._now = until

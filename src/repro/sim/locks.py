@@ -1,0 +1,192 @@
+"""Centralised concurrency control (Section 2.2).
+
+The paper assumes "each client uses a centralized concurrency control scheme
+to synchronize accesses to the replicas".  This module provides that scheme:
+a single lock manager granting shared (read) and exclusive (write) locks per
+key, with FIFO queueing of incompatible requests.
+
+Grants are asynchronous: a request that cannot be satisfied immediately is
+queued and its callback fires (through the scheduler, to keep event ordering
+deterministic) once the conflicting locks are released.  Because every
+transaction in this library touches a single key, FIFO queueing is
+deadlock-free; a lock-wait timeout is still available as a safety net for
+experiments that inject coordinator failures.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.sim.events import Scheduler
+
+
+class LockMode(enum.Enum):
+    """Shared (read) or exclusive (write) access."""
+
+    SHARED = "shared"
+    EXCLUSIVE = "exclusive"
+
+
+@dataclass
+class _LockRequest:
+    txid: int
+    mode: LockMode
+    callback: Callable[[bool], None]
+
+
+@dataclass
+class _KeyLockState:
+    holders: dict[int, LockMode] = field(default_factory=dict)
+    queue: deque[_LockRequest] = field(default_factory=deque)
+
+    def compatible(self, mode: LockMode) -> bool:
+        if not self.holders:
+            return True
+        if mode is LockMode.SHARED:
+            return all(held is LockMode.SHARED for held in self.holders.values())
+        return False
+
+
+@dataclass
+class LockStats:
+    """Counters for observing contention."""
+
+    granted_immediately: int = 0
+    granted_after_wait: int = 0
+    timeouts: int = 0
+    releases: int = 0
+
+    @property
+    def granted(self) -> int:
+        """Total granted requests."""
+        return self.granted_immediately + self.granted_after_wait
+
+
+class LockManager:
+    """The centralised lock service shared by all clients.
+
+    Parameters
+    ----------
+    scheduler:
+        Event scheduler used to fire grant callbacks and wait timeouts.
+    wait_timeout:
+        Optional cap on queue time; a request still queued after this long
+        is denied (callback fires with ``False``).
+    """
+
+    def __init__(
+        self, scheduler: Scheduler, wait_timeout: float | None = None
+    ) -> None:
+        self._scheduler = scheduler
+        self._wait_timeout = wait_timeout
+        self._keys: dict[Any, _KeyLockState] = {}
+        self.stats = LockStats()
+
+    # ------------------------------------------------------------------
+    # acquisition
+    # ------------------------------------------------------------------
+
+    def acquire(
+        self,
+        txid: int,
+        key: Any,
+        mode: LockMode,
+        callback: Callable[[bool], None],
+    ) -> None:
+        """Request a lock; ``callback(granted)`` fires when decided.
+
+        Immediate grants still go through the scheduler (zero delay) so the
+        caller's control flow is identical in both cases.  Re-acquiring a
+        held lock in the same mode is idempotent; upgrading shared to
+        exclusive is supported when the transaction is the sole holder.
+        """
+        state = self._keys.setdefault(key, _KeyLockState())
+        held = state.holders.get(txid)
+        if held is not None:
+            upgradable = (
+                held is LockMode.SHARED
+                and mode is LockMode.EXCLUSIVE
+                and len(state.holders) == 1
+            )
+            if held is mode or mode is LockMode.SHARED or upgradable:
+                state.holders[txid] = (
+                    LockMode.EXCLUSIVE if mode is LockMode.EXCLUSIVE else held
+                )
+                self.stats.granted_immediately += 1
+                self._scheduler.schedule(0.0, lambda: callback(True))
+                return
+            # Upgrade with other holders present: wait in the queue.
+
+        if not state.queue and state.compatible(mode) and held is None:
+            state.holders[txid] = mode
+            self.stats.granted_immediately += 1
+            self._scheduler.schedule(0.0, lambda: callback(True))
+            return
+
+        request = _LockRequest(txid=txid, mode=mode, callback=callback)
+        state.queue.append(request)
+        if self._wait_timeout is not None:
+            self._scheduler.schedule(
+                self._wait_timeout, lambda: self._expire(key, request)
+            )
+
+    def _expire(self, key: Any, request: _LockRequest) -> None:
+        state = self._keys.get(key)
+        if state is None or request not in state.queue:
+            return
+        state.queue.remove(request)
+        self.stats.timeouts += 1
+        request.callback(False)
+
+    # ------------------------------------------------------------------
+    # release
+    # ------------------------------------------------------------------
+
+    def release(self, txid: int, key: Any) -> None:
+        """Release one lock and grant as many queued requests as possible."""
+        state = self._keys.get(key)
+        if state is None or txid not in state.holders:
+            return
+        del state.holders[txid]
+        self.stats.releases += 1
+        self._grant_queued(state)
+        if not state.holders and not state.queue:
+            del self._keys[key]
+
+    def release_all(self, txid: int) -> None:
+        """Release every lock held by a transaction."""
+        for key in [
+            key for key, state in self._keys.items() if txid in state.holders
+        ]:
+            self.release(txid, key)
+
+    def _grant_queued(self, state: _KeyLockState) -> None:
+        while state.queue:
+            head = state.queue[0]
+            if not state.compatible(head.mode):
+                return
+            state.queue.popleft()
+            state.holders[head.txid] = head.mode
+            self.stats.granted_after_wait += 1
+            callback = head.callback
+            self._scheduler.schedule(0.0, lambda cb=callback: cb(True))
+            if head.mode is LockMode.EXCLUSIVE:
+                return
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def holders(self, key: Any) -> dict[int, LockMode]:
+        """Current holders of a key's lock (txid -> mode)."""
+        state = self._keys.get(key)
+        return dict(state.holders) if state else {}
+
+    def queue_length(self, key: Any) -> int:
+        """Number of requests waiting on a key."""
+        state = self._keys.get(key)
+        return len(state.queue) if state else 0

@@ -1,0 +1,116 @@
+"""Typed messages exchanged between sites.
+
+The coordinator/replica protocol is deliberately small:
+
+* ``ReadRequest`` / ``ReadReply`` — fetch a key's value and timestamp;
+* ``VersionRequest`` / ``VersionReply`` — fetch only the timestamp
+  (the "obtain the highest version number" phase of a write);
+* ``PrepareMessage`` / ``VoteMessage`` / ``CommitMessage`` /
+  ``AbortMessage`` / ``AckMessage`` — two-phase commit for writes
+  (Section 2.2: transactions with writes run 2PC across participants).
+
+Every message carries the source and destination SIDs; clients and the
+coordinator use negative SIDs so they can never collide with replicas.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.sim.replica import Timestamp
+
+_MESSAGE_IDS = itertools.count()
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class: addressing plus a unique id for tracing."""
+
+    src: int
+    dst: int
+    msg_id: int = field(default_factory=lambda: next(_MESSAGE_IDS), init=False)
+
+
+@dataclass(frozen=True)
+class ReadRequest(Message):
+    """Ask a replica for its current value+timestamp of ``key``."""
+
+    key: Any = None
+    request_id: int = 0
+
+
+@dataclass(frozen=True)
+class ReadReply(Message):
+    """A replica's value+timestamp answer to a :class:`ReadRequest`."""
+
+    key: Any = None
+    request_id: int = 0
+    value: Any = None
+    timestamp: Timestamp = Timestamp(0, -1)
+
+
+@dataclass(frozen=True)
+class VersionRequest(Message):
+    """Ask a replica for only the timestamp of ``key``."""
+
+    key: Any = None
+    request_id: int = 0
+
+
+@dataclass(frozen=True)
+class VersionReply(Message):
+    """A replica's timestamp answer to a :class:`VersionRequest`."""
+
+    key: Any = None
+    request_id: int = 0
+    timestamp: Timestamp = Timestamp(0, -1)
+
+
+@dataclass(frozen=True)
+class PrepareMessage(Message):
+    """2PC phase 1: ask a participant to prepare ``key := value``."""
+
+    txid: int = 0
+    key: Any = None
+    value: Any = None
+    timestamp: Timestamp = Timestamp(0, -1)
+
+
+@dataclass(frozen=True)
+class VoteMessage(Message):
+    """2PC phase 1 answer: the participant's commit vote."""
+
+    txid: int = 0
+    vote_commit: bool = True
+
+
+@dataclass(frozen=True)
+class CommitMessage(Message):
+    """2PC phase 2: apply the prepared write."""
+
+    txid: int = 0
+
+
+@dataclass(frozen=True)
+class AbortMessage(Message):
+    """2PC phase 2: discard the prepared write."""
+
+    txid: int = 0
+
+
+@dataclass(frozen=True)
+class AckMessage(Message):
+    """Participant acknowledgement of a commit/abort decision."""
+
+    txid: int = 0
+    committed: bool = True
+
+
+@dataclass(frozen=True)
+class DecisionRequest(Message):
+    """2PC termination protocol: a recovered participant asks the
+    coordinator for the outcome of an in-doubt transaction."""
+
+    txid: int = 0

@@ -1,0 +1,167 @@
+"""Measurement: per-replica load, availability, latency, message counts.
+
+The monitor receives every :class:`~repro.sim.coordinator.OperationOutcome`
+and aggregates the quantities the paper analyses:
+
+* **measured load** — for each replica, the fraction of operations (of each
+  kind) whose quorum contained it; the *system* load is the maximum over
+  replicas, directly mirroring Definition 2.5 with the empirical operation
+  mix as the strategy;
+* **measured availability** — the success fraction (run the workload with
+  ``max_attempts=1`` so retries don't mask failures);
+* **measured cost** — mean quorum size per operation kind;
+* latency percentiles and attempt counts.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.sim.coordinator import OperationOutcome
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    if not sorted_values:
+        return math.nan
+    index = min(
+        len(sorted_values) - 1, max(0, round(fraction * (len(sorted_values) - 1)))
+    )
+    return sorted_values[index]
+
+
+@dataclass
+class OperationSummary:
+    """Aggregates for one operation kind (read or write)."""
+
+    attempted: int = 0
+    succeeded: int = 0
+    failed: int = 0
+    total_attempts: int = 0
+    total_quorum_size: int = 0
+    latencies: list[float] = field(default_factory=list)
+    failure_reasons: Counter = field(default_factory=Counter)
+
+    @property
+    def availability(self) -> float:
+        """Success fraction (NaN when nothing ran)."""
+        if self.attempted == 0:
+            return math.nan
+        return self.succeeded / self.attempted
+
+    @property
+    def mean_cost(self) -> float:
+        """Mean quorum size over successful operations."""
+        if self.succeeded == 0:
+            return math.nan
+        return self.total_quorum_size / self.succeeded
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean simulated latency of successful operations."""
+        if not self.latencies:
+            return math.nan
+        return sum(self.latencies) / len(self.latencies)
+
+    def latency_percentile(self, fraction: float) -> float:
+        """Latency percentile (e.g. 0.5, 0.95) of successful operations."""
+        return _percentile(sorted(self.latencies), fraction)
+
+
+class Monitor:
+    """Collects outcomes and computes the measured counterparts of the
+    paper's analytical quantities."""
+
+    def __init__(self, replica_ids: tuple[int, ...]) -> None:
+        self._replica_ids = replica_ids
+        self.reads = OperationSummary()
+        self.writes = OperationSummary()
+        self._read_touches: Counter = Counter()
+        self._write_touches: Counter = Counter()
+        self.outcomes: list[OperationOutcome] = []
+
+    def record(self, outcome: OperationOutcome) -> None:
+        """Ingest one finished operation."""
+        self.outcomes.append(outcome)
+        summary = self.reads if outcome.op_type == "read" else self.writes
+        touches = (
+            self._read_touches if outcome.op_type == "read" else self._write_touches
+        )
+        summary.attempted += 1
+        summary.total_attempts += outcome.attempts
+        if outcome.success:
+            summary.succeeded += 1
+            summary.total_quorum_size += len(outcome.quorum)
+            summary.latencies.append(outcome.latency)
+            for sid in outcome.quorum:
+                touches[sid] += 1
+        else:
+            summary.failed += 1
+            summary.failure_reasons[outcome.reason.value] += 1
+
+    # ------------------------------------------------------------------
+    # measured load (Definition 2.5, empirically)
+    # ------------------------------------------------------------------
+
+    def measured_read_load(self) -> float:
+        """Max over replicas of (read quorums containing it / reads done)."""
+        if self.reads.succeeded == 0:
+            return math.nan
+        busiest = max(
+            (self._read_touches.get(sid, 0) for sid in self._replica_ids),
+            default=0,
+        )
+        return busiest / self.reads.succeeded
+
+    def measured_write_load(self) -> float:
+        """Max over replicas of (write quorums containing it / writes done)."""
+        if self.writes.succeeded == 0:
+            return math.nan
+        busiest = max(
+            (self._write_touches.get(sid, 0) for sid in self._replica_ids),
+            default=0,
+        )
+        return busiest / self.writes.succeeded
+
+    def per_replica_read_load(self) -> dict[int, float]:
+        """Read-quorum participation fraction per replica."""
+        if self.reads.succeeded == 0:
+            return {sid: math.nan for sid in self._replica_ids}
+        return {
+            sid: self._read_touches.get(sid, 0) / self.reads.succeeded
+            for sid in self._replica_ids
+        }
+
+    def per_replica_write_load(self) -> dict[int, float]:
+        """Write-quorum participation fraction per replica."""
+        if self.writes.succeeded == 0:
+            return {sid: math.nan for sid in self._replica_ids}
+        return {
+            sid: self._write_touches.get(sid, 0) / self.writes.succeeded
+            for sid in self._replica_ids
+        }
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+
+    @property
+    def total_operations(self) -> int:
+        """Reads plus writes attempted."""
+        return self.reads.attempted + self.writes.attempted
+
+    def summary(self) -> dict[str, float]:
+        """A flat dict of the headline measured quantities."""
+        return {
+            "reads": self.reads.attempted,
+            "writes": self.writes.attempted,
+            "read_availability": self.reads.availability,
+            "write_availability": self.writes.availability,
+            "read_cost": self.reads.mean_cost,
+            "write_cost": self.writes.mean_cost,
+            "read_load": self.measured_read_load(),
+            "write_load": self.measured_write_load(),
+            "read_latency_mean": self.reads.mean_latency,
+            "write_latency_mean": self.writes.mean_latency,
+        }

@@ -1,0 +1,217 @@
+"""Message-passing network with latency, loss and partitions (Section 2.2).
+
+Links are bidirectional and may fail by not delivering, dropping or
+delaying messages; a special failure mode partitions the system so that only
+sites within the same partition can communicate.  All of these are modelled
+here:
+
+* per-message latency drawn from a configurable distribution;
+* i.i.d. message loss with probability ``drop_probability``;
+* a partition map: messages crossing partition boundaries are dropped;
+* messages addressed to a crashed endpoint are dropped at delivery time
+  (fail-stop sites do not process input while down).
+
+Endpoints register under their SID and must expose ``receive(message)`` and
+``is_up`` — both replicas (:class:`repro.sim.site.Site`) and coordinators
+qualify.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.sim.events import Scheduler
+from repro.sim.messages import Message
+
+
+class Endpoint(Protocol):
+    """Anything that can be addressed on the network."""
+
+    @property
+    def is_up(self) -> bool:
+        """Whether the endpoint currently processes messages."""
+        ...
+
+    def receive(self, message: Message) -> None:
+        """Handle a delivered message."""
+        ...
+
+
+@dataclass
+class PartitionSpec:
+    """Assignment of SIDs to partition groups.
+
+    SIDs absent from ``groups`` belong to the implicit group ``None`` and
+    can talk to each other (and only to each other).  An empty spec means a
+    fully connected network.
+    """
+
+    groups: dict[int, int] = field(default_factory=dict)
+
+    @classmethod
+    def split(cls, *components: Iterable[int]) -> "PartitionSpec":
+        """Build a spec from explicit components, e.g. ``split({0,1}, {2,3})``."""
+        groups: dict[int, int] = {}
+        for group_id, component in enumerate(components):
+            for sid in component:
+                if sid in groups:
+                    raise ValueError(f"SID {sid} appears in two components")
+                groups[sid] = group_id
+        return cls(groups=groups)
+
+    def connected(self, a: int, b: int) -> bool:
+        """True iff SIDs ``a`` and ``b`` may exchange messages."""
+        return self.groups.get(a) == self.groups.get(b)
+
+
+@dataclass
+class NetworkStats:
+    """Counters of everything the network did."""
+
+    sent: int = 0
+    delivered: int = 0
+    duplicated: int = 0
+    dropped_loss: int = 0
+    dropped_partition: int = 0
+    dropped_dead: int = 0
+
+    @property
+    def dropped(self) -> int:
+        """Total messages that never reached a live endpoint."""
+        return self.dropped_loss + self.dropped_partition + self.dropped_dead
+
+
+LatencyModel = Callable[[random.Random], float]
+
+
+def fixed_latency(value: float) -> LatencyModel:
+    """Every message takes exactly ``value`` time units."""
+    if value < 0:
+        raise ValueError("latency cannot be negative")
+    return lambda rng: value
+
+
+def uniform_latency(low: float, high: float) -> LatencyModel:
+    """Latency uniform in ``[low, high]``."""
+    if not 0 <= low <= high:
+        raise ValueError(f"invalid latency range [{low}, {high}]")
+    return lambda rng: rng.uniform(low, high)
+
+
+def exponential_latency(mean: float) -> LatencyModel:
+    """Exponentially distributed latency with the given mean."""
+    if mean <= 0:
+        raise ValueError("mean latency must be positive")
+    return lambda rng: rng.expovariate(1.0 / mean)
+
+
+class Network:
+    """The shared message fabric of one simulation."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        rng: random.Random,
+        latency: LatencyModel | float = 1.0,
+        drop_probability: float = 0.0,
+        duplicate_probability: float = 0.0,
+    ) -> None:
+        if not 0.0 <= drop_probability < 1.0:
+            raise ValueError("drop probability must be in [0, 1)")
+        if not 0.0 <= duplicate_probability < 1.0:
+            raise ValueError("duplicate probability must be in [0, 1)")
+        self._scheduler = scheduler
+        self._rng = rng
+        self._latency = (
+            fixed_latency(latency) if isinstance(latency, (int, float)) else latency
+        )
+        self._drop_probability = drop_probability
+        self._duplicate_probability = duplicate_probability
+        self._endpoints: dict[int, Endpoint] = {}
+        self._partition = PartitionSpec()
+        self.stats = NetworkStats()
+
+    def register(self, sid: int, endpoint: Endpoint) -> None:
+        """Attach an endpoint under its SID."""
+        if sid in self._endpoints:
+            raise ValueError(f"SID {sid} already registered")
+        self._endpoints[sid] = endpoint
+
+    def endpoint(self, sid: int) -> Endpoint:
+        """Look up a registered endpoint."""
+        return self._endpoints[sid]
+
+    @property
+    def scheduler(self) -> Scheduler:
+        """The simulation's event scheduler."""
+        return self._scheduler
+
+    # ------------------------------------------------------------------
+    # partitions
+    # ------------------------------------------------------------------
+
+    def set_partition(self, spec: PartitionSpec) -> None:
+        """Install a partition; messages across components are dropped."""
+        self._partition = spec
+
+    def heal_partition(self) -> None:
+        """Remove any partition (fully connected again)."""
+        self._partition = PartitionSpec()
+
+    @property
+    def partitioned(self) -> bool:
+        """True iff a non-trivial partition is installed."""
+        return bool(self._partition.groups)
+
+    def reachable(self, a: int, b: int) -> bool:
+        """Whether SIDs ``a`` and ``b`` are in the same partition component."""
+        return self._partition.connected(a, b)
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+
+    def send(self, message: Message) -> None:
+        """Send a message; delivery (if any) happens after the link latency.
+
+        Loss and partition checks happen at send time; the destination's
+        liveness is checked at *delivery* time, so a site that crashes while
+        a message is in flight silently discards it — exactly the window a
+        quorum operation has to tolerate.
+        """
+        if message.dst not in self._endpoints:
+            raise KeyError(f"no endpoint registered for SID {message.dst}")
+        self.stats.sent += 1
+        if not self._partition.connected(message.src, message.dst):
+            self.stats.dropped_partition += 1
+            return
+        if self._drop_probability and self._rng.random() < self._drop_probability:
+            self.stats.dropped_loss += 1
+            return
+        delay = self._latency(self._rng)
+        self._scheduler.schedule(delay, lambda: self._deliver(message))
+        if (
+            self._duplicate_probability
+            and self._rng.random() < self._duplicate_probability
+        ):
+            # links may also deliver twice; protocol handlers must be
+            # idempotent (timestamp-guarded writes, re-acked commits, ...)
+            self.stats.duplicated += 1
+            extra = delay + self._latency(self._rng)
+            self._scheduler.schedule(extra, lambda: self._deliver(message))
+
+    def broadcast(self, messages: Iterable[Message]) -> None:
+        """Send a batch of messages."""
+        for message in messages:
+            self.send(message)
+
+    def _deliver(self, message: Message) -> None:
+        endpoint = self._endpoints.get(message.dst)
+        if endpoint is None or not endpoint.is_up:
+            self.stats.dropped_dead += 1
+            return
+        self.stats.delivered += 1
+        endpoint.receive(message)

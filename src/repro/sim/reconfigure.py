@@ -1,0 +1,195 @@
+"""Online tree reconfiguration: the paper's "spectrum shifting" claim.
+
+"Our protocol enables the shifting from one configuration into another by
+just modifying the structure of the tree.  There is no need to implement a
+new protocol whenever the frequencies of read and write operations change."
+(Conclusion.)  The paper does not define a transition protocol, so this
+module supplies the missing piece: a state-transfer migration that moves a
+running system from one tree shape to another.
+
+The subtlety is that quorums of *different* trees need not intersect: a
+value written through an old-tree write quorum may be invisible to every
+new-tree read quorum.  :class:`TreeReconfigurer` therefore re-writes every
+key through the *new* tree's quorums before the switch:
+
+1. verify the coordinator is quiescent (no in-flight operations) — client
+   traffic must be paused for the duration, exactly like a schema change
+   behind the paper's centralised concurrency control;
+2. for every key: read through the current (old) tree, then write the value
+   back through the **new** tree (with a bumped version, so the migrated
+   copy dominates everywhere);
+3. swap the coordinator's quorum policy to the new tree.
+
+Both steps use the ordinary quorum operations, so the migration inherits
+their fault tolerance (per-key retries, 2PC, termination protocol).  A key
+whose read or write cannot complete fails the reconfiguration, leaving the
+system safely on the old tree — migrated keys were *added* to new-tree
+levels, which never invalidates old-tree reads.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.protocol import ArbitraryProtocol
+from repro.core.tree import ArbitraryTree
+from repro.sim.coordinator import OperationOutcome, QuorumCoordinator
+
+
+class ReconfigStatus(enum.Enum):
+    """Terminal states of a reconfiguration run."""
+
+    SUCCESS = "success"
+    NOT_QUIESCENT = "coordinator-not-quiescent"
+    READ_FAILED = "key-read-failed"
+    WRITE_FAILED = "key-write-failed"
+
+
+@dataclass
+class ReconfigOutcome:
+    """What a reconfiguration did."""
+
+    status: ReconfigStatus
+    new_tree: ArbitraryTree
+    keys_migrated: int = 0
+    keys_total: int = 0
+    failed_key: Any = None
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    operations_used: int = 0
+
+    @property
+    def success(self) -> bool:
+        """True iff the policy switch happened."""
+        return self.status is ReconfigStatus.SUCCESS
+
+    @property
+    def duration(self) -> float:
+        """Simulated time the migration took."""
+        return self.finished_at - self.started_at
+
+
+DoneCallback = Callable[[ReconfigOutcome], None]
+
+
+@dataclass
+class _MigrationState:
+    new_tree: ArbitraryTree
+    new_policy: ArbitraryProtocol
+    keys: list
+    on_done: DoneCallback
+    outcome: ReconfigOutcome
+    index: int = 0
+    values: dict = field(default_factory=dict)
+
+
+class TreeReconfigurer:
+    """Drives tree-shape migrations for one coordinator.
+
+    Parameters
+    ----------
+    coordinator:
+        The coordinator whose policy will be migrated.  Its quorum policy
+        must currently be an :class:`~repro.core.protocol.ArbitraryProtocol`
+        (reconfiguration between arbitrary-protocol trees is what the paper
+        promises; migrating *to* the protocol from a baseline would need
+        write-all state transfer instead).
+    """
+
+    def __init__(self, coordinator: QuorumCoordinator) -> None:
+        self._coordinator = coordinator
+
+    def reconfigure(
+        self,
+        new_tree: ArbitraryTree,
+        keys: Sequence,
+        on_done: DoneCallback,
+    ) -> None:
+        """Migrate to ``new_tree``; ``on_done`` fires exactly once.
+
+        ``keys`` must cover every key whose latest value matters (the
+        engine's workload uses a known key space; a production system would
+        scan the keyspace).  The new tree must host the same replica SIDs
+        ``0..n-1`` — reconfiguration changes the *shape*, not the fleet.
+        """
+        now = self._coordinator.scheduler.now
+        outcome = ReconfigOutcome(
+            status=ReconfigStatus.SUCCESS,
+            new_tree=new_tree,
+            keys_total=len(keys),
+            started_at=now,
+            finished_at=now,
+        )
+        if new_tree.n != len(self._coordinator.policy_universe()):
+            raise ValueError(
+                f"new tree hosts {new_tree.n} replicas, the system has "
+                f"{len(self._coordinator.policy_universe())}"
+            )
+        if not self._coordinator.is_quiescent():
+            outcome.status = ReconfigStatus.NOT_QUIESCENT
+            on_done(outcome)
+            return
+        state = _MigrationState(
+            new_tree=new_tree,
+            new_policy=ArbitraryProtocol(new_tree),
+            keys=list(keys),
+            on_done=on_done,
+            outcome=outcome,
+        )
+        self._migrate_next(state)
+
+    # ------------------------------------------------------------------
+    # per-key pipeline: read (old tree) -> write (new tree)
+    # ------------------------------------------------------------------
+
+    def _migrate_next(self, state: _MigrationState) -> None:
+        if state.index >= len(state.keys):
+            self._finish(state)
+            return
+        key = state.keys[state.index]
+        state.outcome.operations_used += 1
+        self._coordinator.read(
+            key, lambda result: self._read_done(state, key, result)
+        )
+
+    def _read_done(
+        self, state: _MigrationState, key: Any, result: OperationOutcome
+    ) -> None:
+        if not result.success:
+            state.outcome.status = ReconfigStatus.READ_FAILED
+            state.outcome.failed_key = key
+            self._finish(state)
+            return
+        if result.value is None:
+            # never written: nothing to transfer
+            state.index += 1
+            self._migrate_next(state)
+            return
+        state.outcome.operations_used += 1
+        self._coordinator.write_with_policy(
+            key,
+            result.value,
+            state.new_policy,
+            lambda write_result: self._write_done(state, key, write_result),
+        )
+
+    def _write_done(
+        self, state: _MigrationState, key: Any, result: OperationOutcome
+    ) -> None:
+        if not result.success:
+            state.outcome.status = ReconfigStatus.WRITE_FAILED
+            state.outcome.failed_key = key
+            self._finish(state)
+            return
+        state.outcome.keys_migrated += 1
+        state.index += 1
+        self._migrate_next(state)
+
+    def _finish(self, state: _MigrationState) -> None:
+        if state.outcome.status is ReconfigStatus.SUCCESS:
+            self._coordinator.set_policy(state.new_policy)
+        state.outcome.finished_at = self._coordinator.scheduler.now
+        state.on_done(state.outcome)

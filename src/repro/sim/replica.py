@@ -1,0 +1,119 @@
+"""Versioned replica storage and timestamps (Section 2.2).
+
+The paper's timestamps consist of a *version number* and an *SID*.  A read
+returns the value whose timestamp has the highest version number and, among
+equal versions, the **lowest** site identifier (Section 3.2.1); a write
+obtains the current highest version number and increments it by one
+(Section 3.2.2).  :class:`Timestamp` encodes exactly that dominance order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Timestamp:
+    """A (version, SID) timestamp with the paper's dominance order.
+
+    ``a.dominates(b)`` iff ``a`` has a strictly higher version, or an equal
+    version and a strictly *lower* SID — the value a reader must prefer.
+    The zero timestamp ``Timestamp(0, -1)`` predates every write.
+    """
+
+    version: int
+    sid: int
+
+    def dominates(self, other: "Timestamp") -> bool:
+        """True iff this timestamp should be preferred over ``other``."""
+        if self.version != other.version:
+            return self.version > other.version
+        return self.sid < other.sid
+
+    def sort_key(self) -> tuple[int, int]:
+        """Key under which ``max`` picks the dominant timestamp."""
+        return (self.version, -self.sid)
+
+    def next_version(self, writer_sid: int) -> "Timestamp":
+        """The timestamp a writer stamps after reading this one."""
+        return Timestamp(version=self.version + 1, sid=writer_sid)
+
+    def __str__(self) -> str:
+        return f"v{self.version}@{self.sid}"
+
+
+#: The timestamp of never-written data.
+ZERO_TIMESTAMP = Timestamp(version=0, sid=-1)
+
+
+def dominant(timestamps: list[Timestamp]) -> Timestamp:
+    """The dominant timestamp of a non-empty list."""
+    if not timestamps:
+        raise ValueError("need at least one timestamp")
+    return max(timestamps, key=Timestamp.sort_key)
+
+
+@dataclass
+class StoredValue:
+    """One versioned datum held by a replica."""
+
+    value: Any
+    timestamp: Timestamp
+
+
+class VersionedStore:
+    """Per-site key/value storage with timestamp-guarded writes.
+
+    Storage survives crashes (the paper's failures are transient; sites
+    recover with their stable storage intact).  Writes are *monotone*: a
+    value is only installed when its timestamp dominates the stored one, so
+    replayed or reordered 2PC commits cannot roll a replica backwards.
+    """
+
+    def __init__(self) -> None:
+        self._data: dict[Any, StoredValue] = {}
+        self._applied_writes = 0
+        self._ignored_writes = 0
+
+    def read(self, key: Any) -> StoredValue:
+        """Current value+timestamp, or the zero timestamp if never written."""
+        entry = self._data.get(key)
+        if entry is None:
+            return StoredValue(value=None, timestamp=ZERO_TIMESTAMP)
+        return entry
+
+    def version_of(self, key: Any) -> Timestamp:
+        """Current timestamp of ``key``."""
+        return self.read(key).timestamp
+
+    def apply_write(self, key: Any, value: Any, timestamp: Timestamp) -> bool:
+        """Install ``value`` iff ``timestamp`` dominates the stored one.
+
+        Returns True when the write was applied, False when it was stale
+        and ignored.
+        """
+        current = self.read(key).timestamp
+        if not timestamp.dominates(current):
+            self._ignored_writes += 1
+            return False
+        self._data[key] = StoredValue(value=value, timestamp=timestamp)
+        self._applied_writes += 1
+        return True
+
+    def keys(self) -> list:
+        """All keys ever written."""
+        return list(self._data)
+
+    @property
+    def applied_writes(self) -> int:
+        """Number of writes installed."""
+        return self._applied_writes
+
+    @property
+    def ignored_writes(self) -> int:
+        """Number of stale writes rejected by the timestamp guard."""
+        return self._ignored_writes
+
+    def __len__(self) -> int:
+        return len(self._data)

@@ -1,0 +1,302 @@
+"""Replica sites: processing unit + storage + SID (Section 2.2).
+
+Sites are fail-stop: while crashed they process nothing (in-flight messages
+addressed to them are dropped by the network), and failures are transient —
+on recovery the site resumes with its stable storage (the versioned store
+and the 2PC prepare log) intact.
+
+A site answers read/version requests directly and participates in 2PC for
+writes.  The prepare log enforces write/write exclusion at the replica: a
+second transaction asking to prepare a key that is already prepared (and
+undecided) is refused, which keeps the site safe even if the centralised
+lock manager is bypassed.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+from typing import Any
+
+from repro.sim.messages import (
+    AbortMessage,
+    AckMessage,
+    CommitMessage,
+    DecisionRequest,
+    Message,
+    PrepareMessage,
+    ReadReply,
+    ReadRequest,
+    VersionReply,
+    VersionRequest,
+    VoteMessage,
+)
+from repro.sim.network import Network
+from repro.sim.replica import Timestamp, VersionedStore
+
+
+class SiteState(enum.Enum):
+    """Fail-stop site lifecycle."""
+
+    UP = "up"
+    DOWN = "down"
+
+
+@dataclass
+class _PreparedWrite:
+    txid: int
+    key: Any
+    value: Any
+    timestamp: Timestamp
+    coordinator: int
+
+
+@dataclass
+class SiteStats:
+    """Per-site counters used by load measurements."""
+
+    reads_served: int = 0
+    versions_served: int = 0
+    prepares: int = 0
+    commits: int = 0
+    aborts: int = 0
+    refused_prepares: int = 0
+    refused_reads: int = 0
+    max_queue_depth: int = 0
+    crashes: int = 0
+    recoveries: int = 0
+
+    @property
+    def quorum_touches(self) -> int:
+        """How many quorum memberships this site served (read + prepare)."""
+        return self.reads_served + self.prepares
+
+
+class Site:
+    """One replica site.
+
+    Parameters
+    ----------
+    sid:
+        Unique non-negative site identifier.
+    network:
+        The message fabric to register on.
+    service_time:
+        Time the processing unit spends on each message.  Zero (default)
+        means infinitely fast replicas — the paper's analytical setting.
+        A positive value gives each site a FIFO queue served sequentially,
+        which turns *system load* into an operational quantity: the busiest
+        replica's queue bounds throughput at ``1 / (load * service_time)``
+        (Naor-Wool capacity).
+    """
+
+    def __init__(
+        self, sid: int, network: Network, service_time: float = 0.0
+    ) -> None:
+        if sid < 0:
+            raise ValueError("replica SIDs must be non-negative")
+        if service_time < 0:
+            raise ValueError("service time cannot be negative")
+        self.sid = sid
+        self._network = network
+        self._state = SiteState.UP
+        self._service_time = service_time
+        self._queue: deque[Message] = deque()
+        self._busy = False
+        self.store = VersionedStore()
+        self._prepared: dict[int, _PreparedWrite] = {}
+        self._prepared_keys: dict[Any, int] = {}
+        self.stats = SiteStats()
+        network.register(sid, self)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def is_up(self) -> bool:
+        """Whether the site currently processes messages."""
+        return self._state is SiteState.UP
+
+    @property
+    def state(self) -> SiteState:
+        """The current lifecycle state."""
+        return self._state
+
+    def crash(self) -> None:
+        """Fail-stop: stop processing (storage and prepare log persist).
+
+        Queued but unprocessed messages are lost — they lived in volatile
+        memory.
+        """
+        if self._state is SiteState.UP:
+            self._state = SiteState.DOWN
+            self.stats.crashes += 1
+            self._queue.clear()
+            self._busy = False
+
+    def recover(self) -> None:
+        """Transient failure over: resume with stable storage intact.
+
+        Recovery runs the 2PC termination protocol: for every in-doubt
+        prepared transaction the site asks its coordinator for the decision
+        (the coordinator answers commit or, presuming abort, abort), so a
+        crash between vote and decision cannot block the key forever.
+        """
+        if self._state is not SiteState.DOWN:
+            return
+        self._state = SiteState.UP
+        self.stats.recoveries += 1
+        for prepared in list(self._prepared.values()):
+            self._network.send(
+                DecisionRequest(
+                    src=self.sid,
+                    dst=prepared.coordinator,
+                    txid=prepared.txid,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # message handling
+    # ------------------------------------------------------------------
+
+    def receive(self, message: Message) -> None:
+        """Accept one delivered message (the network checks liveness).
+
+        With a zero service time the message is handled inline; otherwise
+        it joins the FIFO queue and the processing unit works it off at one
+        message per ``service_time``.
+        """
+        if not self.is_up:  # defensive: the network already filters
+            return
+        if self._service_time == 0.0:
+            self._handle(message)
+            return
+        self._queue.append(message)
+        self.stats.max_queue_depth = max(
+            self.stats.max_queue_depth, len(self._queue)
+        )
+        if not self._busy:
+            self._serve_next()
+
+    def _serve_next(self) -> None:
+        if not self._queue or not self.is_up:
+            self._busy = False
+            return
+        self._busy = True
+        message = self._queue.popleft()
+
+        def done() -> None:
+            if self.is_up:
+                self._handle(message)
+            self._serve_next()
+
+        self._network.scheduler.schedule(self._service_time, done)
+
+    def _handle(self, message: Message) -> None:
+        if isinstance(message, ReadRequest):
+            self._on_read(message)
+        elif isinstance(message, VersionRequest):
+            self._on_version(message)
+        elif isinstance(message, PrepareMessage):
+            self._on_prepare(message)
+        elif isinstance(message, CommitMessage):
+            self._on_commit(message)
+        elif isinstance(message, AbortMessage):
+            self._on_abort(message)
+        else:
+            raise TypeError(f"site {self.sid} cannot handle {type(message).__name__}")
+
+    def _on_read(self, message: ReadRequest) -> None:
+        if message.key in self._prepared_keys:
+            # In doubt for this key: the stored value may be stale the
+            # instant the pending commit lands, so serving it could violate
+            # one-copy equivalence.  Stay silent; the coordinator retries
+            # with another replica.
+            self.stats.refused_reads += 1
+            return
+        self.stats.reads_served += 1
+        entry = self.store.read(message.key)
+        self._network.send(
+            ReadReply(
+                src=self.sid,
+                dst=message.src,
+                key=message.key,
+                request_id=message.request_id,
+                value=entry.value,
+                timestamp=entry.timestamp,
+            )
+        )
+
+    def _on_version(self, message: VersionRequest) -> None:
+        if message.key in self._prepared_keys:
+            self.stats.refused_reads += 1
+            return
+        self.stats.versions_served += 1
+        self._network.send(
+            VersionReply(
+                src=self.sid,
+                dst=message.src,
+                key=message.key,
+                request_id=message.request_id,
+                timestamp=self.store.version_of(message.key),
+            )
+        )
+
+    def _on_prepare(self, message: PrepareMessage) -> None:
+        holder = self._prepared_keys.get(message.key)
+        if holder is not None and holder != message.txid:
+            self.stats.refused_prepares += 1
+            self._network.send(
+                VoteMessage(
+                    src=self.sid, dst=message.src,
+                    txid=message.txid, vote_commit=False,
+                )
+            )
+            return
+        self.stats.prepares += 1
+        self._prepared[message.txid] = _PreparedWrite(
+            txid=message.txid,
+            key=message.key,
+            value=message.value,
+            timestamp=message.timestamp,
+            coordinator=message.src,
+        )
+        self._prepared_keys[message.key] = message.txid
+        self._network.send(
+            VoteMessage(
+                src=self.sid, dst=message.src,
+                txid=message.txid, vote_commit=True,
+            )
+        )
+
+    def _on_commit(self, message: CommitMessage) -> None:
+        prepared = self._prepared.pop(message.txid, None)
+        if prepared is not None:
+            self._prepared_keys.pop(prepared.key, None)
+            self.store.apply_write(
+                prepared.key, prepared.value, prepared.timestamp
+            )
+            self.stats.commits += 1
+        # Always ack, even for an already-applied (retransmitted) commit —
+        # the coordinator may have lost the first ack.
+        self._network.send(
+            AckMessage(
+                src=self.sid, dst=message.src, txid=message.txid, committed=True
+            )
+        )
+
+    def _on_abort(self, message: AbortMessage) -> None:
+        prepared = self._prepared.pop(message.txid, None)
+        if prepared is not None:
+            self._prepared_keys.pop(prepared.key, None)
+        self.stats.aborts += 1
+        self._network.send(
+            AckMessage(
+                src=self.sid, dst=message.src, txid=message.txid, committed=False
+            )
+        )
+
+    def __repr__(self) -> str:
+        return f"Site(sid={self.sid}, state={self._state.value})"

@@ -1,0 +1,164 @@
+"""Client workload generation.
+
+A :class:`Workload` issues a stream of read/write operations against a
+coordinator: the read/write mix, arrival process and key popularity are all
+configurable.  The workload is the empirical counterpart of the paper's
+"frequencies of read and write operations" that drive tree configuration.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from collections.abc import Sequence
+
+from repro.sim.coordinator import OperationOutcome, QuorumCoordinator
+from repro.sim.events import Scheduler
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of a workload.
+
+    Attributes
+    ----------
+    operations:
+        Total number of operations to issue.
+    read_fraction:
+        Probability each operation is a read (the paper's read frequency).
+    keys:
+        Size of the key space (keys are ``"k0" .. f"k{keys-1}"``).
+    arrival:
+        ``"closed"`` — issue the next operation when the previous one
+        finishes (one outstanding op; cleanest for load measurement), or
+        ``"poisson"`` — open-loop Poisson arrivals at ``rate`` ops per time
+        unit (exercises locking and concurrency).
+    rate:
+        Arrival rate for the Poisson process.
+    zipf_s:
+        Zipf skew for key popularity; 0 means uniform.
+    """
+
+    operations: int = 1000
+    read_fraction: float = 0.5
+    keys: int = 16
+    arrival: str = "closed"
+    rate: float = 1.0
+    zipf_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.operations < 0:
+            raise ValueError("operations must be non-negative")
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ValueError("read_fraction must be in [0, 1]")
+        if self.keys < 1:
+            raise ValueError("need at least one key")
+        if self.arrival not in ("closed", "poisson"):
+            raise ValueError(f"unknown arrival process {self.arrival!r}")
+        if self.arrival == "poisson" and self.rate <= 0:
+            raise ValueError("poisson arrivals need a positive rate")
+        if self.zipf_s < 0:
+            raise ValueError("zipf skew must be non-negative")
+
+
+class Workload:
+    """Drives a coordinator according to a :class:`WorkloadSpec`."""
+
+    def __init__(
+        self,
+        spec: WorkloadSpec,
+        coordinator: QuorumCoordinator | Sequence[QuorumCoordinator],
+        scheduler: Scheduler,
+        rng: random.Random,
+        on_outcome: Callable[[OperationOutcome], None],
+        on_complete: Callable[[], None] | None = None,
+    ) -> None:
+        self._spec = spec
+        if isinstance(coordinator, QuorumCoordinator):
+            self._coordinators: tuple[QuorumCoordinator, ...] = (coordinator,)
+        else:
+            self._coordinators = tuple(coordinator)
+            if not self._coordinators:
+                raise ValueError("need at least one coordinator")
+        self._scheduler = scheduler
+        self._rng = rng
+        self._on_outcome = on_outcome
+        self._on_complete = on_complete
+        self._issued = 0
+        self._completed = 0
+        self._next_value = 0
+        self._key_weights = self._build_key_weights()
+
+    def _build_key_weights(self) -> list[float] | None:
+        if self._spec.zipf_s == 0.0:
+            return None
+        return [
+            1.0 / (rank**self._spec.zipf_s)
+            for rank in range(1, self._spec.keys + 1)
+        ]
+
+    def _pick_key(self) -> str:
+        if self._key_weights is None:
+            index = self._rng.randrange(self._spec.keys)
+        else:
+            (index,) = self._rng.choices(
+                range(self._spec.keys), weights=self._key_weights
+            )
+        return f"k{index}"
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin issuing operations."""
+        if self._spec.operations == 0:
+            self._maybe_complete()
+            return
+        if self._spec.arrival == "closed":
+            self._issue_one()
+        else:
+            self._schedule_poisson_arrivals()
+
+    def _schedule_poisson_arrivals(self) -> None:
+        at = 0.0
+        for _ in range(self._spec.operations):
+            at += self._rng.expovariate(self._spec.rate)
+            self._scheduler.schedule(at, self._issue_one)
+
+    def _issue_one(self) -> None:
+        if self._issued >= self._spec.operations:
+            return
+        coordinator = self._coordinators[self._issued % len(self._coordinators)]
+        self._issued += 1
+        key = self._pick_key()
+        if self._rng.random() < self._spec.read_fraction:
+            coordinator.read(key, self._op_done)
+        else:
+            value = f"v{self._next_value}"
+            self._next_value += 1
+            coordinator.write(key, value, self._op_done)
+
+    def _op_done(self, outcome: OperationOutcome) -> None:
+        self._completed += 1
+        self._on_outcome(outcome)
+        if self._spec.arrival == "closed" and self._issued < self._spec.operations:
+            self._issue_one()
+        self._maybe_complete()
+
+    def _maybe_complete(self) -> None:
+        if self._completed >= self._spec.operations and self._on_complete:
+            callback, self._on_complete = self._on_complete, None
+            callback()
+
+    @property
+    def issued(self) -> int:
+        """Operations issued so far."""
+        return self._issued
+
+    @property
+    def completed(self) -> int:
+        """Operations whose outcome has been reported."""
+        return self._completed

@@ -1,0 +1,73 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nonsense"])
+
+    def test_analyse_takes_spec(self):
+        args = build_parser().parse_args(["analyse", "1-3-5", "--p", "0.8"])
+        assert args.spec == "1-3-5"
+        assert args.p == 0.8
+
+    def test_tune_defaults(self):
+        args = build_parser().parse_args(["tune"])
+        assert args.n == 48 and args.read_fraction == 0.5
+
+
+class TestCommands:
+    def test_example_prints_table1(self, capsys):
+        assert main(["example"]) == 0
+        output = capsys.readouterr().out
+        assert "Table 1" in output
+        assert "0.9706" in output      # RD_availability(0.7)
+        assert "0.7733" in output     # E[L_WR] (paper rounds to 0.775)
+
+    def test_fig2(self, capsys):
+        assert main(["fig2", "--p", "0.7"]) == 0
+        output = capsys.readouterr().out
+        assert "read_cost" in output and "MOSTLY-READ" in output
+
+    def test_fig3_and_fig4(self, capsys):
+        assert main(["fig3"]) == 0
+        assert "read_load" in capsys.readouterr().out
+        assert main(["fig4"]) == 0
+        assert "write_load" in capsys.readouterr().out
+
+    def test_survey(self, capsys):
+        assert main(["survey", "--n", "121"]) == 0
+        output = capsys.readouterr().out
+        assert "HQC" in output and "ROWA" in output
+
+    def test_analyse(self, capsys):
+        assert main(["analyse", "1-3-5", "--p", "0.7"]) == 0
+        output = capsys.readouterr().out
+        assert "0.4534" in output      # write availability
+
+    def test_tune(self, capsys):
+        assert main(["tune", "--n", "24", "--read-fraction", "1.0"]) == 0
+        output = capsys.readouterr().out
+        assert "1-24" in output        # pure reads -> one wide level
+
+    def test_simulate(self, capsys):
+        assert main([
+            "simulate", "1-3-5", "--operations", "200", "--seed", "1",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "simulated" in output
+        assert "messages" in output
+
+    def test_simulate_with_failures(self, capsys):
+        assert main([
+            "simulate", "1-3-5", "--operations", "300", "--p", "0.8",
+        ]) == 0
+        assert "availability" in capsys.readouterr().out

@@ -1,0 +1,91 @@
+"""Unit tests for the analysis layer: configuration points and sweeps."""
+
+import pytest
+
+from repro.analysis.expected import expected_loads, stability_report
+from repro.analysis.formulas import evaluate_all, evaluate_configuration
+from repro.analysis.sweeps import (
+    figure2_series,
+    figure3_series,
+    figure4_series,
+    sweep_configurations,
+)
+from repro.core.builder import from_spec, recommended_tree
+from repro.core.config import ALL_CONFIGURATIONS, Configuration
+
+
+class TestEvaluateConfiguration:
+    def test_point_fields(self):
+        point = evaluate_configuration(Configuration.ARBITRARY, 40, 0.8)
+        assert point.config is Configuration.ARBITRARY
+        assert point.n == 40
+        assert point.p == 0.8
+        assert point.read_cost == 8  # 7 head levels + 1
+
+    def test_snapping_recorded(self):
+        point = evaluate_configuration(Configuration.BINARY, 100, 0.7)
+        assert point.n == 127
+
+    def test_evaluate_all_covers_everything(self):
+        points = evaluate_all(81)
+        assert set(points) == set(ALL_CONFIGURATIONS)
+
+
+class TestSweeps:
+    def test_series_shape(self):
+        series = sweep_configurations(
+            ("read_cost",), sizes=(15, 31), configs=(Configuration.ARBITRARY,)
+        )
+        points = series.series[Configuration.ARBITRARY]["read_cost"]
+        assert [point.requested_n for point in points] == [15, 31]
+        assert series.quantities == ("read_cost",)
+
+    def test_figure_helpers_quantities(self):
+        assert figure2_series(sizes=(15,)).quantities == ("read_cost", "write_cost")
+        assert figure3_series(sizes=(15,)).quantities == (
+            "read_load", "expected_read_load",
+        )
+        assert figure4_series(sizes=(15,)).quantities == (
+            "write_load", "expected_write_load",
+        )
+
+    def test_all_configs_present(self):
+        series = figure2_series(sizes=(31,))
+        assert set(series.series) == set(ALL_CONFIGURATIONS)
+
+    def test_default_p(self):
+        assert figure3_series(sizes=(15,)).p == 0.7
+
+
+class TestExpectedLoads:
+    def test_matches_metrics(self):
+        from repro.core import metrics
+
+        tree = from_spec("1-3-5")
+        loads = expected_loads(tree, 0.7)
+        assert loads.read_load == pytest.approx(metrics.read_load(tree))
+        assert loads.expected_write_load == pytest.approx(
+            metrics.expected_write_load(tree, 0.7)
+        )
+
+    def test_stability_report_gaps_shrink_with_p(self):
+        tree = recommended_tree(64)
+        report = stability_report(tree)
+        assert report.write_gaps[0] > report.write_gaps[-1]
+        assert all(gap >= -1e-12 for gap in report.read_gaps)
+
+    def test_stable_from(self):
+        tree = recommended_tree(64)
+        report = stability_report(tree)
+        threshold = report.stable_from(tolerance=0.05)
+        assert threshold is not None
+        # the paper's observation: stable once p > 0.8
+        assert threshold <= 0.9
+
+    def test_stable_from_none_when_never_stable(self):
+        from repro.core.builder import mostly_write
+
+        tree = mostly_write(101)
+        report = stability_report(tree, p_values=(0.5, 0.6))
+        # with 50 two-replica levels, read availability at p <= 0.6 is awful
+        assert report.stable_from(tolerance=0.01) is None

@@ -1,0 +1,72 @@
+"""Unit tests for the related-work survey module."""
+
+import math
+
+import pytest
+
+from repro.analysis.related_work import (
+    RelatedWorkEntry,
+    choi_model,
+    koch_model,
+    survey,
+)
+
+
+class TestSurvey:
+    @pytest.fixture(scope="class")
+    def entries(self):
+        return {entry.protocol: entry for entry in survey(121)}
+
+    def test_covers_all_protocols(self, entries):
+        assert set(entries) == {
+            "ROWA", "Majority", "FPP (sqrt n)", "Grid", "Tree quorum",
+            "HQC", "AE tree (VLDB90)", "Koch", "Choi symmetric",
+            "Arbitrary (this paper)",
+        }
+
+    def test_sizes_snap_to_admissible(self, entries):
+        assert entries["Tree quorum"].n == 127      # 2^7 - 1
+        assert entries["HQC"].n == 81               # 3^4
+        assert entries["FPP (sqrt n)"].n == 133     # 11^2 + 11 + 1
+        assert entries["Majority"].n % 2 == 1
+
+    def test_loads_in_unit_interval(self, entries):
+        for entry in entries.values():
+            assert 0.0 < entry.read_load <= 1.0
+            assert 0.0 < entry.write_load <= 1.0
+
+    def test_costs_positive_and_ordered(self, entries):
+        for entry in entries.values():
+            assert 1 <= entry.read_cost_best <= entry.read_cost_worst
+            assert entry.write_cost >= 1
+
+    def test_even_n_majority_bumped_to_odd(self):
+        entries = {entry.protocol: entry for entry in survey(100)}
+        assert entries["Majority"].n == 101
+
+
+class TestFormulaModels:
+    def test_koch_read_range(self):
+        entry = koch_model(121)
+        height = round(math.log(2 * entry.n + 1, 3)) - 1
+        assert entry.read_cost_worst == pytest.approx(3.0**height)
+        assert entry.read_cost_best == 1
+
+    def test_choi_read_range_is_square_root_of_koch(self):
+        koch = koch_model(121)
+        choi = choi_model(121)
+        assert choi.read_cost_worst == pytest.approx(
+            math.sqrt(koch.read_cost_worst)
+        )
+
+    def test_intro_load_quotes(self):
+        assert koch_model(121).read_load == 1.0
+        assert choi_model(121).read_load == 0.5
+
+    def test_entry_is_frozen(self):
+        entry = koch_model(121)
+        with pytest.raises(AttributeError):
+            entry.read_load = 0.0  # type: ignore[misc]
+
+    def test_entry_type(self):
+        assert isinstance(choi_model(10), RelatedWorkEntry)

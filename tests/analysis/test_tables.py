@@ -1,0 +1,52 @@
+"""Unit tests for text table rendering."""
+
+from repro.analysis.sweeps import figure2_series
+from repro.analysis.tables import format_series, format_table
+from repro.core.config import Configuration
+
+
+class TestFormatTable:
+    def test_headers_and_rows_present(self):
+        text = format_table(["a", "b"], [[1, 2], [3, 4]])
+        lines = text.splitlines()
+        assert "a" in lines[0] and "b" in lines[0]
+        assert "1" in lines[2]
+        assert "3" in lines[3]
+
+    def test_title_line(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_columns_aligned(self):
+        text = format_table(["col"], [[1], [100]])
+        lines = text.splitlines()
+        assert len(lines[1]) == len(lines[2]) == len(lines[3])
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.5], [1234.5], [0.00001], [0.0]])
+        assert "0.5" in text
+        assert "e" in text.lower()  # scientific for extremes
+        assert "0" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestFormatSeries:
+    def test_renders_all_configs(self):
+        series = figure2_series(sizes=(15, 31))
+        text = format_series(series, "read_cost", title="costs")
+        assert "costs" in text
+        for config in Configuration:
+            assert str(config) in text
+        assert "15" in text and "31" in text
+
+    def test_subset_of_configs(self):
+        series = figure2_series(sizes=(15,))
+        text = format_series(
+            series, "write_cost",
+            configs=[Configuration.ARBITRARY, Configuration.HQC],
+        )
+        assert "ARBITRARY" in text and "HQC" in text
+        assert "BINARY" not in text

@@ -1,0 +1,225 @@
+"""Unit tests for tree constructors (Algorithm 1 and the named shapes)."""
+
+import math
+
+import pytest
+
+from repro.core.builder import (
+    algorithm_1,
+    balanced_tree,
+    from_physical_level_sizes,
+    from_spec,
+    mostly_read,
+    mostly_write,
+    recommended_tree,
+    sqrt_levels,
+    uniform_tree,
+    unmodified_binary,
+    _spread,
+)
+
+
+class TestFromSpec:
+    def test_paper_example(self):
+        tree = from_spec("1-3-5")
+        assert tree.physical_level_sizes == (3, 5)
+        assert tree.logical_levels == (0,)
+
+    def test_round_trip(self):
+        for spec in ("1-3-5", "1-2-2-4", "P1-2-4", "1-9"):
+            assert from_spec(spec).spec() == spec
+
+    def test_bare_number_is_single_level(self):
+        tree = from_spec("8")
+        assert tree.physical_level_sizes == (8,)
+
+    def test_physical_root_spec(self):
+        tree = from_spec("P1-2-4")
+        assert tree.physical_levels == (0, 1, 2)
+        assert tree.n == 7
+
+    def test_physical_root_must_be_one(self):
+        with pytest.raises(ValueError, match="size 1"):
+            from_spec("P2-4")
+
+    def test_whitespace_tolerated(self):
+        assert from_spec("  1-3-5 ").spec() == "1-3-5"
+
+    def test_zero_level_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            from_spec("1-0-5")
+
+
+class TestFromPhysicalLevelSizes:
+    def test_logical_root_default(self):
+        tree = from_physical_level_sizes([3, 5])
+        assert tree.m_log(0) == 1 and tree.m_phy(0) == 0
+
+    def test_empty_sizes_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            from_physical_level_sizes([])
+
+    def test_physical_root_requires_singleton_first(self):
+        with pytest.raises(ValueError, match="exactly 1"):
+            from_physical_level_sizes([2, 4], logical_root=False)
+
+
+class TestSpread:
+    def test_even_split(self):
+        assert _spread(12, 3) == [4, 4, 4]
+
+    def test_remainder_goes_deep(self):
+        assert _spread(14, 3) == [4, 5, 5]
+
+    def test_sizes_non_decreasing(self):
+        for total in range(5, 60):
+            for buckets in range(1, 6):
+                if total // buckets >= 1:
+                    sizes = _spread(total, buckets)
+                    assert sizes == sorted(sizes)
+                    assert sum(sizes) == total
+
+    def test_minimum_enforced(self):
+        with pytest.raises(ValueError, match="cannot place"):
+            _spread(5, 3, minimum=2)
+
+    def test_zero_buckets_rejected(self):
+        with pytest.raises(ValueError, match="at least one bucket"):
+            _spread(5, 0)
+
+
+class TestMostlyRead:
+    def test_single_physical_level(self):
+        tree = mostly_read(10)
+        assert tree.num_physical_levels == 1
+        assert tree.d == tree.e == 10
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            mostly_read(0)
+
+
+class TestMostlyWrite:
+    def test_odd_n_levels(self):
+        tree = mostly_write(9)
+        assert tree.num_physical_levels == 4  # (9-1)/2
+        assert tree.physical_level_sizes == (2, 2, 2, 3)
+        assert tree.n == 9
+
+    def test_even_n_levels(self):
+        tree = mostly_write(8)
+        assert tree.physical_level_sizes == (2, 2, 2, 2)
+
+    def test_paper_quantities_for_odd_n(self):
+        """read cost (n-1)/2, write min cost 2, loads 1/2 and 2/(n-1)."""
+        n = 15
+        tree = mostly_write(n)
+        assert tree.num_physical_levels == (n - 1) // 2
+        assert tree.d == 2
+
+    def test_rejects_below_two(self):
+        with pytest.raises(ValueError):
+            mostly_write(1)
+
+
+class TestAlgorithm1:
+    def test_rejects_n_at_most_64(self):
+        with pytest.raises(ValueError, match="n > 64"):
+            algorithm_1(64)
+
+    @pytest.mark.parametrize("n", [65, 81, 100, 200, 500, 1000, 4096])
+    def test_structure(self, n):
+        tree = algorithm_1(n)
+        assert tree.n == n
+        assert tree.num_physical_levels == math.isqrt(n)
+        assert tree.physical_level_sizes[:7] == (4,) * 7
+        assert tree.satisfies_assumption()
+        assert tree.logical_levels == (0,)
+
+    def test_tail_sizes_near_even(self):
+        tree = algorithm_1(100)
+        tail = tree.physical_level_sizes[7:]
+        assert max(tail) - min(tail) <= 1
+        assert sum(tail) == 100 - 28
+
+
+class TestBalancedTree:
+    def test_mid_range_gets_extra_level(self):
+        tree = balanced_tree(48)
+        assert tree.physical_level_sizes == (4,) * 7 + (20,)
+
+    def test_just_above_28_appends_to_last(self):
+        tree = balanced_tree(30)
+        assert tree.physical_level_sizes == (4, 4, 4, 4, 4, 4, 6)
+
+    def test_exactly_28(self):
+        with pytest.raises(ValueError):
+            balanced_tree(28)
+
+    def test_exact_head_shape(self):
+        tree = balanced_tree(56)
+        assert tree.n == 56
+        assert tree.satisfies_assumption()
+
+
+class TestSqrtLevels:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8, 16, 17, 30, 64, 100])
+    def test_conserves_replicas(self, n):
+        tree = sqrt_levels(n)
+        assert tree.n == n
+        assert tree.satisfies_assumption()
+        assert tree.num_physical_levels == max(1, math.isqrt(n))
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            sqrt_levels(0)
+
+
+class TestRecommendedTree:
+    def test_dispatch(self):
+        assert recommended_tree(100).physical_level_sizes[:7] == (4,) * 7
+        assert recommended_tree(40).physical_level_sizes[:7] == (4,) * 7
+        assert recommended_tree(10).num_physical_levels == 3
+
+    @pytest.mark.parametrize("n", [2, 9, 29, 33, 64, 65, 100])
+    def test_always_valid(self, n):
+        tree = recommended_tree(n)
+        assert tree.n == n
+        assert tree.satisfies_assumption()
+
+
+class TestUniformTree:
+    def test_binary(self):
+        tree = uniform_tree(2, 3)
+        assert tree.n == 15
+        assert tree.physical_level_sizes == (1, 2, 4, 8)
+        assert tree.num_logical_levels == 0
+
+    def test_ternary(self):
+        tree = uniform_tree(3, 2)
+        assert tree.n == 13
+        assert tree.physical_level_sizes == (1, 3, 9)
+
+    def test_height_zero(self):
+        assert uniform_tree(2, 0).n == 1
+
+    def test_rejects_branching_below_two(self):
+        with pytest.raises(ValueError, match="branching"):
+            uniform_tree(1, 3)
+
+    def test_rejects_negative_height(self):
+        with pytest.raises(ValueError, match="height"):
+            uniform_tree(2, -1)
+
+
+class TestUnmodifiedBinary:
+    @pytest.mark.parametrize("n", [1, 3, 7, 15, 31, 63])
+    def test_valid_sizes(self, n):
+        tree = unmodified_binary(n)
+        assert tree.n == n
+        assert tree.physical_levels == tuple(range(tree.height + 1))
+
+    @pytest.mark.parametrize("n", [2, 4, 5, 8, 16, 100])
+    def test_invalid_sizes_rejected(self, n):
+        with pytest.raises(ValueError, match="complete binary"):
+            unmodified_binary(n)

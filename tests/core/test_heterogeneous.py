@@ -1,0 +1,88 @@
+"""Tests for heterogeneous (per-replica) availability analysis."""
+
+import pytest
+
+from repro.core import metrics
+from repro.core.builder import from_spec
+from repro.core.protocol import ArbitraryProtocol
+from repro.quorums.availability import exact_availability
+
+
+@pytest.fixture
+def tree():
+    return from_spec("1-3-5")
+
+
+class TestScalarEquivalence:
+    def test_uniform_mapping_matches_scalar(self, tree):
+        p = 0.8
+        mapping = {sid: p for sid in tree.replica_ids()}
+        assert metrics.read_availability(tree, mapping) == pytest.approx(
+            metrics.read_availability(tree, p)
+        )
+        assert metrics.write_availability(tree, mapping) == pytest.approx(
+            metrics.write_availability(tree, p)
+        )
+        assert metrics.expected_write_load(tree, mapping) == pytest.approx(
+            metrics.expected_write_load(tree, p)
+        )
+
+
+class TestHeterogeneousValues:
+    def test_matches_exact_enumeration(self, tree):
+        mapping = {0: 0.5, 1: 0.9, 2: 0.8, 3: 0.95, 4: 0.7, 5: 0.6, 6: 0.85, 7: 0.75}
+        protocol = ArbitraryProtocol(tree)
+        exact_read = exact_availability(
+            list(protocol.read_quorums()), mapping, universe=protocol.universe
+        )
+        exact_write = exact_availability(
+            protocol.write_quorums(), mapping, universe=protocol.universe
+        )
+        assert metrics.read_availability(tree, mapping) == pytest.approx(
+            exact_read, abs=1e-9
+        )
+        assert metrics.write_availability(tree, mapping) == pytest.approx(
+            exact_write, abs=1e-9
+        )
+
+    def test_dead_level_member_kills_writes_to_it(self, tree):
+        mapping = {sid: 1.0 for sid in tree.replica_ids()}
+        mapping[0] = 0.0  # one level-1 replica permanently down
+        # writes fall back to level 2 only: availability = P(level2 all up) = 1
+        assert metrics.write_availability(tree, mapping) == pytest.approx(1.0)
+        mapping[3] = 0.0  # now break level 2 as well
+        assert metrics.write_availability(tree, mapping) == pytest.approx(0.0)
+
+    def test_reads_need_every_level(self, tree):
+        mapping = {sid: 1.0 for sid in tree.replica_ids()}
+        for sid in (0, 1, 2):  # all of level 1 down
+            mapping[sid] = 0.0
+        assert metrics.read_availability(tree, mapping) == pytest.approx(0.0)
+
+    def test_one_strong_replica_per_level_suffices_for_reads(self, tree):
+        mapping = {sid: 0.0 for sid in tree.replica_ids()}
+        mapping[2] = 1.0
+        mapping[7] = 1.0
+        assert metrics.read_availability(tree, mapping) == pytest.approx(1.0)
+
+    def test_invalid_probability_rejected(self, tree):
+        mapping = {sid: 0.9 for sid in tree.replica_ids()}
+        mapping[4] = 1.4
+        with pytest.raises(ValueError):
+            metrics.read_availability(tree, mapping)
+
+    def test_missing_sid_raises(self, tree):
+        with pytest.raises(KeyError):
+            metrics.read_availability(tree, {0: 0.9})
+
+    def test_weakest_link_dominates_write_side(self, tree):
+        strong = {sid: 0.99 for sid in tree.replica_ids()}
+        weak_level1 = dict(strong)
+        for sid in (0, 1, 2):
+            weak_level1[sid] = 0.5
+        # level 2 is untouched, so write availability stays high...
+        assert metrics.write_availability(tree, weak_level1) > 0.95
+        # ...but read availability dips with the weakened level
+        assert metrics.read_availability(tree, weak_level1) < (
+            metrics.read_availability(tree, strong)
+        )

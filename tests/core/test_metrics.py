@@ -1,0 +1,186 @@
+"""Unit tests for the closed-form metrics (Sections 3.2-3.3, Eq. 3.2)."""
+
+import math
+
+import pytest
+
+from repro.core import metrics
+from repro.core.builder import (
+    algorithm_1,
+    from_spec,
+    mostly_read,
+    mostly_write,
+    unmodified_binary,
+)
+
+
+@pytest.fixture
+def tree():
+    return from_spec("1-3-5")
+
+
+class TestPaperExample:
+    """Every number of Section 3.4 at p = 0.7."""
+
+    def test_read_cost(self, tree):
+        assert metrics.read_cost(tree) == 2
+
+    def test_read_availability(self, tree):
+        expected = (1 - 0.3**3) * (1 - 0.3**5)
+        assert metrics.read_availability(tree, 0.7) == pytest.approx(expected)
+        assert metrics.read_availability(tree, 0.7) == pytest.approx(0.97, abs=0.005)
+
+    def test_read_load(self, tree):
+        assert metrics.read_load(tree) == pytest.approx(1 / 3)
+
+    def test_write_costs(self, tree):
+        assert metrics.write_cost_min(tree) == 3
+        assert metrics.write_cost_max(tree) == 5
+        assert metrics.write_cost_avg(tree) == pytest.approx(4.0)
+
+    def test_write_availability(self, tree):
+        expected = 1 - (1 - 0.7**3) * (1 - 0.7**5)
+        assert metrics.write_availability(tree, 0.7) == pytest.approx(expected)
+        assert metrics.write_availability(tree, 0.7) == pytest.approx(0.45, abs=0.005)
+
+    def test_write_load(self, tree):
+        assert metrics.write_load(tree) == pytest.approx(0.5)
+
+    def test_expected_loads(self, tree):
+        assert metrics.expected_read_load(tree, 0.7) == pytest.approx(0.35, abs=0.005)
+        assert metrics.expected_write_load(tree, 0.7) == pytest.approx(0.775, abs=0.005)
+
+
+class TestFormulaIdentities:
+    def test_read_cost_identity(self, tree):
+        """RD_cost = 1 + h - |K_log|."""
+        assert metrics.read_cost(tree) == 1 + tree.height - tree.num_logical_levels
+
+    def test_write_avg_cost_identity(self, tree):
+        assert metrics.write_cost_avg(tree) == pytest.approx(
+            tree.n / tree.num_physical_levels
+        )
+
+    def test_failure_complement(self, tree):
+        for p in (0.5, 0.7, 0.9):
+            assert metrics.write_availability(tree, p) == pytest.approx(
+                1 - metrics.write_failure(tree, p)
+            )
+
+    def test_perfect_replicas(self, tree):
+        assert metrics.read_availability(tree, 1.0) == 1.0
+        assert metrics.write_availability(tree, 1.0) == 1.0
+        assert metrics.expected_read_load(tree, 1.0) == pytest.approx(
+            metrics.read_load(tree)
+        )
+        assert metrics.expected_write_load(tree, 1.0) == pytest.approx(
+            metrics.write_load(tree)
+        )
+
+    def test_dead_replicas(self, tree):
+        assert metrics.read_availability(tree, 0.0) == 0.0
+        assert metrics.write_availability(tree, 0.0) == 0.0
+        assert metrics.expected_read_load(tree, 0.0) == pytest.approx(1.0)
+        assert metrics.expected_write_load(tree, 0.0) == pytest.approx(1.0)
+
+    def test_probability_validation(self, tree):
+        with pytest.raises(ValueError):
+            metrics.read_availability(tree, 1.2)
+        with pytest.raises(ValueError):
+            metrics.write_failure(tree, -0.1)
+
+
+class TestExtremeShapes:
+    def test_mostly_read_is_rowa(self):
+        tree = mostly_read(10)
+        p = 0.8
+        assert metrics.read_cost(tree) == 1
+        assert metrics.write_cost_avg(tree) == pytest.approx(10)
+        assert metrics.read_load(tree) == pytest.approx(0.1)
+        assert metrics.write_load(tree) == pytest.approx(1.0)
+        assert metrics.read_availability(tree, p) == pytest.approx(1 - 0.2**10)
+        assert metrics.write_availability(tree, p) == pytest.approx(0.8**10)
+
+    def test_mostly_write_quantities(self):
+        n = 15
+        tree = mostly_write(n)
+        assert metrics.read_cost(tree) == (n - 1) // 2
+        assert metrics.write_cost_min(tree) == 2
+        assert metrics.read_load(tree) == pytest.approx(0.5)
+        assert metrics.write_load(tree) == pytest.approx(2 / (n - 1))
+
+    def test_unmodified_binary_loads(self):
+        for n in (7, 15, 31):
+            tree = unmodified_binary(n)
+            assert metrics.write_load(tree) == pytest.approx(1 / math.log2(n + 1))
+            assert metrics.read_load(tree) == pytest.approx(1.0)
+            assert metrics.read_cost(tree) == math.log2(n + 1)
+
+    def test_unmodified_write_availability_above_p(self):
+        tree = unmodified_binary(31)
+        for p in (0.55, 0.7, 0.9):
+            assert metrics.write_availability(tree, p) > p
+
+    def test_unmodified_read_availability_below_p(self):
+        tree = unmodified_binary(31)
+        for p in (0.55, 0.7, 0.9):
+            assert metrics.read_availability(tree, p) < p
+
+
+class TestAlgorithm1Claims:
+    def test_headline_quantities(self):
+        n = 400
+        tree = algorithm_1(n)
+        assert metrics.write_load(tree) == pytest.approx(1 / 20)
+        assert metrics.read_load(tree) == pytest.approx(0.25)
+        assert metrics.read_cost(tree) == 20
+        assert metrics.write_cost_avg(tree) == pytest.approx(20)
+
+    def test_limits(self):
+        for p in (0.55, 0.7, 0.9):
+            assert metrics.limit_read_availability(p) == pytest.approx(
+                (1 - (1 - p) ** 4) ** 7
+            )
+            assert metrics.limit_write_availability(p) == pytest.approx(
+                1 - (1 - p**4) ** 7
+            )
+
+    def test_finite_n_approaches_limits(self):
+        tree = algorithm_1(40_000)
+        for p in (0.6, 0.75, 0.9):
+            assert metrics.read_availability(tree, p) == pytest.approx(
+                metrics.limit_read_availability(p), abs=0.01
+            )
+            assert metrics.write_availability(tree, p) == pytest.approx(
+                metrics.limit_write_availability(p), abs=0.01
+            )
+
+    def test_limit_probability_validation(self):
+        with pytest.raises(ValueError):
+            metrics.limit_read_availability(2.0)
+
+
+class TestStability:
+    def test_stable_at_high_p(self, tree):
+        read_stable, write_stable = metrics.is_stable(tree, 0.99)
+        assert read_stable and write_stable
+
+    def test_unstable_at_low_p(self, tree):
+        _read_stable, write_stable = metrics.is_stable(tree, 0.55)
+        assert not write_stable
+
+
+class TestAnalyse:
+    def test_summary_fields(self, tree):
+        summary = metrics.analyse(tree, p=0.7)
+        assert summary.spec == "1-3-5"
+        assert summary.n == 8
+        assert summary.num_read_quorums == 15
+        assert summary.num_write_quorums == 2
+        assert summary.d == 3 and summary.e == 5
+        assert summary.p == 0.7
+
+    def test_summary_consistent_with_functions(self, tree):
+        summary = metrics.analyse(tree, p=0.8)
+        assert summary.read_availability == metrics.read_availability(tree, 0.8)
+        assert summary.expected_write_load == metrics.expected_write_load(tree, 0.8)

@@ -1,0 +1,163 @@
+"""Property-based tests (hypothesis) on the arbitrary protocol.
+
+These check the paper's central theorems on *random* tree shapes:
+
+* every tree yields a bi-coterie (Section 3.2.3 induction);
+* the closed-form loads equal the LP optimum (Appendix 6);
+* the closed-form availabilities equal exact DNF probabilities;
+* cost/load/availability identities and monotonicities.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import metrics
+from repro.core.builder import from_physical_level_sizes
+from repro.core.protocol import ArbitraryProtocol
+from repro.quorums.availability import exact_availability
+from repro.quorums.base import is_cross_intersecting
+from repro.quorums.load import optimal_load
+
+
+@st.composite
+def level_sizes(draw, max_levels=4, max_size=5):
+    """Non-decreasing level sizes (Assumption 3.1), small enough for LPs."""
+    count = draw(st.integers(min_value=1, max_value=max_levels))
+    sizes = sorted(
+        draw(
+            st.lists(
+                st.integers(min_value=1, max_value=max_size),
+                min_size=count,
+                max_size=count,
+            )
+        )
+    )
+    return sizes
+
+
+@given(level_sizes())
+@settings(max_examples=80, deadline=None)
+def test_every_tree_is_a_bicoterie(sizes):
+    protocol = ArbitraryProtocol(from_physical_level_sizes(sizes))
+    assert is_cross_intersecting(
+        protocol.read_quorums(), protocol.write_quorums()
+    )
+
+
+@given(level_sizes())
+@settings(max_examples=80, deadline=None)
+def test_quorum_count_facts(sizes):
+    protocol = ArbitraryProtocol(from_physical_level_sizes(sizes))
+    assert protocol.num_read_quorums == math.prod(sizes)
+    assert protocol.num_write_quorums == len(sizes)
+    assert len(list(protocol.read_quorums())) == math.prod(sizes)
+
+
+@given(level_sizes(max_levels=3, max_size=4))
+@settings(max_examples=30, deadline=None)
+def test_read_load_is_lp_optimal(sizes):
+    tree = from_physical_level_sizes(sizes)
+    protocol = ArbitraryProtocol(tree)
+    lp = optimal_load(list(protocol.read_quorums()), universe=protocol.universe)
+    assert lp.load == pytest.approx(metrics.read_load(tree), abs=1e-6)
+
+
+@given(level_sizes())
+@settings(max_examples=30, deadline=None)
+def test_write_load_is_lp_optimal(sizes):
+    tree = from_physical_level_sizes(sizes)
+    protocol = ArbitraryProtocol(tree)
+    lp = optimal_load(protocol.write_quorums(), universe=protocol.universe)
+    assert lp.load == pytest.approx(metrics.write_load(tree), abs=1e-6)
+
+
+@given(level_sizes(), st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=60, deadline=None)
+def test_read_availability_matches_exact(sizes, p):
+    tree = from_physical_level_sizes(sizes)
+    protocol = ArbitraryProtocol(tree)
+    exact = exact_availability(
+        list(protocol.read_quorums()), p, universe=protocol.universe
+    )
+    assert metrics.read_availability(tree, p) == pytest.approx(exact, abs=1e-9)
+
+
+@given(level_sizes(), st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=60, deadline=None)
+def test_write_availability_matches_exact(sizes, p):
+    tree = from_physical_level_sizes(sizes)
+    protocol = ArbitraryProtocol(tree)
+    exact = exact_availability(
+        protocol.write_quorums(), p, universe=protocol.universe
+    )
+    assert metrics.write_availability(tree, p) == pytest.approx(exact, abs=1e-9)
+
+
+@given(level_sizes())
+@settings(max_examples=80, deadline=None)
+def test_cost_identities(sizes):
+    tree = from_physical_level_sizes(sizes)
+    assert metrics.read_cost(tree) == len(sizes)
+    assert metrics.write_cost_min(tree) == min(sizes)
+    assert metrics.write_cost_max(tree) == max(sizes)
+    assert metrics.write_cost_avg(tree) == pytest.approx(sum(sizes) / len(sizes))
+    # trade-off: total read+write work is bounded by n + levels
+    assert metrics.read_cost(tree) <= tree.n
+    assert metrics.write_cost_avg(tree) <= tree.n
+
+
+@given(level_sizes(), st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=80, deadline=None)
+def test_expected_loads_dominate_optimal(sizes, p):
+    """E[L] >= L always, with equality iff fully available (Eq. 3.2)."""
+    tree = from_physical_level_sizes(sizes)
+    assert (
+        metrics.expected_read_load(tree, p)
+        >= metrics.read_load(tree) - 1e-12
+    )
+    assert (
+        metrics.expected_write_load(tree, p)
+        >= metrics.write_load(tree) - 1e-12
+    )
+    assert metrics.expected_read_load(tree, p) <= 1.0 + 1e-12
+    assert metrics.expected_write_load(tree, p) <= 1.0 + 1e-12
+
+
+@given(level_sizes(), st.floats(min_value=0.0, max_value=1.0),
+       st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=60, deadline=None)
+def test_availability_monotone_in_p(sizes, a, b):
+    tree = from_physical_level_sizes(sizes)
+    low, high = sorted((a, b))
+    assert metrics.read_availability(tree, low) <= (
+        metrics.read_availability(tree, high) + 1e-12
+    )
+    assert metrics.write_availability(tree, low) <= (
+        metrics.write_availability(tree, high) + 1e-12
+    )
+
+
+@given(level_sizes())
+@settings(max_examples=80, deadline=None)
+def test_failure_aware_selection_consistency(sizes):
+    """Selection succeeds iff the availability condition holds, per level."""
+    import random
+
+    tree = from_physical_level_sizes(sizes)
+    protocol = ArbitraryProtocol(tree)
+    rng = random.Random(0)
+    live = {sid for sid in tree.replica_ids() if rng.random() < 0.6}
+    read = protocol.select_read_quorum(live)
+    write = protocol.select_write_quorum(live)
+    levels = [set(tree.replica_ids_at(k)) for k in tree.physical_levels]
+    read_possible = all(level & live for level in levels)
+    write_possible = any(level <= live for level in levels)
+    assert (read is not None) == read_possible
+    assert (write is not None) == write_possible
+    if read is not None:
+        assert read <= live
+    if write is not None:
+        assert write <= live

@@ -1,0 +1,55 @@
+"""Tests for tree serialisation (to_dict / from_dict)."""
+
+import json
+
+import pytest
+
+from repro.core.builder import from_spec, mostly_write, recommended_tree
+from repro.core.tree import ArbitraryTree
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "tree",
+        [
+            from_spec("1-3-5"),
+            from_spec("P1-2-4"),
+            mostly_write(9),
+            recommended_tree(40),
+            ArbitraryTree.from_level_counts([0, 3, 5], [1, 0, 4]),
+        ],
+        ids=lambda t: t.spec(),
+    )
+    def test_round_trip_preserves_structure(self, tree):
+        rebuilt = ArbitraryTree.from_dict(tree.to_dict())
+        assert rebuilt.spec() == tree.spec()
+        assert rebuilt.n == tree.n
+        assert rebuilt.physical_levels == tree.physical_levels
+        assert [rebuilt.m_log(k) for k in range(rebuilt.height + 1)] == [
+            tree.m_log(k) for k in range(tree.height + 1)
+        ]
+
+    def test_payload_is_json_serialisable(self):
+        tree = from_spec("1-3-5")
+        payload = json.loads(json.dumps(tree.to_dict()))
+        assert ArbitraryTree.from_dict(payload).spec() == "1-3-5"
+
+    def test_figure1_logical_nodes_survive(self):
+        tree = ArbitraryTree.from_level_counts([0, 3, 5], [1, 0, 4])
+        rebuilt = ArbitraryTree.from_dict(tree.to_dict())
+        assert rebuilt.m(2) == 9
+        assert rebuilt.m_log(2) == 4
+
+
+class TestMalformedPayloads:
+    def test_missing_keys_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            ArbitraryTree.from_dict({"physical": [0, 3]})
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            ArbitraryTree.from_dict(None)  # type: ignore[arg-type]
+
+    def test_invalid_counts_still_validated(self):
+        with pytest.raises(ValueError):
+            ArbitraryTree.from_dict({"physical": [0, -1], "logical": [1, 2]})

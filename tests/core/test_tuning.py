@@ -1,0 +1,97 @@
+"""Unit tests for the frequency-aware configuration advisor."""
+
+import pytest
+
+from repro.core import metrics
+from repro.core.tuning import candidate_trees, recommend
+
+
+class TestCandidatePool:
+    def test_contains_every_level_count(self):
+        pool = candidate_trees(12)
+        level_counts = {tree.num_physical_levels for tree in pool}
+        assert level_counts >= set(range(1, 13))
+
+    def test_all_candidates_valid(self):
+        for tree in candidate_trees(20):
+            assert tree.n == 20
+            assert tree.satisfies_assumption()
+
+    def test_max_levels_cap(self):
+        pool = candidate_trees(20, max_levels=3)
+        # the near-even sweep is capped; the paper shapes may exceed it
+        sweep = [t for t in pool if max(t.physical_level_sizes) >= 20 // 3]
+        assert sweep
+
+    def test_no_duplicate_specs(self):
+        specs = [tree.spec() for tree in candidate_trees(15)]
+        assert len(specs) == len(set(specs))
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            candidate_trees(0)
+
+
+class TestRecommend:
+    def test_pure_reads_pick_one_level(self):
+        result = recommend(24, p=0.9, read_fraction=1.0)
+        assert result.tree.num_physical_levels == 1  # ROWA-like
+
+    def test_pure_writes_pick_many_levels(self):
+        result = recommend(24, p=0.99, read_fraction=0.0)
+        assert result.tree.num_physical_levels >= 8
+
+    def test_balanced_mix_in_between(self):
+        read_heavy = recommend(24, p=0.9, read_fraction=0.9)
+        balanced = recommend(24, p=0.9, read_fraction=0.5)
+        write_heavy = recommend(24, p=0.9, read_fraction=0.1)
+        assert (
+            read_heavy.tree.num_physical_levels
+            <= balanced.tree.num_physical_levels
+            <= write_heavy.tree.num_physical_levels
+        )
+
+    def test_alternatives_sorted(self):
+        result = recommend(16, read_fraction=0.5)
+        scores = [candidate.score for candidate in result.alternatives]
+        assert scores == sorted(scores)
+        assert result.best is result.alternatives[0]
+
+    def test_best_no_worse_than_paper_recipe(self):
+        """The advisor's expected-load mix beats (or ties) recommended_tree."""
+        from repro.core.builder import recommended_tree
+
+        n, p, f = 48, 0.9, 0.5
+        result = recommend(n, p=p, read_fraction=f)
+        paper = recommended_tree(n)
+        paper_score = f * metrics.expected_read_load(paper, p) + (
+            1 - f
+        ) * metrics.expected_write_load(paper, p)
+        assert result.best.score <= paper_score + 1e-9
+
+    def test_objective_load(self):
+        result = recommend(16, read_fraction=0.5, objective="load")
+        assert result.objective == "load"
+        item = result.best
+        assert item.score == pytest.approx(
+            0.5 * metrics.read_load(item.tree) + 0.5 * metrics.write_load(item.tree)
+        )
+
+    def test_objective_cost(self):
+        result = recommend(16, read_fraction=1.0, objective="cost")
+        # pure reads + cost objective -> one wide level (read cost 1)
+        assert result.tree.num_physical_levels == 1
+
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(ValueError, match="unknown objective"):
+            recommend(16, objective="latency")
+
+    def test_read_fraction_validated(self):
+        with pytest.raises(ValueError, match="read_fraction"):
+            recommend(16, read_fraction=1.5)
+
+    def test_result_metadata(self):
+        result = recommend(16, p=0.8, read_fraction=0.3)
+        assert result.p == 0.8
+        assert result.read_fraction == 0.3
+        assert result.tree is result.best.tree

@@ -1,0 +1,137 @@
+"""Integration: simulator measurements converge to the closed forms.
+
+These are the repository's ground-truth experiments: the full message-level
+stack (sites, network, locks, 2PC) must reproduce the paper's analytical
+communication costs, per-replica loads and availabilities.
+"""
+
+import pytest
+
+from repro.core import analyse, from_spec, metrics, recommended_tree
+from repro.sim import BernoulliFailures, SimulationConfig, WorkloadSpec, simulate
+
+
+@pytest.fixture(scope="module")
+def failure_free_result():
+    return simulate(
+        SimulationConfig(
+            tree=from_spec("1-3-5"),
+            workload=WorkloadSpec(operations=3000, read_fraction=0.5, keys=16),
+            seed=0,
+        )
+    )
+
+
+class TestFailureFree:
+    def test_costs_match(self, failure_free_result):
+        tree = from_spec("1-3-5")
+        summary = failure_free_result.summary()
+        assert summary["read_cost"] == pytest.approx(metrics.read_cost(tree))
+        assert summary["write_cost"] == pytest.approx(
+            metrics.write_cost_avg(tree), rel=0.05
+        )
+
+    def test_loads_match(self, failure_free_result):
+        tree = from_spec("1-3-5")
+        summary = failure_free_result.summary()
+        assert summary["read_load"] == pytest.approx(
+            metrics.read_load(tree), rel=0.15
+        )
+        assert summary["write_load"] == pytest.approx(
+            metrics.write_load(tree), rel=0.15
+        )
+
+    def test_everything_succeeds(self, failure_free_result):
+        assert failure_free_result.monitor.reads.availability == 1.0
+        assert failure_free_result.monitor.writes.availability == 1.0
+
+    def test_load_spread_is_uniform_within_levels(self, failure_free_result):
+        """The uniform strategy loads same-level replicas equally."""
+        tree = from_spec("1-3-5")
+        reads = failure_free_result.monitor.per_replica_read_load()
+        for k in tree.physical_levels:
+            sids = tree.replica_ids_at(k)
+            values = [reads[sid] for sid in sids]
+            expected = 1.0 / tree.m_phy(k)
+            for value in values:
+                assert value == pytest.approx(expected, rel=0.2)
+
+
+class TestAvailabilityConvergence:
+    @pytest.mark.parametrize("p", [0.6, 0.75, 0.9])
+    def test_measured_matches_formula(self, p):
+        tree = from_spec("1-3-5")
+        result = simulate(
+            SimulationConfig(
+                tree=tree,
+                workload=WorkloadSpec(
+                    operations=6000, read_fraction=0.5, keys=64,
+                    arrival="poisson", rate=0.25,
+                ),
+                failures=BernoulliFailures(p=p, seed=11, resample_every=40.0),
+                max_attempts=1,
+                timeout=8.0,
+                seed=13,
+            )
+        )
+        summary = result.summary()
+        assert summary["read_availability"] == pytest.approx(
+            metrics.read_availability(tree, p), abs=0.035
+        )
+        assert summary["write_availability"] == pytest.approx(
+            metrics.write_availability(tree, p), abs=0.05
+        )
+
+    def test_deeper_tree_write_availability(self):
+        tree = recommended_tree(32)
+        p = 0.85
+        result = simulate(
+            SimulationConfig(
+                tree=tree,
+                workload=WorkloadSpec(
+                    operations=4000, read_fraction=0.0, keys=64,
+                    arrival="poisson", rate=0.2,
+                ),
+                failures=BernoulliFailures(p=p, seed=3, resample_every=50.0),
+                max_attempts=1,
+                timeout=8.0,
+                seed=3,
+            )
+        )
+        assert result.summary()["write_availability"] == pytest.approx(
+            metrics.write_availability(tree, p), abs=0.05
+        )
+
+
+class TestConfigurationContrast:
+    """The paper's qualitative trade-off, measured end to end."""
+
+    def _run(self, tree, read_fraction):
+        return simulate(
+            SimulationConfig(
+                tree=tree,
+                workload=WorkloadSpec(
+                    operations=1500, read_fraction=read_fraction, keys=16
+                ),
+                seed=21,
+            )
+        ).summary()
+
+    def test_mostly_read_vs_mostly_write_costs(self):
+        from repro.core.builder import mostly_read, mostly_write
+
+        reads_cheap = self._run(mostly_read(9), read_fraction=0.5)
+        writes_cheap = self._run(mostly_write(9), read_fraction=0.5)
+        assert reads_cheap["read_cost"] == 1.0
+        assert reads_cheap["write_cost"] == 9.0
+        assert writes_cheap["read_cost"] == 4.0
+        assert writes_cheap["write_cost"] < 3.0
+
+    def test_measured_matches_analyse_summary(self):
+        tree = recommended_tree(30)
+        summary = self._run(tree, read_fraction=0.5)
+        predicted = analyse(tree, p=1.0)
+        assert summary["read_cost"] == pytest.approx(predicted.read_cost)
+        assert summary["write_cost"] == pytest.approx(
+            predicted.write_cost_avg, rel=0.1
+        )

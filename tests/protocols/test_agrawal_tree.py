@@ -1,0 +1,156 @@
+"""Unit tests for the Agrawal-El Abbadi VLDB'90 tree protocol ([1])."""
+
+import random
+
+import pytest
+
+from repro.protocols.agrawal_tree import AgrawalTreeProtocol, complete_tree_size
+from repro.quorums.availability import exact_availability
+from repro.quorums.base import is_cross_intersecting
+from repro.quorums.load import optimal_load
+
+
+class TestStructure:
+    def test_size_formula(self):
+        assert complete_tree_size(3, 2) == 13
+        assert complete_tree_size(5, 1) == 6
+
+    def test_n_from_parameters(self):
+        assert AgrawalTreeProtocol(d=1, height=2).n == 13
+        assert AgrawalTreeProtocol(d=2, height=1).n == 6
+
+    def test_children_layout(self):
+        protocol = AgrawalTreeProtocol(d=1, height=2)
+        assert protocol.children(0) == (1, 2, 3)
+        assert protocol.children(1) == (4, 5, 6)
+        assert protocol.children(4) == ()
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="d must be"):
+            AgrawalTreeProtocol(d=0)
+        with pytest.raises(ValueError, match="height"):
+            AgrawalTreeProtocol(d=1, height=-1)
+
+
+class TestReadQuorums:
+    def test_live_root_reads_alone(self):
+        protocol = AgrawalTreeProtocol(d=1, height=2)
+        assert protocol.construct_read_quorum(set(range(13))) == frozenset({0})
+
+    def test_dead_root_needs_child_majority(self):
+        protocol = AgrawalTreeProtocol(d=1, height=1)  # root + 3 children
+        quorum = protocol.construct_read_quorum({1, 2, 3})
+        assert quorum is not None and len(quorum) == 2  # any 2 of 3
+
+    def test_cascading_failure_reaches_leaves(self):
+        protocol = AgrawalTreeProtocol(d=1, height=2)
+        live = set(range(4, 13))  # root and level 1 all dead
+        quorum = protocol.construct_read_quorum(live)
+        assert quorum is not None
+        assert len(quorum) == 4  # (d+1)^2 = worst-case read cost
+        assert quorum <= live
+
+    def test_read_unavailable(self):
+        protocol = AgrawalTreeProtocol(d=1, height=1)
+        assert protocol.construct_read_quorum({1}) is None
+
+    def test_worst_case_cost_formula(self):
+        protocol = AgrawalTreeProtocol(d=2, height=2)
+        assert protocol.read_cost_max() == 9  # (d+1)^h = 3^2
+
+
+class TestWriteQuorums:
+    def test_write_cost_exact(self):
+        assert AgrawalTreeProtocol(d=1, height=2).write_cost_exact() == 7
+        assert AgrawalTreeProtocol(d=2, height=1).write_cost_exact() == 4
+
+    def test_write_needs_live_root(self):
+        protocol = AgrawalTreeProtocol(d=1, height=1)
+        assert protocol.construct_write_quorum({1, 2, 3}) is None
+
+    def test_write_spine_shape(self):
+        protocol = AgrawalTreeProtocol(d=1, height=2)
+        quorum = protocol.construct_write_quorum(set(range(13)))
+        assert quorum is not None
+        assert len(quorum) == protocol.write_cost_exact()
+        assert 0 in quorum
+
+    def test_write_routes_around_child_failure(self):
+        protocol = AgrawalTreeProtocol(d=1, height=1)
+        quorum = protocol.construct_write_quorum({0, 2, 3})
+        assert quorum == frozenset({0, 2, 3})
+
+    def test_randomised_construction_stays_live(self):
+        protocol = AgrawalTreeProtocol(d=1, height=2)
+        rng = random.Random(0)
+        live = set(range(13)) - {2, 7, 11}
+        for _ in range(20):
+            quorum = protocol.construct_write_quorum(live, rng)
+            if quorum is not None:
+                assert quorum <= live
+
+
+class TestEnumeration:
+    def test_every_write_quorum_has_exact_cost(self):
+        protocol = AgrawalTreeProtocol(d=1, height=1)
+        writes = list(protocol.write_quorums())
+        assert len(writes) == 3  # choose 2 of 3 children
+        assert all(len(w) == 3 for w in writes)
+
+    def test_read_write_cross_intersection(self):
+        protocol = AgrawalTreeProtocol(d=1, height=1)
+        assert is_cross_intersecting(
+            list(protocol.read_quorums()), list(protocol.write_quorums())
+        )
+
+    def test_height2_cross_intersection(self):
+        protocol = AgrawalTreeProtocol(d=1, height=2)
+        assert is_cross_intersecting(
+            list(protocol.read_quorums()), list(protocol.write_quorums())
+        )
+
+    def test_root_is_a_read_quorum(self):
+        protocol = AgrawalTreeProtocol(d=1, height=1)
+        assert frozenset({0}) in set(protocol.read_quorums())
+
+
+class TestAnalyticQuantities:
+    def test_write_load_is_one_via_lp(self):
+        protocol = AgrawalTreeProtocol(d=1, height=1)
+        lp = optimal_load(list(protocol.write_quorums()), universe=range(4))
+        assert lp.load == pytest.approx(1.0)  # root in every quorum
+
+    def test_read_availability_recursion_matches_exact(self):
+        protocol = AgrawalTreeProtocol(d=1, height=1)
+        for p in (0.5, 0.7, 0.9):
+            exact = exact_availability(
+                list(protocol.read_quorums()), p, universe=range(4)
+            )
+            assert protocol.read_availability(p) == pytest.approx(exact, abs=1e-9)
+
+    def test_write_availability_recursion_matches_exact(self):
+        protocol = AgrawalTreeProtocol(d=1, height=1)
+        for p in (0.5, 0.7, 0.9):
+            exact = exact_availability(
+                list(protocol.write_quorums()), p, universe=range(4)
+            )
+            assert protocol.write_availability(p) == pytest.approx(exact, abs=1e-9)
+
+    def test_write_availability_below_p(self):
+        """The paper's root-crash critique: writes less available than one
+        replica."""
+        protocol = AgrawalTreeProtocol(d=1, height=3)
+        for p in (0.6, 0.8, 0.95):
+            assert protocol.write_availability(p) < p
+
+    def test_read_availability_above_p(self):
+        protocol = AgrawalTreeProtocol(d=1, height=3)
+        for p in (0.6, 0.8, 0.95):
+            assert protocol.read_availability(p) > p
+
+    def test_intro_load_figures(self):
+        protocol = AgrawalTreeProtocol(d=1, height=2)
+        assert protocol.read_load() == 1.0
+        assert protocol.write_load() == 1.0
+        assert protocol.read_cost() == 1.0
+        assert protocol.write_cost() == 7.0

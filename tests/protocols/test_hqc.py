@@ -1,0 +1,147 @@
+"""Unit tests for hierarchical quorum consensus (HQC)."""
+
+import math
+import random
+
+import pytest
+
+from repro.protocols.hqc import (
+    HQC_COST_EXPONENT,
+    HQC_LOAD_EXPONENT,
+    HQCProtocol,
+    hqc_sizes,
+    ternary_depth,
+)
+from repro.quorums.base import is_intersecting
+from repro.quorums.load import optimal_load
+
+
+class TestStructure:
+    def test_depth(self):
+        assert ternary_depth(1) == 0
+        assert ternary_depth(27) == 3
+
+    def test_invalid_sizes_rejected(self):
+        for n in (2, 4, 10, 28):
+            with pytest.raises(ValueError, match="power of 3"):
+                ternary_depth(n)
+
+    def test_sizes_helper(self):
+        assert hqc_sizes(3) == [1, 3, 9, 27]
+
+
+class TestQuorumConstruction:
+    def test_failure_free_size(self):
+        for n in (3, 9, 27):
+            protocol = HQCProtocol(n)
+            quorum = protocol.construct_quorum(set(range(n)))
+            assert quorum is not None
+            assert len(quorum) == protocol.quorum_size()
+
+    def test_routes_around_failures(self):
+        protocol = HQCProtocol(9)
+        live = {0, 1, 3, 4, 6, 7}  # one leaf down per subtree
+        quorum = protocol.construct_quorum(live)
+        assert quorum is not None and quorum <= live
+
+    def test_fails_when_two_subtrees_broken(self):
+        protocol = HQCProtocol(3)
+        assert protocol.construct_quorum({0}) is None
+
+    def test_randomised_construction(self):
+        protocol = HQCProtocol(27)
+        rng = random.Random(5)
+        live = set(range(27)) - {1, 5, 9, 14, 22}
+        for _ in range(20):
+            quorum = protocol.construct_quorum(live, rng)
+            assert quorum is not None and quorum <= live
+
+
+class TestEnumeration:
+    def test_count_recurrence(self):
+        assert HQCProtocol(1).quorum_count() == 1
+        assert HQCProtocol(3).quorum_count() == 3
+        assert HQCProtocol(9).quorum_count() == 27
+        assert HQCProtocol(27).quorum_count() == 2187
+
+    def test_enumeration_matches_count(self):
+        quorums = list(HQCProtocol(9).enumerate_quorums())
+        assert len(quorums) == 27
+        assert len(set(quorums)) == 27
+
+    def test_all_quorums_have_fixed_size(self):
+        protocol = HQCProtocol(9)
+        for quorum in protocol.enumerate_quorums():
+            assert len(quorum) == 4  # 2^2
+
+    def test_quorums_intersect(self):
+        assert is_intersecting(list(HQCProtocol(9).enumerate_quorums()))
+
+    def test_guard(self):
+        with pytest.raises(ValueError, match="exceed"):
+            list(HQCProtocol(81).enumerate_quorums(max_quorums=100))
+
+
+class TestAnalyticQuantities:
+    def test_cost_is_n_to_063(self):
+        for n in (3, 9, 27, 81, 243):
+            protocol = HQCProtocol(n)
+            assert protocol.read_cost() == pytest.approx(n**HQC_COST_EXPONENT)
+        assert HQC_COST_EXPONENT == pytest.approx(0.6309, abs=1e-4)
+
+    def test_load_is_n_to_minus_037(self):
+        for n in (9, 27, 81):
+            protocol = HQCProtocol(n)
+            assert protocol.optimal_load() == pytest.approx(n**HQC_LOAD_EXPONENT)
+        assert HQC_LOAD_EXPONENT == pytest.approx(-0.3691, abs=1e-4)
+
+    def test_load_matches_lp(self):
+        for n in (3, 9):
+            protocol = HQCProtocol(n)
+            lp = optimal_load(list(protocol.enumerate_quorums()), universe=range(n))
+            assert lp.load == pytest.approx(protocol.optimal_load(), abs=1e-6)
+
+    def test_load_beats_tree_quorum_but_not_sqrt(self):
+        """The paper: n^-0.37 sits between 2/log(n) and 1/sqrt(n)."""
+        from repro.protocols.tree_quorum import TreeQuorumProtocol
+
+        hqc = HQCProtocol(243)
+        binary = TreeQuorumProtocol(255)
+        assert hqc.optimal_load() < binary.optimal_load()
+        assert hqc.optimal_load() > 1 / math.sqrt(243)
+
+
+class TestAvailability:
+    def test_recursion_matches_exact_enumeration(self):
+        protocol = HQCProtocol(9)
+        for p in (0.5, 0.7, 0.9):
+            exact = _exact_construction_probability(protocol, p)
+            assert protocol.availability(p) == pytest.approx(exact, abs=1e-9)
+
+    def test_majority_amplification(self):
+        """For p > 1/2 the 2-of-3 recursion amplifies towards 1."""
+        values = [HQCProtocol(3**d).availability(0.8) for d in (0, 2, 4)]
+        assert values == sorted(values)
+        assert HQCProtocol(3**4).availability(0.8) > 0.97
+
+    def test_below_half_decays(self):
+        values = [HQCProtocol(3**d).availability(0.4) for d in (0, 2, 4)]
+        assert values == sorted(values, reverse=True)
+
+    def test_read_write_symmetric(self):
+        protocol = HQCProtocol(27)
+        assert protocol.read_availability(0.7) == protocol.write_availability(0.7)
+        assert protocol.read_load() == protocol.write_load()
+
+
+def _exact_construction_probability(protocol: HQCProtocol, p: float) -> float:
+    n = protocol.n
+    total = 0.0
+    for mask in range(1 << n):
+        live = {sid for sid in range(n) if mask & (1 << sid)}
+        if protocol.construct_quorum(live) is not None:
+            probability = 1.0
+            for sid in range(n):
+                probability *= p if sid in live else 1.0 - p
+            total += probability
+    return total

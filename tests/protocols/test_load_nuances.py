@@ -1,0 +1,63 @@
+"""Nuance tests: quoted strategy loads vs true LP optima for the baselines.
+
+The paper's introduction quotes load figures for particular *strategies*
+(e.g. load 1 for cost-1 reads through the root of [1]'s tree).  The LP
+optimum over the full quorum system can be lower — these tests pin down
+both numbers so neither gets silently conflated.
+"""
+
+import pytest
+
+from repro.protocols.agrawal_tree import AgrawalTreeProtocol
+from repro.protocols.tree_quorum import TreeQuorumProtocol
+from repro.quorums.load import optimal_load
+from repro.quorums.strategy import Strategy
+from repro.quorums.base import SetSystem
+
+
+class TestAgrawalTreeReadLoad:
+    """[1]'s reads: the cost-1 strategy loads the root fully, but mixing in
+    child majorities achieves a strictly lower LP load."""
+
+    def test_cost1_strategy_load_is_one(self):
+        protocol = AgrawalTreeProtocol(d=1, height=1)
+        system = SetSystem(protocol.read_quorums(), universe=range(4))
+        root_only = Strategy.from_mapping(system, {frozenset({0}): 1.0})
+        assert root_only.induced_load() == pytest.approx(1.0)
+
+    def test_lp_optimum_is_lower(self):
+        protocol = AgrawalTreeProtocol(d=1, height=1)
+        lp = optimal_load(list(protocol.read_quorums()), universe=range(4))
+        # quorums: {0}, {1,2}, {1,3}, {2,3} -> balance root vs pairs: 2/5
+        assert lp.load == pytest.approx(2 / 5)
+        assert lp.load < 1.0
+
+    def test_write_lp_optimum_really_is_one(self):
+        """Writes have no such slack: the root is in EVERY write quorum."""
+        protocol = AgrawalTreeProtocol(d=1, height=1)
+        lp = optimal_load(list(protocol.write_quorums()), universe=range(4))
+        assert lp.load == pytest.approx(1.0)
+
+
+class TestTreeQuorumStrategyGap:
+    """[2]: log-size path quorums force load 1; the 2/(h+2) optimum needs a
+    mixture that mostly avoids the root — the introduction's trade-off."""
+
+    def test_paths_only_strategy_loads_root_fully(self):
+        protocol = TreeQuorumProtocol(7)
+        quorums = list(protocol.enumerate_quorums())
+        paths = [q for q in quorums if len(q) == protocol.min_cost() and 0 in q]
+        assert paths  # the four root-to-leaf paths
+        system = SetSystem(quorums, universe=range(7))
+        weights = {q: 1.0 / len(paths) for q in paths}
+        strategy = Strategy.from_mapping(system, weights)
+        assert strategy.element_load(0) == pytest.approx(1.0)
+
+    def test_optimal_mixture_avoids_the_root(self):
+        protocol = TreeQuorumProtocol(7)
+        lp = optimal_load(
+            list(protocol.enumerate_quorums()), universe=range(7)
+        )
+        assert lp.load == pytest.approx(protocol.optimal_load())
+        # expensive quorums must carry weight: expected size > min cost
+        assert lp.strategy.expected_quorum_size() > protocol.min_cost()

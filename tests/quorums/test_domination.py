@@ -1,0 +1,97 @@
+"""Unit tests for coterie domination theory."""
+
+from itertools import combinations
+
+import pytest
+
+from repro.quorums.availability import exact_availability
+from repro.quorums.domination import (
+    dominates,
+    dominating_coterie,
+    is_non_dominated,
+)
+
+
+class TestDominates:
+    def test_coterie_never_dominates_itself(self):
+        quorums = [{0, 1}, {1, 2}, {0, 2}]
+        assert not dominates(quorums, quorums)
+
+    def test_smaller_quorums_dominate(self):
+        # {{0}} dominates {{0,1}, {0,2}}: every quorum contains {0}
+        assert dominates([{0}], [{0, 1}, {0, 2}])
+
+    def test_majorities_dominate_star(self):
+        """The 2-of-3 triangle dominates the star {01, 02} over {0,1,2}."""
+        triangle = [{0, 1}, {1, 2}, {0, 2}]
+        star = [{0, 1}, {0, 2}]
+        assert dominates(triangle, star)
+        assert not dominates(star, triangle)
+
+    def test_incomparable_coteries(self):
+        a = [{0}]
+        b = [{1}]
+        assert not dominates(a, b)
+        assert not dominates(b, a)
+
+    def test_domination_preserves_availability(self):
+        """A dominating coterie is at least as available at every p."""
+        star = [{0, 1}, {0, 2}]
+        triangle = [{0, 1}, {1, 2}, {0, 2}]
+        for p in (0.3, 0.5, 0.7, 0.9):
+            assert exact_availability(
+                triangle, p, universe=range(3)
+            ) >= exact_availability(star, p, universe=range(3)) - 1e-12
+
+
+class TestIsNonDominated:
+    def test_singleton_coterie_is_nd(self):
+        assert is_non_dominated([{0}], universe={0, 1, 2})
+
+    def test_majority_coteries_are_nd(self):
+        for n in (3, 5):
+            majorities = [set(c) for c in combinations(range(n), (n + 1) // 2)]
+            assert is_non_dominated(majorities, universe=range(n))
+
+    def test_star_is_dominated(self):
+        assert not is_non_dominated([{0, 1}, {0, 2}], universe={0, 1, 2})
+
+    def test_even_majority_is_dominated(self):
+        """3-of-4 is dominated (the classic wheel/asymmetric refinements)."""
+        majorities = [set(c) for c in combinations(range(4), 3)]
+        assert not is_non_dominated(majorities, universe=range(4))
+
+    def test_universe_guard(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            is_non_dominated([set(range(17))], universe=range(17))
+
+
+class TestDominatingCoterie:
+    def test_nd_input_is_returned_unchanged(self):
+        triangle = [{0, 1}, {1, 2}, {0, 2}]
+        result = dominating_coterie(triangle, universe=range(3))
+        assert set(result.quorums) == {frozenset(q) for q in triangle}
+
+    def test_star_gets_dominated_to_triangle_or_better(self):
+        star = [{0, 1}, {0, 2}]
+        result = dominating_coterie(star, universe=range(3))
+        assert is_non_dominated(result.quorums, universe=range(3))
+        assert dominates(result.quorums, star)
+
+    def test_result_is_always_nd(self):
+        systems = [
+            [{0, 1, 2}],
+            [{0, 1}, {2, 3, 0}],
+            [set(c) for c in combinations(range(4), 3)],
+        ]
+        for quorums in systems:
+            result = dominating_coterie(quorums, universe=range(4))
+            assert is_non_dominated(result.quorums, universe=range(4))
+
+    def test_availability_never_decreases(self):
+        star = [{0, 1}, {0, 2}]
+        result = dominating_coterie(star, universe=range(3))
+        for p in (0.4, 0.6, 0.8):
+            assert exact_availability(
+                result.quorums, p, universe=range(3)
+            ) >= exact_availability(star, p, universe=range(3)) - 1e-12

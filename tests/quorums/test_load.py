@@ -1,0 +1,123 @@
+"""Tests for the optimal-load LP and the Proposition 2.1 witness check."""
+
+from itertools import combinations
+
+import pytest
+
+from repro.quorums.base import SetSystem
+from repro.quorums.load import OptimalLoad, optimal_load, verify_load_witness
+
+
+class TestKnownOptima:
+    def test_singleton_system(self):
+        """One quorum covering one element: load 1."""
+        assert optimal_load([{0}]).load == pytest.approx(1.0)
+
+    def test_rowa_reads(self):
+        """n singletons: load 1/n."""
+        result = optimal_load([{i} for i in range(5)])
+        assert result.load == pytest.approx(1 / 5)
+
+    def test_rowa_writes(self):
+        """The single full quorum: load 1."""
+        assert optimal_load([set(range(5))]).load == pytest.approx(1.0)
+
+    def test_majority_3_of_5(self):
+        """k-of-n systems have load k/n."""
+        quorums = [set(c) for c in combinations(range(5), 3)]
+        assert optimal_load(quorums).load == pytest.approx(3 / 5)
+
+    def test_triangle_coterie(self):
+        """{12, 23, 13}: each element in 2 of 3 quorums -> load 2/3."""
+        result = optimal_load([{1, 2}, {2, 3}, {1, 3}])
+        assert result.load == pytest.approx(2 / 3)
+
+    def test_star_coterie_loads_the_center(self):
+        """{01, 02, 03}: element 0 is in every quorum -> load 1."""
+        assert optimal_load([{0, 1}, {0, 2}, {0, 3}]).load == pytest.approx(1.0)
+
+    def test_fpp_fano_plane(self):
+        """The Fano plane (7 points, 7 lines of 3): load 3/7."""
+        from repro.protocols.fpp import FiniteProjectivePlaneProtocol
+
+        lines = list(FiniteProjectivePlaneProtocol(7).read_quorums())
+        assert optimal_load(lines, universe=range(7)).load == pytest.approx(3 / 7)
+
+    def test_arbitrary_135_reads(self):
+        quorums = [{a, b} for a in range(3) for b in range(3, 8)]
+        assert optimal_load(quorums).load == pytest.approx(1 / 3)
+
+    def test_arbitrary_135_writes(self):
+        assert optimal_load(
+            [set(range(3)), set(range(3, 8))]
+        ).load == pytest.approx(1 / 2)
+
+
+class TestResultStructure:
+    @pytest.fixture
+    def result(self) -> OptimalLoad:
+        return optimal_load([{1, 2}, {2, 3}, {1, 3}])
+
+    def test_strategy_achieves_load(self, result):
+        assert result.strategy.induced_load() <= result.load + 1e-6
+
+    def test_witness_is_distribution(self, result):
+        assert sum(result.witness.values()) == pytest.approx(1.0)
+        assert all(v >= -1e-9 for v in result.witness.values())
+
+    def test_verify(self, result):
+        assert result.verify()
+
+    def test_accepts_set_system_input(self):
+        system = SetSystem([{0, 1}, {1, 2}])
+        assert optimal_load(system).load == optimal_load([{0, 1}, {1, 2}]).load
+
+    def test_unused_universe_elements_are_free(self):
+        result = optimal_load([{0}], universe={0, 1, 2})
+        assert result.load == pytest.approx(1.0)
+
+
+class TestWitnessVerification:
+    @pytest.fixture
+    def system(self):
+        return SetSystem([{1, 2}, {2, 3}, {1, 3}])
+
+    def test_valid_witness(self, system):
+        witness = {1: 1 / 3, 2: 1 / 3, 3: 1 / 3}
+        assert verify_load_witness(system, witness, 2 / 3)
+
+    def test_witness_must_sum_to_one(self, system):
+        assert not verify_load_witness(system, {1: 0.5}, 0.5)
+
+    def test_witness_must_cover_quorums(self, system):
+        witness = {1: 1.0, 2: 0.0, 3: 0.0}
+        # y({2,3}) = 0 < 2/3
+        assert not verify_load_witness(system, witness, 2 / 3)
+
+    def test_negative_mass_rejected(self, system):
+        witness = {1: 1.5, 2: -0.5, 3: 0.0}
+        assert not verify_load_witness(system, witness, 0.5)
+
+    def test_weaker_bound_accepted(self, system):
+        witness = {1: 1 / 3, 2: 1 / 3, 3: 1 / 3}
+        assert verify_load_witness(system, witness, 0.5)  # 0.5 < 2/3
+
+
+class TestNaorWoolBounds:
+    """L(S) >= max(1/c(S), c(S)/n) where c(S) is the smallest quorum size."""
+
+    @pytest.mark.parametrize(
+        "quorums",
+        [
+            [{0, 1}, {1, 2}, {0, 2}],
+            [set(c) for c in combinations(range(4), 3)],
+            [{0, 1, 2}, {2, 3, 4}, {0, 3, 4}],
+        ],
+    )
+    def test_lower_bounds_hold(self, quorums):
+        system = SetSystem(quorums)
+        result = optimal_load(system)
+        smallest = system.smallest_quorum_size()
+        n = len(system.universe)
+        assert result.load >= 1.0 / smallest - 1e-9
+        assert result.load >= smallest / n - 1e-9

@@ -1,0 +1,116 @@
+"""Unit tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.sim.events import Scheduler
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        scheduler = Scheduler()
+        fired = []
+        scheduler.schedule(3.0, lambda: fired.append("c"))
+        scheduler.schedule(1.0, lambda: fired.append("a"))
+        scheduler.schedule(2.0, lambda: fired.append("b"))
+        scheduler.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_in_insertion_order(self):
+        scheduler = Scheduler()
+        fired = []
+        for tag in "abc":
+            scheduler.schedule(1.0, lambda t=tag: fired.append(t))
+        scheduler.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self):
+        scheduler = Scheduler()
+        seen = []
+        scheduler.schedule(5.0, lambda: seen.append(scheduler.now))
+        scheduler.run()
+        assert seen == [5.0]
+        assert scheduler.now == 5.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError, match="past"):
+            Scheduler().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        scheduler = Scheduler()
+        scheduler.schedule(2.0, lambda: None)
+        scheduler.step()
+        handle = scheduler.schedule_at(7.0, lambda: None)
+        assert handle.time == 7.0
+
+    def test_events_can_schedule_events(self):
+        scheduler = Scheduler()
+        fired = []
+
+        def first():
+            fired.append("first")
+            scheduler.schedule(1.0, lambda: fired.append("second"))
+
+        scheduler.schedule(1.0, first)
+        scheduler.run()
+        assert fired == ["first", "second"]
+        assert scheduler.now == 2.0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        scheduler = Scheduler()
+        fired = []
+        handle = scheduler.schedule(1.0, lambda: fired.append("x"))
+        handle.cancel()
+        scheduler.run()
+        assert fired == []
+
+    def test_cancel_after_fire_is_noop(self):
+        scheduler = Scheduler()
+        handle = scheduler.schedule(1.0, lambda: None)
+        scheduler.run()
+        handle.cancel()  # must not raise
+
+    def test_cancelled_events_not_counted_as_processed(self):
+        scheduler = Scheduler()
+        handle = scheduler.schedule(1.0, lambda: None)
+        scheduler.schedule(2.0, lambda: None)
+        handle.cancel()
+        scheduler.run()
+        assert scheduler.processed_events == 1
+
+
+class TestRunControls:
+    def test_run_until_leaves_later_events(self):
+        scheduler = Scheduler()
+        fired = []
+        scheduler.schedule(1.0, lambda: fired.append(1))
+        scheduler.schedule(5.0, lambda: fired.append(5))
+        scheduler.run(until=3.0)
+        assert fired == [1]
+        assert scheduler.now == 3.0
+        assert scheduler.pending_events == 1
+
+    def test_run_until_advances_clock_on_empty_queue(self):
+        scheduler = Scheduler()
+        scheduler.run(until=10.0)
+        assert scheduler.now == 10.0
+
+    def test_max_events_budget(self):
+        scheduler = Scheduler()
+        for _ in range(5):
+            scheduler.schedule(1.0, lambda: None)
+        scheduler.run(max_events=3)
+        assert scheduler.processed_events == 3
+        assert scheduler.pending_events == 2
+
+    def test_step_returns_false_on_empty(self):
+        assert Scheduler().step() is False
+
+    def test_step_executes_one_event(self):
+        scheduler = Scheduler()
+        fired = []
+        scheduler.schedule(1.0, lambda: fired.append(1))
+        scheduler.schedule(2.0, lambda: fired.append(2))
+        assert scheduler.step() is True
+        assert fired == [1]

@@ -1,0 +1,163 @@
+"""Unit and integration tests for online tree reconfiguration."""
+
+import random
+
+import pytest
+
+from repro.core.builder import from_spec, mostly_read, mostly_write
+from repro.core.protocol import ArbitraryProtocol
+from repro.sim.coordinator import QuorumCoordinator
+from repro.sim.engine import SimulationConfig, build_simulation
+from repro.sim.reconfigure import ReconfigStatus, TreeReconfigurer
+from repro.sim.workload import WorkloadSpec
+
+
+class Rig:
+    """A running system with a driver loop and a reconfigurer."""
+
+    def __init__(self, spec="1-3-5", seed=0):
+        self.tree = from_spec(spec)
+        config = SimulationConfig(tree=self.tree, seed=seed)
+        (self.scheduler, _workload, self.monitor,
+         self.network, self.sites) = build_simulation(config)
+        self.coordinator: QuorumCoordinator = self.network.endpoint(-1)
+        self.reconfigurer = TreeReconfigurer(self.coordinator)
+
+    def run(self, op) -> object:
+        box = []
+        op(box.append)
+        while not box:
+            assert self.scheduler.step(), "stalled"
+        return box[0]
+
+    def write(self, key, value):
+        return self.run(lambda cb: self.coordinator.write(key, value, cb))
+
+    def read(self, key):
+        return self.run(lambda cb: self.coordinator.read(key, cb))
+
+    def reconfigure(self, new_tree, keys):
+        return self.run(
+            lambda cb: self.reconfigurer.reconfigure(new_tree, keys, cb)
+        )
+
+
+class TestReconfiguration:
+    def test_successful_migration(self):
+        rig = Rig()
+        for i in range(4):
+            assert rig.write(f"k{i}", f"v{i}").success
+        outcome = rig.reconfigure(mostly_write(8), [f"k{i}" for i in range(4)])
+        assert outcome.success
+        assert outcome.keys_migrated == 4
+        assert outcome.duration > 0
+        # the new policy is live
+        assert rig.coordinator.policy.tree.spec() == mostly_write(8).spec()
+
+    def test_values_survive_the_shape_change(self):
+        rig = Rig()
+        expected = {}
+        for i in range(5):
+            outcome = rig.write(f"k{i}", i * 10)
+            expected[f"k{i}"] = i * 10
+            assert outcome.success
+        assert rig.reconfigure(mostly_read(8), list(expected)).success
+        for key, value in expected.items():
+            result = rig.read(key)
+            assert result.success and result.value == value
+
+    def test_new_tree_quorums_serve_reads(self):
+        """After migrating to MOSTLY-READ, a single replica answers reads."""
+        rig = Rig()
+        rig.write("k", "v")
+        assert rig.reconfigure(mostly_read(8), ["k"]).success
+        result = rig.read("k")
+        assert result.success
+        assert len(result.quorum) == 1  # one physical level -> cost 1
+
+    def test_unwritten_keys_skipped(self):
+        rig = Rig()
+        rig.write("present", "v")
+        outcome = rig.reconfigure(mostly_write(8), ["present", "absent"])
+        assert outcome.success
+        assert outcome.keys_migrated == 1  # 'absent' had nothing to move
+
+    def test_replica_count_must_match(self):
+        rig = Rig()
+        with pytest.raises(ValueError, match="hosts"):
+            rig.reconfigurer.reconfigure(mostly_read(9), [], lambda _: None)
+
+    def test_not_quiescent_refused(self):
+        rig = Rig()
+        rig.coordinator.write("k", "v", lambda _outcome: None)  # in flight
+        box = []
+        rig.reconfigurer.reconfigure(mostly_read(8), ["k"], box.append)
+        assert box and box[0].status is ReconfigStatus.NOT_QUIESCENT
+        rig.scheduler.run()  # drain the in-flight write
+
+    def test_failed_read_aborts_migration_safely(self):
+        rig = Rig()
+        rig.write("k", "v")
+        for sid in (0, 1, 2):  # kill level 1: reads become impossible
+            rig.sites[sid].crash()
+        old_policy = rig.coordinator.policy
+        outcome = rig.reconfigure(mostly_write(8), ["k"])
+        assert not outcome.success
+        assert outcome.status is ReconfigStatus.READ_FAILED
+        assert outcome.failed_key == "k"
+        assert rig.coordinator.policy is old_policy  # no switch
+
+    def test_failed_write_aborts_migration_safely(self):
+        rig = Rig()
+        rig.write("k", "v")
+        # mostly_write(8) levels are (0,1),(2,3),(4,5),(6,7): killing one
+        # replica per pair breaks every NEW write quorum while the old tree
+        # stays readable (0 serves level {0,1,2}; 3,5,7 serve {3..7}).
+        for sid in (1, 2, 4, 6):
+            rig.sites[sid].crash()
+        outcome = rig.reconfigure(mostly_write(8), ["k"])
+        assert not outcome.success
+        assert outcome.status is ReconfigStatus.WRITE_FAILED
+
+    def test_old_tree_still_consistent_after_aborted_migration(self):
+        rig = Rig()
+        rig.write("k", "old")
+        for sid in (1, 2, 4, 6):
+            rig.sites[sid].crash()
+        assert not rig.reconfigure(mostly_write(8), ["k"]).success
+        for sid in (1, 2, 4, 6):
+            rig.sites[sid].recover()
+        result = rig.read("k")
+        assert result.success and result.value == "old"
+
+    def test_round_trip_reconfiguration(self):
+        """1-3-5 -> MOSTLY-WRITE -> back, values intact throughout."""
+        rig = Rig()
+        rig.write("k", "first")
+        assert rig.reconfigure(mostly_write(8), ["k"]).success
+        rig.write("k", "second")
+        assert rig.reconfigure(from_spec("1-3-5"), ["k"]).success
+        result = rig.read("k")
+        assert result.success and result.value == "second"
+
+    def test_writes_after_migration_use_new_levels(self):
+        rig = Rig()
+        assert rig.reconfigure(mostly_write(8), []).success
+        outcome = rig.write("k", "v")
+        assert outcome.success
+        assert len(outcome.quorum) == 2  # a MOSTLY-WRITE level
+
+    def test_migrated_version_dominates_everywhere(self):
+        """The re-written copy must supersede stale old-level copies."""
+        rig = Rig()
+        first = rig.write("k", "v")
+        assert rig.reconfigure(mostly_write(8), ["k"]).success
+        # every replica that now holds k has a version above the original
+        holders = [
+            site for site in rig.sites if site.store.read("k").value is not None
+        ]
+        assert holders
+        for site in holders:
+            entry = site.store.read("k")
+            if entry.timestamp.version > first.timestamp.version:
+                assert entry.value == "v"

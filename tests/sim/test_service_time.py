@@ -1,0 +1,107 @@
+"""Unit tests for replica service times and FIFO queueing."""
+
+import random
+
+import pytest
+
+from repro.sim.events import Scheduler
+from repro.sim.messages import ReadReply, ReadRequest
+from repro.sim.network import Network
+from repro.sim.site import Site
+
+
+class Client:
+    def __init__(self):
+        self.received = []
+
+    @property
+    def is_up(self):
+        return True
+
+    def receive(self, message):
+        self.received.append(message)
+
+
+@pytest.fixture
+def rig():
+    scheduler = Scheduler()
+    network = Network(scheduler, random.Random(0), latency=1.0)
+    client = Client()
+    network.register(-1, client)
+    return scheduler, network, client
+
+
+def _ask(network, rid):
+    network.send(ReadRequest(src=-1, dst=0, key="k", request_id=rid))
+
+
+class TestServiceTime:
+    def test_zero_service_time_is_immediate(self, rig):
+        scheduler, network, client = rig
+        Site(0, network, service_time=0.0)
+        _ask(network, 1)
+        scheduler.run()
+        assert scheduler.now == 2.0  # pure network round trip
+
+    def test_positive_service_time_delays_reply(self, rig):
+        scheduler, network, client = rig
+        Site(0, network, service_time=3.0)
+        _ask(network, 1)
+        scheduler.run()
+        assert scheduler.now == 5.0  # 1 out + 3 service + 1 back
+        assert len(client.received) == 1
+
+    def test_queue_serialises_requests(self, rig):
+        scheduler, network, client = rig
+        Site(0, network, service_time=2.0)
+        for rid in (1, 2, 3):
+            _ask(network, rid)
+        scheduler.run()
+        # arrivals at t=1; service back-to-back: replies sent at 3, 5, 7
+        assert scheduler.now == 8.0  # last reply delivered at 7 + 1
+        assert [m.request_id for m in client.received] == [1, 2, 3]
+
+    def test_max_queue_depth_recorded(self, rig):
+        scheduler, network, client = rig
+        site = Site(0, network, service_time=2.0)
+        for rid in range(5):
+            _ask(network, rid)
+        scheduler.run()
+        # the first arrival goes straight into service; four wait behind it
+        assert site.stats.max_queue_depth == 4
+
+    def test_crash_drops_queued_messages(self, rig):
+        scheduler, network, client = rig
+        site = Site(0, network, service_time=2.0)
+        for rid in (1, 2, 3):
+            _ask(network, rid)
+        scheduler.run(until=1.5)  # all three queued, none served yet
+        site.crash()
+        scheduler.run()
+        assert client.received == []
+
+    def test_recovery_serves_new_traffic(self, rig):
+        scheduler, network, client = rig
+        site = Site(0, network, service_time=1.0)
+        site.crash()
+        site.recover()
+        _ask(network, 9)
+        scheduler.run()
+        assert [m.request_id for m in client.received] == [9]
+
+    def test_negative_service_time_rejected(self, rig):
+        _scheduler, network, _client = rig
+        with pytest.raises(ValueError, match="service time"):
+            Site(0, network, service_time=-1.0)
+
+    def test_replies_are_correct_under_queueing(self, rig):
+        scheduler, network, client = rig
+        site = Site(0, network, service_time=1.0)
+        from repro.sim.replica import Timestamp
+
+        site.store.apply_write("k", "v", Timestamp(4, 0))
+        _ask(network, 7)
+        scheduler.run()
+        (reply,) = client.received
+        assert isinstance(reply, ReadReply)
+        assert reply.value == "v" and reply.timestamp == Timestamp(4, 0)

@@ -1,0 +1,114 @@
+"""Property-based tests: random schedules never violate one-copy equivalence.
+
+Hypothesis generates interleaved writes, reads, crashes and recoveries on
+small trees; every successful read must return the latest successfully
+written value, and write versions must be strictly monotone per key —
+regardless of the failure pattern.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.builder import from_physical_level_sizes
+from repro.sim.engine import SimulationConfig, build_simulation
+
+KEYS = ("a", "b")
+
+
+def _actions():
+    crash = st.tuples(st.just("crash"), st.integers(min_value=0, max_value=7))
+    recover = st.tuples(st.just("recover"), st.integers(min_value=0, max_value=7))
+    write = st.tuples(st.just("write"), st.sampled_from(KEYS))
+    read = st.tuples(st.just("read"), st.sampled_from(KEYS))
+    return st.lists(
+        st.one_of(write, read, crash, recover), min_size=1, max_size=30
+    )
+
+
+class _Harness:
+    def __init__(self, sizes, seed=0):
+        tree = from_physical_level_sizes(list(sizes))
+        config = SimulationConfig(
+            tree=tree, seed=seed, max_attempts=2, timeout=6.0
+        )
+        (self.scheduler, _w, self.monitor,
+         self.network, self.sites) = build_simulation(config)
+        self.coordinator = self.network.endpoint(-1)
+        self.latest: dict = {}
+        self.last_version: dict = {}
+        self.counter = 0
+
+    def _call(self, op):
+        box = []
+        op(box.append)
+        while not box:
+            assert self.scheduler.step(), "simulation stalled"
+        return box[0]
+
+    def apply(self, action):
+        kind, arg = action
+        if kind == "crash":
+            self.sites[arg % len(self.sites)].crash()
+            return
+        if kind == "recover":
+            self.sites[arg % len(self.sites)].recover()
+            # recovery may enqueue termination-protocol traffic; drain it
+            self.scheduler.run()
+            return
+        if kind == "write":
+            self.counter += 1
+            value = f"v{self.counter}"
+            outcome = self._call(
+                lambda cb: self.coordinator.write(arg, value, cb)
+            )
+            if outcome.success:
+                self.latest[arg] = value
+                version = outcome.timestamp.version
+                assert version > self.last_version.get(arg, 0), (
+                    "write versions must be strictly monotone"
+                )
+                self.last_version[arg] = version
+            return
+        outcome = self._call(lambda cb: self.coordinator.read(arg, cb))
+        if outcome.success and arg in self.latest:
+            assert outcome.value == self.latest[arg], (
+                f"read of {arg!r} returned {outcome.value!r}, "
+                f"latest write was {self.latest[arg]!r}"
+            )
+
+
+@given(actions=_actions(), seed=st.integers(min_value=0, max_value=5))
+@settings(max_examples=60, deadline=None)
+def test_one_copy_equivalence_on_random_schedules(actions, seed):
+    harness = _Harness((3, 5), seed=seed)
+    for action in actions:
+        harness.apply(action)
+
+
+@given(
+    actions=_actions(),
+    sizes=st.sampled_from([(2, 2, 4), (1, 2, 5), (8,), (2, 3, 3)]),
+)
+@settings(max_examples=40, deadline=None)
+def test_random_schedules_on_varied_tree_shapes(actions, sizes):
+    harness = _Harness(sizes, seed=1)
+    for action in actions:
+        harness.apply(action)
+
+
+@given(actions=_actions())
+@settings(max_examples=25, deadline=None)
+def test_random_schedules_with_lossy_network(actions):
+    tree = from_physical_level_sizes([3, 5])
+    config = SimulationConfig(
+        tree=tree, seed=3, max_attempts=4, timeout=6.0, drop_probability=0.05
+    )
+    harness = _Harness.__new__(_Harness)
+    (harness.scheduler, _w, harness.monitor,
+     harness.network, harness.sites) = build_simulation(config)
+    harness.coordinator = harness.network.endpoint(-1)
+    harness.latest = {}
+    harness.last_version = {}
+    harness.counter = 0
+    for action in actions:
+        harness.apply(action)
