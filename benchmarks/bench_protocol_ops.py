@@ -14,6 +14,8 @@ from repro.core.protocol import ArbitraryProtocol
 from repro.core.tuning import recommend
 from repro.protocols.hqc import HQCProtocol
 from repro.protocols.tree_quorum import TreeQuorumProtocol
+from repro.protocols.zoo import quorum_systems
+from repro.quorums.system import CachedQuorumSystem
 
 
 def test_select_read_quorum_speed(benchmark):
@@ -69,3 +71,49 @@ def test_hqc_construction_speed(benchmark):
     protocol = HQCProtocol(729)
     quorum = benchmark(protocol.construct_quorum, lambda sid: True)
     assert quorum is not None and len(quorum) == 2**6
+
+
+def test_zoo_selection_round_speed(benchmark):
+    """One failure-aware selection per zoo protocol via the unified API."""
+    systems = quorum_systems(31)
+    rng = random.Random(0)
+    dead = set(rng.sample(range(31), 3))
+
+    def round_trip():
+        quorums = {}
+        for name, system in systems.items():
+            live = lambda sid: sid not in dead  # noqa: E731
+            quorums[name] = (
+                system.select_read_quorum(live, random.Random(1)),
+                system.select_write_quorum(live, random.Random(2)),
+            )
+        return quorums
+
+    quorums = benchmark(round_trip)
+    for name, (read, write) in quorums.items():
+        if read is not None:
+            assert not (read & dead), name
+        if write is not None:
+            assert not (write & dead), name
+
+
+def test_cached_system_memoises_analyses(benchmark):
+    """Repeated load()/availability() calls reuse one enumeration per op."""
+    system = CachedQuorumSystem(TreeQuorumProtocol(15))
+
+    def analyses():
+        return (
+            system.load("read"),
+            system.load("write"),
+            system.availability(0.9, "read"),
+            system.availability(0.9, "write"),
+        )
+
+    first = analyses()
+    enumerations_after_warmup = system.enumerations
+    results = benchmark(analyses)
+    assert results == first
+    # reads and writes share one quorum set here, but the wrapper caches
+    # per-op: at most two enumerations ever happen, however often the
+    # benchmark loop re-queried the analyses
+    assert system.enumerations == enumerations_after_warmup

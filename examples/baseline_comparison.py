@@ -2,10 +2,10 @@
 
 The paper's Figures 2-4 compare protocols analytically.  This example runs
 the actual message-level protocols side by side on the same simulated
-cluster conditions — the BINARY baseline through a
-:class:`~repro.sim.coordinator.SymmetricQuorumPolicy` around the
-Agrawal-El Abbadi quorum constructor, the ARBITRARY configuration natively —
-and prints measured cost, load and availability next to each paper formula.
+cluster conditions — both the BINARY baseline and the ARBITRARY
+configuration plug into the simulator directly through the unified
+:class:`~repro.quorums.system.QuorumSystem` interface — and prints measured
+cost, load and availability next to each paper formula.
 
 Run:  python examples/baseline_comparison.py
 """
@@ -16,7 +16,6 @@ from repro.analysis.tables import format_table
 from repro.core import analyse, recommended_tree
 from repro.protocols.tree_quorum import TreeQuorumProtocol
 from repro.sim import BernoulliFailures, SimulationConfig, WorkloadSpec, simulate
-from repro.sim.coordinator import SymmetricQuorumPolicy
 
 N = 31     # a complete-binary-tree size so both protocols fit the same n
 P = 0.8
@@ -46,8 +45,7 @@ def run_binary():
     protocol = TreeQuorumProtocol(N)
     result = simulate(
         SimulationConfig(
-            policy=SymmetricQuorumPolicy(protocol.construct_quorum),
-            n=N,
+            system=protocol,
             workload=WorkloadSpec(
                 operations=OPERATIONS, read_fraction=0.5, keys=32,
                 arrival="poisson", rate=0.25,

@@ -6,6 +6,12 @@ survey as data: one :class:`RelatedWorkEntry` per protocol with the intro's
 formulas evaluated at a given ``n`` (snapped to each protocol's admissible
 sizes), used by ``benchmarks/bench_related_work.py``.
 
+Every constructible protocol comes out of :mod:`repro.protocols.zoo` as a
+unified :class:`~repro.quorums.system.QuorumSystem`; the per-row load
+figures are read through the interface's ``load(op)`` accessor (which each
+protocol backs with its closed form), while the cost columns use the
+protocol-specific formulas the intro quotes.
+
 Two of the surveyed tree protocols are represented by their published cost
 formulas only (the paper cites but does not define them):
 
@@ -20,17 +26,9 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.core.builder import recommended_tree
 from repro.core.metrics import read_cost as arbitrary_read_cost
-from repro.core.metrics import read_load as arbitrary_read_load
-from repro.core.metrics import write_cost_avg, write_load
-from repro.protocols.agrawal_tree import AgrawalTreeProtocol
-from repro.protocols.fpp import FiniteProjectivePlaneProtocol, fpp_sizes
-from repro.protocols.grid import GridProtocol
-from repro.protocols.hqc import HQCProtocol, hqc_sizes
-from repro.protocols.majority import MajorityProtocol
-from repro.protocols.rowa import RowaProtocol
-from repro.protocols.tree_quorum import TreeQuorumProtocol, binary_tree_sizes
+from repro.core.metrics import write_cost_avg
+from repro.protocols.zoo import fpp_system, quorum_system
 
 
 @dataclass(frozen=True)
@@ -55,82 +53,73 @@ def survey(n: int = 121) -> list[RelatedWorkEntry]:
     """Evaluate every intro protocol at (approximately) ``n`` replicas."""
     entries: list[RelatedWorkEntry] = []
 
-    rowa = RowaProtocol(n)
+    rowa = quorum_system("rowa", n)
     entries.append(RelatedWorkEntry(
-        protocol="ROWA", reference="[3]", n=n,
-        read_cost_best=1, read_cost_worst=1, write_cost=n,
-        read_load=rowa.read_load(), write_load=rowa.write_load(),
+        protocol="ROWA", reference="[3]", n=rowa.n,
+        read_cost_best=1, read_cost_worst=1, write_cost=rowa.n,
+        read_load=rowa.load("read"), write_load=rowa.load("write"),
     ))
 
-    odd = n if n % 2 == 1 else n + 1
-    majority = MajorityProtocol(odd)
+    majority = quorum_system("majority", n)
     entries.append(RelatedWorkEntry(
-        protocol="Majority", reference="[13]", n=odd,
-        read_cost_best=(odd + 1) / 2, read_cost_worst=(odd + 1) / 2,
-        write_cost=(odd + 1) / 2,
-        read_load=majority.read_load(), write_load=majority.write_load(),
+        protocol="Majority", reference="[13]", n=majority.n,
+        read_cost_best=(majority.n + 1) / 2,
+        read_cost_worst=(majority.n + 1) / 2,
+        write_cost=(majority.n + 1) / 2,
+        read_load=majority.load("read"), write_load=majority.load("write"),
     ))
 
-    fpp_n = _nearest(fpp_sizes(23), n)
-    fpp = FiniteProjectivePlaneProtocol(fpp_n)
+    fpp = fpp_system(n)
     entries.append(RelatedWorkEntry(
-        protocol="FPP (sqrt n)", reference="[9]", n=fpp_n,
+        protocol="FPP (sqrt n)", reference="[9]", n=fpp.n,
         read_cost_best=fpp.quorum_size(), read_cost_worst=fpp.quorum_size(),
         write_cost=fpp.quorum_size(),
-        read_load=fpp.read_load(), write_load=fpp.write_load(),
+        read_load=fpp.load("read"), write_load=fpp.load("write"),
     ))
 
-    side = max(2, math.isqrt(n))
-    grid = GridProtocol(side * side)
+    grid = quorum_system("grid", n)
     entries.append(RelatedWorkEntry(
-        protocol="Grid", reference="[4]", n=side * side,
+        protocol="Grid", reference="[4]", n=grid.n,
         read_cost_best=grid.read_cost(), read_cost_worst=grid.read_cost(),
         write_cost=grid.write_cost(),
-        read_load=grid.read_load(), write_load=grid.write_load(),
+        read_load=grid.load("read"), write_load=grid.load("write"),
     ))
 
-    binary_n = _nearest(binary_tree_sizes(12), n)
-    binary = TreeQuorumProtocol(binary_n)
+    binary = quorum_system("tree-quorum", n)
     entries.append(RelatedWorkEntry(
-        protocol="Tree quorum", reference="[2]", n=binary_n,
+        protocol="Tree quorum", reference="[2]", n=binary.n,
         read_cost_best=binary.min_cost(), read_cost_worst=binary.max_cost(),
         write_cost=binary.average_cost(),
-        read_load=binary.optimal_load(), write_load=binary.optimal_load(),
+        read_load=binary.load("read"), write_load=binary.load("write"),
     ))
 
-    hqc_n = _nearest(hqc_sizes(7), n)
-    hqc = HQCProtocol(hqc_n)
+    hqc = quorum_system("hqc", n)
     entries.append(RelatedWorkEntry(
-        protocol="HQC", reference="[8]", n=hqc_n,
+        protocol="HQC", reference="[8]", n=hqc.n,
         read_cost_best=hqc.quorum_size(), read_cost_worst=hqc.quorum_size(),
         write_cost=hqc.quorum_size(),
-        read_load=hqc.optimal_load(), write_load=hqc.optimal_load(),
+        read_load=hqc.load("read"), write_load=hqc.load("write"),
     ))
 
-    # [1]: complete (2d+1)-ary tree with d = 1 -> ternary; pick the height
-    # whose size is nearest n.
-    heights = range(1, 8)
-    sizes = {(3 ** (h + 1) - 1) // 2: h for h in heights}
-    ae_n = _nearest(list(sizes), n)
-    ae = AgrawalTreeProtocol(d=1, height=sizes[ae_n])
+    ae = quorum_system("ae-tree", n)
     entries.append(RelatedWorkEntry(
         protocol="AE tree (VLDB90)", reference="[1]", n=ae.n,
         read_cost_best=ae.read_cost_min(), read_cost_worst=ae.read_cost_max(),
         write_cost=ae.write_cost_exact(),
-        read_load=ae.read_load(), write_load=ae.write_load(),
+        read_load=ae.load("read"), write_load=ae.load("write"),
     ))
 
     entries.append(koch_model(n))
     entries.append(choi_model(n))
 
-    arbitrary = recommended_tree(n)
+    arbitrary = quorum_system("arbitrary", n)
     entries.append(RelatedWorkEntry(
-        protocol="Arbitrary (this paper)", reference="-", n=n,
-        read_cost_best=arbitrary_read_cost(arbitrary),
-        read_cost_worst=arbitrary_read_cost(arbitrary),
-        write_cost=write_cost_avg(arbitrary),
-        read_load=arbitrary_read_load(arbitrary),
-        write_load=write_load(arbitrary),
+        protocol="Arbitrary (this paper)", reference="-", n=arbitrary.n,
+        read_cost_best=arbitrary_read_cost(arbitrary.tree),
+        read_cost_worst=arbitrary_read_cost(arbitrary.tree),
+        write_cost=write_cost_avg(arbitrary.tree),
+        read_load=arbitrary.load("read"),
+        write_load=arbitrary.load("write"),
     ))
     return entries
 

@@ -128,33 +128,40 @@ def _print_tuning(n: int, p: float, read_fraction: float) -> None:
 
 
 def _print_simulation(spec: str, operations: int, read_fraction: float,
-                      p: float, seed: int) -> None:
+                      p: float, seed: int, protocol: str | None = None,
+                      n: int = 0) -> None:
+    from repro.protocols.zoo import quorum_system
     from repro.sim import BernoulliFailures, SimulationConfig, WorkloadSpec, simulate
     from repro.sim.failures import NoFailures
 
-    tree = from_spec(spec)
     failures = (
         NoFailures() if p >= 1.0
         else BernoulliFailures(p=p, seed=seed, resample_every=40.0)
     )
-    result = simulate(
-        SimulationConfig(
-            tree=tree,
-            workload=WorkloadSpec(
-                operations=operations, read_fraction=read_fraction, keys=32,
-                arrival="poisson", rate=0.25,
-            ),
-            failures=failures,
-            max_attempts=1,
-            timeout=8.0,
-            seed=seed,
-        )
+    workload = WorkloadSpec(
+        operations=operations, read_fraction=read_fraction, keys=32,
+        arrival="poisson", rate=0.25,
     )
-    metrics = analyse(tree, p=min(p, 1.0))
+    if protocol is None or protocol == "arbitrary-spec":
+        tree = from_spec(spec)
+        config = SimulationConfig(
+            tree=tree, workload=workload, failures=failures,
+            max_attempts=1, timeout=8.0, seed=seed,
+        )
+        label = f"simulation of {spec}"
+    else:
+        system = quorum_system(protocol, n or from_spec(spec).n)
+        config = SimulationConfig(
+            system=system, workload=workload, failures=failures,
+            max_attempts=1, timeout=8.0, seed=seed,
+        )
+        label = f"simulation of {system.name} (n = {system.n})"
+    result = simulate(config)
     summary = result.summary()
-    print(format_table(
-        ["quantity", "simulated", "closed form"],
-        [
+    rows: list[list] = []
+    if protocol is None or protocol == "arbitrary-spec":
+        metrics = analyse(config.tree, p=min(p, 1.0))
+        rows = [
             ["read cost", round(summary["read_cost"], 3), metrics.read_cost],
             ["write cost", round(summary["write_cost"], 3),
              round(metrics.write_cost_avg, 3)],
@@ -167,8 +174,27 @@ def _print_simulation(spec: str, operations: int, read_fraction: float,
             ["write availability", round(summary["write_availability"], 3),
              round(metrics.write_availability, 3)],
             ["messages", int(summary["messages_sent"]), "-"],
-        ],
-        title=f"simulation of {spec}: {operations} ops, p = {p}, seed {seed}",
+        ]
+    else:
+        system = config.system
+        assert system is not None
+        rows = [
+            ["read cost", round(summary["read_cost"], 3), "-"],
+            ["write cost", round(summary["write_cost"], 3), "-"],
+            ["read load", round(summary["read_load"], 3),
+             round(system.load("read"), 3)],
+            ["write load", round(summary["write_load"], 3),
+             round(system.load("write"), 3)],
+            ["read availability", round(summary["read_availability"], 3),
+             round(system.availability(min(p, 1.0), "read"), 3)],
+            ["write availability", round(summary["write_availability"], 3),
+             round(system.availability(min(p, 1.0), "write"), 3)],
+            ["messages", int(summary["messages_sent"]), "-"],
+        ]
+    print(format_table(
+        ["quantity", "simulated", "closed form"],
+        rows,
+        title=f"{label}: {operations} ops, p = {p}, seed {seed}",
     ))
 
 
@@ -205,6 +231,17 @@ def build_parser() -> argparse.ArgumentParser:
     sim_parser.add_argument("--p", type=float, default=1.0,
                             help="per-replica availability (1.0 = no failures)")
     sim_parser.add_argument("--seed", type=int, default=0)
+    from repro.protocols.zoo import PROTOCOL_NAMES
+
+    sim_parser.add_argument(
+        "--protocol", choices=PROTOCOL_NAMES, default=None,
+        help="simulate a zoo protocol instead of an explicit tree spec "
+             "(sized via --n, or to match the spec's replica count)",
+    )
+    sim_parser.add_argument(
+        "--n", type=int, default=0,
+        help="replica count for --protocol (snapped to an admissible size)",
+    )
 
     all_parser = sub.add_parser("all", help="everything, default parameters")
     all_parser.add_argument("--p", type=float, default=0.7)
@@ -225,7 +262,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         _print_tuning(args.n, args.p, args.read_fraction)
     elif args.command == "simulate":
         _print_simulation(
-            args.spec, args.operations, args.read_fraction, args.p, args.seed
+            args.spec, args.operations, args.read_fraction, args.p, args.seed,
+            protocol=args.protocol, n=args.n,
         )
     elif args.command == "all":
         _print_example()

@@ -17,23 +17,17 @@ from __future__ import annotations
 
 import math
 import random
-from collections.abc import Callable, Collection, Iterator
+from collections.abc import Collection, Iterator
 
 from repro.core.tree import ArbitraryTree
 from repro.quorums.base import BiCoterie
+from repro.quorums.liveness import Liveness, LivenessOracle, as_oracle
+from repro.quorums.system import QuorumSystem
 
-LivenessOracle = Callable[[int], bool]
-
-
-def _as_oracle(live: Collection[int] | LivenessOracle) -> LivenessOracle:
-    """Accept either a set of live SIDs or a predicate on SIDs."""
-    if callable(live):
-        return live
-    live_set = frozenset(live)
-    return lambda sid: sid in live_set
+__all__ = ["ArbitraryProtocol", "LivenessOracle"]
 
 
-class ArbitraryProtocol:
+class ArbitraryProtocol(QuorumSystem):
     """The arbitrary tree-structured replica control protocol.
 
     Parameters
@@ -47,6 +41,8 @@ class ArbitraryProtocol:
     grows combinatorially; :meth:`read_quorums` is therefore a lazy iterator
     and :meth:`bicoterie` guards materialisation behind a limit.
     """
+
+    name = "Arbitrary"
 
     def __init__(self, tree: ArbitraryTree) -> None:
         if tree.n < 1:
@@ -143,7 +139,7 @@ class ArbitraryProtocol:
 
     def select_read_quorum(
         self,
-        live: Collection[int] | LivenessOracle,
+        live: Liveness,
         rng: random.Random | None = None,
     ) -> frozenset[int] | None:
         """Assemble a read quorum from live replicas, or ``None``.
@@ -154,7 +150,7 @@ class ArbitraryProtocol:
         uniformly at random, spreading load as the uniform strategy does;
         otherwise the first live member is taken (deterministic).
         """
-        oracle = _as_oracle(live)
+        oracle = as_oracle(live)
         members: list[int] = []
         for level in self._level_sids:
             alive = [sid for sid in level if oracle(sid)]
@@ -165,7 +161,7 @@ class ArbitraryProtocol:
 
     def select_write_quorum(
         self,
-        live: Collection[int] | LivenessOracle,
+        live: Liveness,
         rng: random.Random | None = None,
     ) -> frozenset[int] | None:
         """Pick a physical level whose replicas are *all* live, or ``None``.
@@ -175,7 +171,7 @@ class ArbitraryProtocol:
         picked uniformly among the fully-live ones; otherwise the shallowest
         (and by Assumption 3.1 cheapest) fully-live level is used.
         """
-        oracle = _as_oracle(live)
+        oracle = as_oracle(live)
         candidates = [
             frozenset(level)
             for level in self._level_sids
@@ -186,6 +182,35 @@ class ArbitraryProtocol:
         if rng is not None:
             return rng.choice(candidates)
         return min(candidates, key=len)
+
+    # ------------------------------------------------------------------
+    # closed-form analyses (Sections 3.2.1 / 3.2.2)
+    # ------------------------------------------------------------------
+
+    def load(self, op: str = "read") -> float:
+        """The closed-form load of the paper's uniform strategies.
+
+        Overrides the generic LP-based derivation — the paper gives both
+        operation loads in closed form (``max_k 1/m_phy_k`` for reads,
+        ``max_k m_phy_k / n_phy`` for writes).
+        """
+        from repro.core import metrics
+
+        if op not in ("read", "write"):
+            raise ValueError(f"op must be 'read' or 'write', not {op!r}")
+        if op == "read":
+            return metrics.read_load(self._tree)
+        return metrics.write_load(self._tree)
+
+    def availability(self, p: float, op: str = "read") -> float:
+        """Closed-form availability product (reads) / complement (writes)."""
+        from repro.core import metrics
+
+        if op not in ("read", "write"):
+            raise ValueError(f"op must be 'read' or 'write', not {op!r}")
+        if op == "read":
+            return metrics.read_availability(self._tree, p)
+        return metrics.write_availability(self._tree, p)
 
     # ------------------------------------------------------------------
     # bi-coterie view

@@ -13,9 +13,17 @@ the LP machinery of :mod:`repro.quorums`.
   the paper's **HQC** configuration;
 * :mod:`repro.protocols.grid` — the grid protocol [4];
 * :mod:`repro.protocols.fpp` — Maekawa's sqrt(n) / finite-projective-plane
-  protocol [9].
+  protocol [9];
+* :mod:`repro.protocols.agrawal_tree` — the original Agrawal-El Abbadi tree
+  protocol for replicated data [1].
+
+Every protocol implements the unified
+:class:`~repro.quorums.system.QuorumSystem` interface, and
+:mod:`repro.protocols.zoo` builds all of them (plus the paper's arbitrary
+protocol) at a requested replica count.
 """
 
+from repro.protocols.agrawal_tree import AgrawalTreeProtocol
 from repro.protocols.base import ProtocolModel
 from repro.protocols.fpp import FiniteProjectivePlaneProtocol
 from repro.protocols.grid import GridProtocol
@@ -23,13 +31,18 @@ from repro.protocols.hqc import HQCProtocol
 from repro.protocols.majority import MajorityProtocol
 from repro.protocols.rowa import RowaProtocol
 from repro.protocols.tree_quorum import TreeQuorumProtocol
+from repro.protocols.zoo import PROTOCOL_NAMES, quorum_system, quorum_systems
 
 __all__ = [
+    "AgrawalTreeProtocol",
     "FiniteProjectivePlaneProtocol",
     "GridProtocol",
     "HQCProtocol",
     "MajorityProtocol",
+    "PROTOCOL_NAMES",
     "ProtocolModel",
     "RowaProtocol",
     "TreeQuorumProtocol",
+    "quorum_system",
+    "quorum_systems",
 ]

@@ -23,24 +23,18 @@ SIDs are assigned in breadth-first order: the children of node ``v`` are
 from __future__ import annotations
 
 import random
-from collections.abc import Callable, Collection, Iterator
+from collections.abc import Iterator
 from itertools import combinations
 
 from repro.protocols.base import ProtocolModel, check_probability
+from repro.quorums.liveness import Liveness, LivenessOracle, as_oracle
 
-LivenessOracle = Callable[[int], bool]
+__all__ = ["AgrawalTreeProtocol", "LivenessOracle", "complete_tree_size"]
 
 
 def complete_tree_size(branching: int, height: int) -> int:
     """Number of nodes of the complete tree: ``(b^(h+1) - 1) / (b - 1)``."""
     return (branching ** (height + 1) - 1) // (branching - 1)
-
-
-def _as_oracle(live: Collection[int] | LivenessOracle) -> LivenessOracle:
-    if callable(live):
-        return live
-    live_set = frozenset(live)
-    return lambda sid: sid in live_set
 
 
 class AgrawalTreeProtocol(ProtocolModel):
@@ -100,11 +94,11 @@ class AgrawalTreeProtocol(ProtocolModel):
 
     def construct_read_quorum(
         self,
-        live: Collection[int] | LivenessOracle,
+        live: Liveness,
         rng: random.Random | None = None,
     ) -> frozenset[int] | None:
         """Root if live; else majorities of children, recursively."""
-        oracle = _as_oracle(live)
+        oracle = as_oracle(live)
 
         def solve(v: int) -> frozenset[int] | None:
             if oracle(v):
@@ -127,11 +121,11 @@ class AgrawalTreeProtocol(ProtocolModel):
 
     def construct_write_quorum(
         self,
-        live: Collection[int] | LivenessOracle,
+        live: Liveness,
         rng: random.Random | None = None,
     ) -> frozenset[int] | None:
         """The live root plus write quorums of a child majority, recursively."""
-        oracle = _as_oracle(live)
+        oracle = as_oracle(live)
 
         def solve(v: int) -> frozenset[int] | None:
             if not oracle(v):
@@ -151,6 +145,18 @@ class AgrawalTreeProtocol(ProtocolModel):
             return None
 
         return solve(0)
+
+    def select_read_quorum(
+        self, live: Liveness, rng: random.Random | None = None
+    ) -> frozenset[int] | None:
+        """Reads use the root-or-child-majorities construction."""
+        return self.construct_read_quorum(live, rng)
+
+    def select_write_quorum(
+        self, live: Liveness, rng: random.Random | None = None
+    ) -> frozenset[int] | None:
+        """Writes use the root-plus-majority-spine construction."""
+        return self.construct_write_quorum(live, rng)
 
     # ------------------------------------------------------------------
     # enumeration (small trees)

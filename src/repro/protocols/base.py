@@ -1,11 +1,14 @@
 """Common interface for replica control protocol models.
 
-A :class:`ProtocolModel` bundles the four analytic quantities the paper
-compares protocols by — read/write communication cost, read/write
-availability, and read/write optimal system load — together with (optional)
-explicit quorum enumeration so that small instances can be cross-checked
-against the LP-based load computation and the exact availability machinery
-in :mod:`repro.quorums`.
+A :class:`ProtocolModel` is a :class:`~repro.quorums.system.QuorumSystem`
+over replicas ``0..n-1`` that additionally bundles the four analytic
+quantities the paper compares protocols by — read/write communication cost,
+read/write availability, and read/write optimal system load — as *closed
+forms*, overriding the generic enumeration-based analyses of the unified
+layer so every size stays tractable.  Explicit quorum enumeration (where
+implemented) lets small instances be cross-checked against the LP-based
+load computation and the exact availability machinery in
+:mod:`repro.quorums`.
 
 Costs reported by :meth:`read_cost` / :meth:`write_cost` are the *average*
 number of replicas contacted under the protocol's quorum-picking strategy,
@@ -17,10 +20,10 @@ from __future__ import annotations
 import abc
 from collections.abc import Iterator
 
-from repro.quorums.base import BiCoterie
+from repro.quorums.system import QuorumSystem
 
 
-class ProtocolModel(abc.ABC):
+class ProtocolModel(QuorumSystem, abc.ABC):
     """Analytic model of a replica control protocol over ``n`` replicas."""
 
     #: Human-readable protocol name (used in bench output tables).
@@ -35,6 +38,11 @@ class ProtocolModel(abc.ABC):
     def n(self) -> int:
         """Number of replicas in the system."""
         return self._n
+
+    @property
+    def universe(self) -> frozenset[int]:
+        """Replica SIDs ``0..n-1`` (every model uses contiguous SIDs)."""
+        return frozenset(range(self._n))
 
     # -- communication cost (average replicas contacted) -----------------
 
@@ -66,6 +74,23 @@ class ProtocolModel(abc.ABC):
     def write_load(self) -> float:
         """Optimal system load induced by write operations."""
 
+    # -- unified-layer accessors dispatch to the closed forms --------------
+
+    def load(self, op: str = "read") -> float:
+        """Optimal system load of one operation (closed form, any size)."""
+        if op not in ("read", "write"):
+            raise ValueError(f"op must be 'read' or 'write', got {op!r}")
+        return self.read_load() if op == "read" else self.write_load()
+
+    def availability(self, p: float, op: str = "read") -> float:
+        """Availability of one operation (closed form, any size)."""
+        if op not in ("read", "write"):
+            raise ValueError(f"op must be 'read' or 'write', got {op!r}")
+        return (
+            self.read_availability(p) if op == "read"
+            else self.write_availability(p)
+        )
+
     # -- expected loads (the paper's Equation 3.2) ------------------------
 
     def expected_read_load(self, p: float) -> float:
@@ -88,14 +113,6 @@ class ProtocolModel(abc.ABC):
     def write_quorums(self) -> Iterator[frozenset[int]]:
         """Enumerate write quorums (override where tractable)."""
         raise NotImplementedError(f"{self.name} does not enumerate write quorums")
-
-    def bicoterie(self) -> BiCoterie:
-        """Materialise the protocol as an explicit bi-coterie (small n only)."""
-        return BiCoterie(
-            list(self.read_quorums()),
-            list(self.write_quorums()),
-            universe=range(self._n),
-        )
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(n={self._n})"

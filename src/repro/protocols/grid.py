@@ -21,10 +21,12 @@ SIDs are assigned row-major: replica ``(row, col)`` has SID
 from __future__ import annotations
 
 import math
+import random
 from collections.abc import Iterator
 from itertools import product
 
 from repro.protocols.base import ProtocolModel, check_probability
+from repro.quorums.liveness import Liveness, as_oracle
 
 
 def square_side(n: int) -> int:
@@ -94,6 +96,58 @@ class GridProtocol(ProtocolModel):
                     self.sid(row, col) for col, row in zip(other_cols, rows)
                 )
                 yield self.column(full_col) | cover
+
+    # ------------------------------------------------------------------
+    # failure-aware selection
+    # ------------------------------------------------------------------
+
+    def _live_cover(
+        self,
+        columns: list[int],
+        oracle,
+        rng: random.Random | None,
+    ) -> list[int] | None:
+        """One live replica per listed column, or ``None``."""
+        picks: list[int] = []
+        for col in columns:
+            alive = [
+                self.sid(row, col)
+                for row in range(self._rows)
+                if oracle(self.sid(row, col))
+            ]
+            if not alive:
+                return None
+            picks.append(rng.choice(alive) if rng is not None else alive[0])
+        return picks
+
+    def select_read_quorum(
+        self, live: Liveness, rng: random.Random | None = None
+    ) -> frozenset[int] | None:
+        """A column cover of live replicas, or ``None``."""
+        oracle = as_oracle(live)
+        cover = self._live_cover(list(range(self._cols)), oracle, rng)
+        return None if cover is None else frozenset(cover)
+
+    def select_write_quorum(
+        self, live: Liveness, rng: random.Random | None = None
+    ) -> frozenset[int] | None:
+        """A fully-live column plus a live cover of the other columns."""
+        oracle = as_oracle(live)
+        full_candidates = [
+            col for col in range(self._cols)
+            if all(oracle(sid) for sid in self.column(col))
+        ]
+        if not full_candidates:
+            return None
+        full_col = (
+            rng.choice(full_candidates) if rng is not None
+            else full_candidates[0]
+        )
+        others = [col for col in range(self._cols) if col != full_col]
+        cover = self._live_cover(others, oracle, rng)
+        if cover is None:
+            return None
+        return self.column(full_col) | frozenset(cover)
 
     # ------------------------------------------------------------------
     # analytic quantities

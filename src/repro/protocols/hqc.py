@@ -21,10 +21,11 @@ from __future__ import annotations
 
 import math
 import random
-from collections.abc import Callable, Collection, Iterator
+from collections.abc import Iterator
 from itertools import combinations
 
 from repro.protocols.base import ProtocolModel, check_probability
+from repro.quorums.liveness import Liveness, LivenessOracle, as_oracle
 
 #: Exponent of the HQC quorum size: log_3(2).
 HQC_COST_EXPONENT = math.log(2) / math.log(3)
@@ -32,7 +33,14 @@ HQC_COST_EXPONENT = math.log(2) / math.log(3)
 #: Exponent of the HQC optimal load: log_3(2) - 1 (about -0.37).
 HQC_LOAD_EXPONENT = HQC_COST_EXPONENT - 1.0
 
-LivenessOracle = Callable[[int], bool]
+__all__ = [
+    "HQCProtocol",
+    "HQC_COST_EXPONENT",
+    "HQC_LOAD_EXPONENT",
+    "LivenessOracle",
+    "hqc_sizes",
+    "ternary_depth",
+]
 
 
 def ternary_depth(n: int) -> int:
@@ -48,13 +56,6 @@ def ternary_depth(n: int) -> int:
 def hqc_sizes(max_depth: int) -> list[int]:
     """Admissible system sizes ``3^l`` for ``l`` up to ``max_depth``."""
     return [3**depth for depth in range(max_depth + 1)]
-
-
-def _as_oracle(live: Collection[int] | LivenessOracle) -> LivenessOracle:
-    if callable(live):
-        return live
-    live_set = frozenset(live)
-    return lambda sid: sid in live_set
 
 
 class HQCProtocol(ProtocolModel):
@@ -81,7 +82,7 @@ class HQCProtocol(ProtocolModel):
 
     def construct_quorum(
         self,
-        live: Collection[int] | LivenessOracle,
+        live: Liveness,
         rng: random.Random | None = None,
     ) -> frozenset[int] | None:
         """Assemble a quorum from live replicas, or ``None``.
@@ -90,7 +91,7 @@ class HQCProtocol(ProtocolModel):
         yield sub-quorums.  With ``rng`` subtree preference is randomised;
         otherwise the leftmost viable pair is used.
         """
-        oracle = _as_oracle(live)
+        oracle = as_oracle(live)
 
         def solve(offset: int, depth: int) -> frozenset[int] | None:
             if depth == 0:
@@ -109,6 +110,18 @@ class HQCProtocol(ProtocolModel):
             return None
 
         return solve(0, self._depth)
+
+    def select_read_quorum(
+        self, live: Liveness, rng: random.Random | None = None
+    ) -> frozenset[int] | None:
+        """Reads use the hierarchical construction."""
+        return self.construct_quorum(live, rng)
+
+    def select_write_quorum(
+        self, live: Liveness, rng: random.Random | None = None
+    ) -> frozenset[int] | None:
+        """Writes share the read quorums (majorities of majorities)."""
+        return self.construct_quorum(live, rng)
 
     def enumerate_quorums(self, max_quorums: int = 200_000) -> Iterator[frozenset[int]]:
         """Enumerate every HQC quorum (count ``c(l) = 3 c(l-1)^2``).
@@ -167,8 +180,12 @@ class HQCProtocol(ProtocolModel):
         """``n^0.63`` — identical to reads."""
         return float(self.quorum_size())
 
-    def availability(self, p: float) -> float:
-        """2-of-3 majority recursion: ``A(l) = 3a^2(1-a) + a^3``."""
+    def availability(self, p: float, op: str = "read") -> float:
+        """2-of-3 majority recursion: ``A(l) = 3a^2(1-a) + a^3``.
+
+        ``op`` is accepted for unified-layer compatibility and ignored —
+        reads and writes share the one quorum set.
+        """
         check_probability(p)
         availability = p
         for _ in range(self._depth):

@@ -13,10 +13,12 @@ intersection) and ``2w > n`` (write/write intersection).
 from __future__ import annotations
 
 import math
+import random
 from collections.abc import Iterator
 from itertools import combinations
 
 from repro.protocols.base import ProtocolModel, check_probability
+from repro.quorums.liveness import Liveness, live_members
 
 
 def _at_least(n: int, k: int, p: float) -> float:
@@ -72,6 +74,29 @@ class MajorityProtocol(ProtocolModel):
     def write_threshold(self) -> int:
         """The write quorum size ``w``."""
         return self._w
+
+    def _select_threshold(
+        self, size: int, live: Liveness, rng: random.Random | None
+    ) -> frozenset[int] | None:
+        """Any ``size`` live replicas (rng-uniform subset, else the first)."""
+        alive = live_members(range(self.n), live)
+        if len(alive) < size:
+            return None
+        if rng is not None:
+            return frozenset(rng.sample(alive, size))
+        return frozenset(alive[:size])
+
+    def select_read_quorum(
+        self, live: Liveness, rng: random.Random | None = None
+    ) -> frozenset[int] | None:
+        """Any ``r`` live replicas, or ``None``."""
+        return self._select_threshold(self._r, live, rng)
+
+    def select_write_quorum(
+        self, live: Liveness, rng: random.Random | None = None
+    ) -> frozenset[int] | None:
+        """Any ``w`` live replicas, or ``None``."""
+        return self._select_threshold(self._w, live, rng)
 
     def read_cost(self) -> float:
         """Every read contacts exactly ``r`` replicas."""

@@ -12,15 +12,35 @@ checks the two models agree on every quantity.
 
 from __future__ import annotations
 
+import random
 from collections.abc import Iterator
 
 from repro.protocols.base import ProtocolModel, check_probability
+from repro.quorums.liveness import Liveness, live_members
 
 
 class RowaProtocol(ProtocolModel):
     """ROWA over ``n`` replicas."""
 
     name = "ROWA"
+
+    def select_read_quorum(
+        self, live: Liveness, rng: random.Random | None = None
+    ) -> frozenset[int] | None:
+        """Any single live replica (rng-uniform among the live ones)."""
+        alive = live_members(range(self.n), live)
+        if not alive:
+            return None
+        return frozenset({rng.choice(alive) if rng is not None else alive[0]})
+
+    def select_write_quorum(
+        self, live: Liveness, rng: random.Random | None = None
+    ) -> frozenset[int] | None:
+        """All replicas — available only when every one of them is live."""
+        alive = live_members(range(self.n), live)
+        if len(alive) < self.n:
+            return None
+        return frozenset(alive)
 
     def read_cost(self) -> float:
         """A read touches exactly one replica."""

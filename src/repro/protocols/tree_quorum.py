@@ -28,11 +28,17 @@ SIDs are assigned in breadth-first order: root 0, children of ``v`` are
 from __future__ import annotations
 
 import random
-from collections.abc import Callable, Collection, Iterator
+from collections.abc import Iterator
 
 from repro.protocols.base import ProtocolModel, check_probability
+from repro.quorums.liveness import Liveness, LivenessOracle, as_oracle
 
-LivenessOracle = Callable[[int], bool]
+__all__ = [
+    "LivenessOracle",
+    "TreeQuorumProtocol",
+    "binary_tree_sizes",
+    "complete_binary_height",
+]
 
 
 def complete_binary_height(n: int) -> int:
@@ -46,13 +52,6 @@ def complete_binary_height(n: int) -> int:
 def binary_tree_sizes(max_height: int) -> list[int]:
     """The admissible system sizes ``n = 2^(h+1)-1`` up to ``max_height``."""
     return [2 ** (h + 1) - 1 for h in range(max_height + 1)]
-
-
-def _as_oracle(live: Collection[int] | LivenessOracle) -> LivenessOracle:
-    if callable(live):
-        return live
-    live_set = frozenset(live)
-    return lambda sid: sid in live_set
 
 
 class TreeQuorumProtocol(ProtocolModel):
@@ -95,7 +94,7 @@ class TreeQuorumProtocol(ProtocolModel):
 
     def construct_quorum(
         self,
-        live: Collection[int] | LivenessOracle,
+        live: Liveness,
         rng: random.Random | None = None,
     ) -> frozenset[int] | None:
         """Assemble a quorum from live replicas, or ``None`` if impossible.
@@ -105,7 +104,7 @@ class TreeQuorumProtocol(ProtocolModel):
         how a real deployment spreads load); without it the left child is
         preferred, giving deterministic results for tests.
         """
-        oracle = _as_oracle(live)
+        oracle = as_oracle(live)
 
         def solve(v: int) -> frozenset[int] | None:
             kids = self.children(v)
@@ -131,6 +130,18 @@ class TreeQuorumProtocol(ProtocolModel):
             return frozenset().union(*parts)
 
         return solve(0)
+
+    def select_read_quorum(
+        self, live: Liveness, rng: random.Random | None = None
+    ) -> frozenset[int] | None:
+        """Reads use the path-with-substitution construction."""
+        return self.construct_quorum(live, rng)
+
+    def select_write_quorum(
+        self, live: Liveness, rng: random.Random | None = None
+    ) -> frozenset[int] | None:
+        """Writes share the read quorums (the original mutual-exclusion set)."""
+        return self.construct_quorum(live, rng)
 
     # ------------------------------------------------------------------
     # explicit enumeration (exponential; small heights only)
@@ -205,8 +216,8 @@ class TreeQuorumProtocol(ProtocolModel):
         """Average quorum size (reads and writes are symmetric)."""
         return self.average_cost()
 
-    def availability(self, p: float) -> float:
-        """Probability a quorum is constructible.
+    def availability(self, p: float, op: str = "read") -> float:
+        """Probability a quorum is constructible (``op`` ignored: one set).
 
         ``A(0) = p`` and ``A(h) = p (1 - (1 - a)^2) + (1 - p) a^2`` with
         ``a = A(h-1)``: a live root needs a path from either child, a dead

@@ -14,17 +14,26 @@ This subpackage implements the classical machinery from Naor & Wool,
 Everything here is protocol-agnostic: the arbitrary tree protocol, the
 tree-quorum protocol, HQC, grids and so on are all expressed as (bi-)coteries
 over a finite universe of replica identifiers and analysed with these tools.
+
+On top of the classical machinery sits the unified read/write layer of
+:mod:`repro.quorums.system`: the abstract :class:`QuorumSystem` every
+protocol implements and every consumer (simulator, analysis, CLI,
+benchmarks) programs against, plus the memoizing
+:class:`CachedQuorumSystem` wrapper.  (The *intersecting set system* of
+Definition 2.1 keeps its historical name at
+:class:`repro.quorums.base.QuorumSystem`; the package-level export is the
+read/write interface.)
 """
 
 from repro.quorums.availability import (
     estimate_availability_monte_carlo,
     exact_availability,
+    operation_availability,
     system_availability,
 )
 from repro.quorums.base import (
     BiCoterie,
     Coterie,
-    QuorumSystem,
     SetSystem,
     is_antichain,
     is_intersecting,
@@ -35,30 +44,38 @@ from repro.quorums.domination import (
     dominating_coterie,
     is_non_dominated,
 )
+from repro.quorums.liveness import LivenessOracle, as_oracle
 from repro.quorums.load import (
     OptimalLoad,
     optimal_load,
+    optimal_operation_load,
     verify_load_witness,
 )
 from repro.quorums.strategy import Strategy, induced_loads, system_load
+from repro.quorums.system import CachedQuorumSystem, QuorumSystem
 
 __all__ = [
     "BiCoterie",
+    "CachedQuorumSystem",
     "Coterie",
+    "LivenessOracle",
     "OptimalLoad",
-    "dominates",
-    "dominating_coterie",
-    "is_non_dominated",
     "QuorumSystem",
     "SetSystem",
     "Strategy",
+    "as_oracle",
+    "dominates",
+    "dominating_coterie",
     "estimate_availability_monte_carlo",
     "exact_availability",
     "induced_loads",
     "is_antichain",
     "is_intersecting",
+    "is_non_dominated",
     "minimise",
+    "operation_availability",
     "optimal_load",
+    "optimal_operation_load",
     "system_availability",
     "system_load",
     "verify_load_witness",

@@ -171,6 +171,29 @@ def system_availability(
     )
 
 
+def operation_availability(
+    system,
+    p: float | Mapping[Element, float],
+    op: str = "read",
+    samples: int = 100_000,
+    seed: int | None = 0,
+) -> float:
+    """Availability of one operation of a quorum system.
+
+    ``system`` is anything implementing the
+    :class:`~repro.quorums.system.QuorumSystem` interface (``universe`` plus
+    ``read_quorums()``/``write_quorums()``); ``op`` selects the quorum
+    collection.  Dispatches to :func:`system_availability`, i.e. exact where
+    feasible and Monte-Carlo otherwise.
+    """
+    if op not in ("read", "write"):
+        raise ValueError(f"op must be 'read' or 'write', got {op!r}")
+    quorums = system.read_quorums() if op == "read" else system.write_quorums()
+    return system_availability(
+        quorums, p, universe=system.universe, samples=samples, seed=seed
+    )
+
+
 def best_not_to_replicate(p: float) -> bool:
     """Peleg-Wool criterion: with per-replica availability below 1/2 the
     most available "quorum system" is a single centralised site (the paper

@@ -161,6 +161,33 @@ def optimal_load(
     return OptimalLoad(load=load, strategy=strategy, witness=witness)
 
 
+def optimal_operation_load(
+    system,
+    op: str = "read",
+    max_quorums: int = 200_000,
+) -> OptimalLoad:
+    """Optimal load of one operation of a quorum system.
+
+    ``system`` is anything implementing the
+    :class:`~repro.quorums.system.QuorumSystem` interface (``universe`` plus
+    ``read_quorums()``/``write_quorums()``); ``op`` selects which quorum
+    collection to analyse.  Enumeration is guarded by ``max_quorums`` because
+    quorum counts grow exponentially for most protocols.
+    """
+    if op not in ("read", "write"):
+        raise ValueError(f"op must be 'read' or 'write', got {op!r}")
+    quorums: list = []
+    source = system.read_quorums() if op == "read" else system.write_quorums()
+    for quorum in source:
+        quorums.append(quorum)
+        if len(quorums) > max_quorums:
+            raise ValueError(
+                f"more than {max_quorums} {op} quorums; "
+                "raise max_quorums or use a closed form"
+            )
+    return optimal_load(quorums, universe=system.universe)
+
+
 def verify_load_witness(
     system: SetSystem,
     witness: dict,

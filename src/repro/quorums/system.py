@@ -1,0 +1,334 @@
+"""The first-class read/write quorum-system layer.
+
+Before this module existed, quorum logic was split across four incompatible
+interfaces: :class:`~repro.core.protocol.ArbitraryProtocol` (the paper's
+protocol), the analytic :class:`~repro.protocols.base.ProtocolModel` zoo
+with ad-hoc ``construct_quorum`` methods, the explicit
+:class:`~repro.quorums.base.BiCoterie` machinery, and the simulator's
+structural quorum-policy adapter.  Following the design argued for in
+Whittaker et al., *Read-Write Quorum Systems Made Practical* (2021), this
+module unifies them: a :class:`QuorumSystem` is *the* object every consumer
+(simulator, analysis, CLI, benchmarks) programs against.
+
+A concrete system provides a universe of replica SIDs and its read/write
+quorum collections; everything else — strategies, optimal load, exact or
+Monte-Carlo availability, bi-coterie materialisation, failure-aware quorum
+selection — is derived generically here, once, instead of per protocol.
+Protocols with known closed forms (every model in :mod:`repro.protocols`)
+override the derived methods with O(1) formulas; protocols with structural
+selectors override ``select_read_quorum``/``select_write_quorum`` so the
+simulator never enumerates.
+
+:class:`CachedQuorumSystem` wraps any system and memoizes the expensive
+derived quantities (quorum enumeration, LP loads, per-replica load vectors,
+availability curves) so repeated analysis of one system — the common case in
+sweeps and benchmarks — pays the enumeration cost once.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from collections.abc import Iterator
+
+from repro.quorums.availability import operation_availability
+from repro.quorums.base import BiCoterie, is_cross_intersecting
+from repro.quorums.liveness import ALL_LIVE, Liveness, as_oracle
+from repro.quorums.load import optimal_operation_load
+from repro.quorums.strategy import Strategy
+
+#: Default guard on quorum materialisation (enumeration is exponential for
+#: most protocols; derived analyses are meant for small/medium instances).
+DEFAULT_MAX_QUORUMS = 200_000
+
+_OPS = ("read", "write")
+
+
+def _check_op(op: str) -> None:
+    if op not in _OPS:
+        raise ValueError(f"op must be 'read' or 'write', got {op!r}")
+
+
+class QuorumSystem(abc.ABC):
+    """A read/write quorum system over integer replica identifiers.
+
+    The minimal contract is ``universe`` plus lazy ``read_quorums()`` /
+    ``write_quorums()`` iteration; every read quorum must intersect every
+    write quorum (the bi-coterie property, re-checkable via
+    :meth:`is_bicoterie`).  All other behaviour has generic defaults:
+
+    * :meth:`select_read_quorum` / :meth:`select_write_quorum` — assemble a
+      quorum of live replicas (failure fallback), defaulting to a scan of
+      the enumerated quorums; structural protocols override with their
+      recursive constructions;
+    * :meth:`sample_read_quorum` / :meth:`sample_write_quorum` — draw from
+      the failure-free selection distribution;
+    * :meth:`strategy`, :meth:`load`, :meth:`load_vector`,
+      :meth:`availability` — the Naor-Wool analyses, derived from the
+      enumerated quorums via the LP and exact/Monte-Carlo machinery.
+
+    Wrap instances in :class:`CachedQuorumSystem` when the derived analyses
+    are evaluated repeatedly.
+    """
+
+    #: Human-readable system name (used in tables and bench output).
+    name: str = "quorum-system"
+
+    @property
+    @abc.abstractmethod
+    def universe(self) -> frozenset[int]:
+        """All replica SIDs the quorums are drawn from."""
+
+    @property
+    def n(self) -> int:
+        """Number of replicas in the system."""
+        return len(self.universe)
+
+    @abc.abstractmethod
+    def read_quorums(self) -> Iterator[frozenset[int]]:
+        """Lazily enumerate every read quorum."""
+
+    @abc.abstractmethod
+    def write_quorums(self) -> Iterator[frozenset[int]]:
+        """Lazily enumerate every write quorum."""
+
+    # ------------------------------------------------------------------
+    # enumeration helpers
+    # ------------------------------------------------------------------
+
+    def quorums(self, op: str = "read") -> Iterator[frozenset[int]]:
+        """The quorum collection of one operation, by name."""
+        _check_op(op)
+        return iter(self.read_quorums() if op == "read" else self.write_quorums())
+
+    def materialise(
+        self, op: str = "read", max_quorums: int = DEFAULT_MAX_QUORUMS
+    ) -> tuple[frozenset[int], ...]:
+        """Materialise one quorum collection, guarded against explosion."""
+        quorums: list[frozenset[int]] = []
+        for quorum in self.quorums(op):
+            quorums.append(quorum)
+            if len(quorums) > max_quorums:
+                raise ValueError(
+                    f"more than {max_quorums} {op} quorums of {self.name}; "
+                    "raise max_quorums or use a closed form"
+                )
+        return tuple(quorums)
+
+    # ------------------------------------------------------------------
+    # failure-aware selection (the simulator's interface)
+    # ------------------------------------------------------------------
+
+    def select_read_quorum(
+        self, live: Liveness, rng: random.Random | None = None
+    ) -> frozenset[int] | None:
+        """A read quorum of live replicas, or ``None`` when unavailable.
+
+        Generic fallback: scan the enumerated read quorums for fully-live
+        ones — correct for any system, but linear in the quorum count.
+        Structural protocols override this with their recursive selectors.
+        With ``rng`` the choice among viable quorums is randomised
+        (reservoir sampling, so enumeration stays lazy); without it the
+        first viable quorum is returned, deterministically.
+        """
+        return self._select_by_scan(self.read_quorums(), live, rng)
+
+    def select_write_quorum(
+        self, live: Liveness, rng: random.Random | None = None
+    ) -> frozenset[int] | None:
+        """A write quorum of live replicas, or ``None`` when unavailable."""
+        return self._select_by_scan(self.write_quorums(), live, rng)
+
+    @staticmethod
+    def _select_by_scan(
+        quorums: Iterator[frozenset[int]],
+        live: Liveness,
+        rng: random.Random | None,
+    ) -> frozenset[int] | None:
+        oracle = as_oracle(live)
+        chosen: frozenset[int] | None = None
+        viable = 0
+        for quorum in quorums:
+            if not all(oracle(sid) for sid in quorum):
+                continue
+            if rng is None:
+                return quorum
+            viable += 1
+            if rng.randrange(viable) == 0:
+                chosen = quorum
+        return chosen
+
+    # ------------------------------------------------------------------
+    # failure-free sampling
+    # ------------------------------------------------------------------
+
+    def sample_read_quorum(self, rng: random.Random) -> frozenset[int]:
+        """Draw a read quorum from the failure-free selection distribution."""
+        quorum = self.select_read_quorum(ALL_LIVE, rng)
+        assert quorum is not None  # every system has at least one quorum
+        return quorum
+
+    def sample_write_quorum(self, rng: random.Random) -> frozenset[int]:
+        """Draw a write quorum from the failure-free selection distribution."""
+        quorum = self.select_write_quorum(ALL_LIVE, rng)
+        assert quorum is not None
+        return quorum
+
+    # ------------------------------------------------------------------
+    # derived analyses (Naor-Wool machinery, computed once and generically)
+    # ------------------------------------------------------------------
+
+    def strategy(self, op: str = "read") -> Strategy:
+        """A load-optimal strategy over one quorum collection (LP primal)."""
+        return optimal_operation_load(self, op).strategy
+
+    def load(self, op: str = "read") -> float:
+        """The optimal system load of one operation (Definition 2.5)."""
+        return optimal_operation_load(self, op).load
+
+    def load_vector(self, op: str = "read") -> dict[int, float]:
+        """Per-replica load under a load-optimal strategy of one operation."""
+        return self.strategy(op).element_loads()
+
+    def availability(self, p: float, op: str = "read") -> float:
+        """Probability some quorum of one operation is fully live."""
+        return operation_availability(self, p, op)
+
+    # ------------------------------------------------------------------
+    # structure checks
+    # ------------------------------------------------------------------
+
+    def bicoterie(self, max_quorums: int = 100_000) -> BiCoterie:
+        """Materialise the system as an explicit, validated bi-coterie."""
+        return BiCoterie(
+            self.materialise("read", max_quorums),
+            self.materialise("write", max_quorums),
+            universe=self.universe,
+        )
+
+    def is_bicoterie(self, max_quorums: int = 100_000) -> bool:
+        """Re-verify that every read quorum intersects every write quorum."""
+        return is_cross_intersecting(
+            self.materialise("read", max_quorums),
+            self.materialise("write", max_quorums),
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r}, n={self.n})"
+
+
+class CachedQuorumSystem(QuorumSystem):
+    """Memoizing wrapper around any :class:`QuorumSystem`.
+
+    Caches quorum enumeration (materialised once per operation) and every
+    derived analysis keyed by its arguments: LP loads and strategies,
+    per-replica load vectors, and availability values.  Selection and
+    sampling are delegated untouched — they depend on the live set, which
+    changes between calls.  Attributes not defined by the wrapper (e.g. a
+    protocol's closed-form methods) are forwarded to the wrapped system.
+
+    ``enumerations`` counts how many times the underlying system's quorum
+    iterators were actually drained; repeated ``load()`` / ``availability()``
+    calls on the same wrapper leave it at one per operation.
+    """
+
+    def __init__(
+        self, system: QuorumSystem, max_quorums: int = DEFAULT_MAX_QUORUMS
+    ) -> None:
+        self._system = system
+        self._max_quorums = max_quorums
+        self._quorum_cache: dict[str, tuple[frozenset[int], ...]] = {}
+        self._lp_cache: dict[str, object] = {}
+        self._availability_cache: dict[tuple[str, float], float] = {}
+        #: Times the wrapped system's quorum iterators were drained.
+        self.enumerations = 0
+
+    @property
+    def system(self) -> QuorumSystem:
+        """The wrapped quorum system."""
+        return self._system
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return self._system.name
+
+    @property
+    def universe(self) -> frozenset[int]:
+        return self._system.universe
+
+    # -- cached enumeration ------------------------------------------------
+
+    def materialise(
+        self, op: str = "read", max_quorums: int | None = None
+    ) -> tuple[frozenset[int], ...]:
+        """Materialise once per operation; later calls hit the cache."""
+        _check_op(op)
+        if op not in self._quorum_cache:
+            limit = self._max_quorums if max_quorums is None else max_quorums
+            self._quorum_cache[op] = self._system.materialise(op, limit)
+            self.enumerations += 1
+        return self._quorum_cache[op]
+
+    def read_quorums(self) -> Iterator[frozenset[int]]:
+        return iter(self.materialise("read"))
+
+    def write_quorums(self) -> Iterator[frozenset[int]]:
+        return iter(self.materialise("write"))
+
+    # -- cached analyses ---------------------------------------------------
+
+    def _lp(self, op: str):
+        if op not in self._lp_cache:
+            from repro.quorums.load import optimal_load
+
+            self._lp_cache[op] = optimal_load(
+                self.materialise(op), universe=self.universe
+            )
+        return self._lp_cache[op]
+
+    def strategy(self, op: str = "read") -> Strategy:
+        _check_op(op)
+        return self._lp(op).strategy
+
+    def load(self, op: str = "read") -> float:
+        _check_op(op)
+        return self._lp(op).load
+
+    def load_vector(self, op: str = "read") -> dict[int, float]:
+        return self.strategy(op).element_loads()
+
+    def availability(self, p: float, op: str = "read") -> float:
+        _check_op(op)
+        key = (op, float(p))
+        if key not in self._availability_cache:
+            from repro.quorums.availability import system_availability
+
+            self._availability_cache[key] = system_availability(
+                self.materialise(op), p, universe=self.universe
+            )
+        return self._availability_cache[key]
+
+    # -- delegation --------------------------------------------------------
+
+    def select_read_quorum(
+        self, live: Liveness, rng: random.Random | None = None
+    ) -> frozenset[int] | None:
+        return self._system.select_read_quorum(live, rng)
+
+    def select_write_quorum(
+        self, live: Liveness, rng: random.Random | None = None
+    ) -> frozenset[int] | None:
+        return self._system.select_write_quorum(live, rng)
+
+    def sample_read_quorum(self, rng: random.Random) -> frozenset[int]:
+        return self._system.sample_read_quorum(rng)
+
+    def sample_write_quorum(self, rng: random.Random) -> frozenset[int]:
+        return self._system.sample_write_quorum(rng)
+
+    def __getattr__(self, item: str):
+        # Forward protocol-specific extras (closed forms, tree accessors).
+        return getattr(self._system, item)
+
+    def __repr__(self) -> str:
+        return f"CachedQuorumSystem({self._system!r})"

@@ -18,21 +18,23 @@ delivery simply never answer, the attempt times out, and the coordinator
 retries with a fresh quorum up to ``max_attempts`` times.  Every completed
 operation is reported as an :class:`OperationOutcome`.
 
-The coordinator is protocol-agnostic: anything exposing
-``select_read_quorum(live, rng)`` / ``select_write_quorum(live, rng)`` works
-(:class:`repro.core.protocol.ArbitraryProtocol` natively;
-:class:`SymmetricQuorumPolicy` adapts single-quorum protocols such as tree
-quorums or HQC).
+The coordinator is protocol-agnostic: it drives any
+:class:`~repro.quorums.system.QuorumSystem` through the unified
+``select_read_quorum(live, rng)`` / ``select_write_quorum(live, rng)``
+interface — the paper's arbitrary protocol and all six comparison protocols
+alike, with no per-protocol adaptation.
 """
 
 from __future__ import annotations
 
 import enum
 import random
-from collections.abc import Callable, Collection
+from collections.abc import Callable
 from dataclasses import dataclass, field
-from typing import Any, Protocol
+from typing import Any
 
+from repro.quorums.liveness import LivenessOracle
+from repro.quorums.system import QuorumSystem
 from repro.sim.events import EventHandle, Scheduler
 from repro.sim.locks import LockManager, LockMode
 from repro.sim.messages import (
@@ -51,51 +53,6 @@ from repro.sim.messages import (
 from repro.sim.network import Network
 from repro.sim.replica import ZERO_TIMESTAMP, Timestamp, dominant
 from repro.sim.transactions import TransactionIdSource
-
-LivenessOracle = Callable[[int], bool]
-
-
-class QuorumPolicy(Protocol):
-    """The quorum-selection interface the coordinator needs."""
-
-    def select_read_quorum(
-        self, live: LivenessOracle, rng: random.Random | None = None
-    ) -> frozenset[int] | None:
-        """A read quorum of live replicas, or None when unavailable."""
-        ...
-
-    def select_write_quorum(
-        self, live: LivenessOracle, rng: random.Random | None = None
-    ) -> frozenset[int] | None:
-        """A write quorum of live replicas, or None when unavailable."""
-        ...
-
-
-class SymmetricQuorumPolicy:
-    """Adapts single-quorum protocols (tree quorums, HQC, majority, ...).
-
-    Wraps any ``construct(live, rng) -> frozenset | None`` callable and uses
-    it for both reads and writes — those protocols do not distinguish the
-    two operations.
-    """
-
-    def __init__(
-        self,
-        construct: Callable[..., frozenset[int] | None],
-    ) -> None:
-        self._construct = construct
-
-    def select_read_quorum(
-        self, live: LivenessOracle, rng: random.Random | None = None
-    ) -> frozenset[int] | None:
-        """Delegate to the wrapped constructor."""
-        return self._construct(live, rng)
-
-    def select_write_quorum(
-        self, live: LivenessOracle, rng: random.Random | None = None
-    ) -> frozenset[int] | None:
-        """Delegate to the wrapped constructor."""
-        return self._construct(live, rng)
 
 
 class FailureReason(enum.Enum):
@@ -161,7 +118,7 @@ class _OpContext:
     write_timestamp: Timestamp | None = None
     timeout_handle: EventHandle | None = None
     finished: bool = False
-    write_policy: "QuorumPolicy | None" = None
+    write_system: QuorumSystem | None = None
 
 
 class QuorumCoordinator:
@@ -174,8 +131,9 @@ class QuorumCoordinator:
         collides with replica SIDs.
     network:
         The shared message fabric.
-    policy:
-        Quorum selection rules (see :class:`QuorumPolicy`).
+    system:
+        The quorum system whose selection rules the coordinator follows
+        (any :class:`~repro.quorums.system.QuorumSystem`).
     locks:
         The centralised lock manager.
     detector:
@@ -196,7 +154,7 @@ class QuorumCoordinator:
         self,
         sid: int,
         network: Network,
-        policy: QuorumPolicy,
+        system: QuorumSystem,
         locks: LockManager,
         detector: LivenessOracle,
         rng: random.Random,
@@ -215,7 +173,7 @@ class QuorumCoordinator:
             raise ValueError("need at least one attempt")
         self.sid = sid
         self._network = network
-        self._policy = policy
+        self._system = system
         self._locks = locks
         self._detector = detector
         self._rng = rng
@@ -245,20 +203,20 @@ class QuorumCoordinator:
         return True
 
     @property
-    def policy(self) -> QuorumPolicy:
-        """The active quorum policy."""
-        return self._policy
+    def system(self) -> QuorumSystem:
+        """The active quorum system."""
+        return self._system
 
-    def set_policy(self, policy: QuorumPolicy) -> None:
-        """Swap the quorum policy (used by tree reconfiguration)."""
-        self._policy = policy
+    def set_system(self, system: QuorumSystem) -> None:
+        """Swap the quorum system (used by tree reconfiguration)."""
+        self._system = system
 
-    def policy_universe(self) -> frozenset[int]:
-        """The replica SIDs the active policy spans (if it reports them)."""
-        universe = getattr(self._policy, "universe", None)
+    def system_universe(self) -> frozenset[int]:
+        """The replica SIDs the active system spans (if it reports them)."""
+        universe = getattr(self._system, "universe", None)
         if universe is None:
             raise TypeError(
-                f"{type(self._policy).__name__} does not expose a universe"
+                f"{type(self._system).__name__} does not expose a universe"
             )
         return frozenset(universe)
 
@@ -299,30 +257,30 @@ class QuorumCoordinator:
 
     def write(self, key: Any, value: Any, on_done: DoneCallback) -> None:
         """Issue a quorum write; ``on_done`` fires exactly once."""
-        self._write(key, value, on_done, write_policy=None)
+        self._write(key, value, on_done, write_system=None)
 
-    def write_with_policy(
+    def write_with_system(
         self,
         key: Any,
         value: Any,
-        policy: QuorumPolicy,
+        system: QuorumSystem,
         on_done: DoneCallback,
     ) -> None:
-        """A write whose *write quorum* comes from a different policy.
+        """A write whose *write quorum* comes from a different quorum system.
 
-        Versions are still obtained through the current policy's read
+        Versions are still obtained through the current system's read
         quorums (which intersect every past write), while the data lands on
-        the override policy's write quorum — the primitive tree
+        the override system's write quorum — the primitive tree
         reconfiguration needs for state transfer.
         """
-        self._write(key, value, on_done, write_policy=policy)
+        self._write(key, value, on_done, write_system=system)
 
     def _write(
         self,
         key: Any,
         value: Any,
         on_done: DoneCallback,
-        write_policy: QuorumPolicy | None,
+        write_system: QuorumSystem | None,
     ) -> None:
         self._in_flight += 1
         ctx = _OpContext(
@@ -333,7 +291,7 @@ class QuorumCoordinator:
             lock_token=self._tx_ids.next_id(),
             started_at=self.scheduler.now,
             stage=_Stage.VERSION,
-            write_policy=write_policy,
+            write_system=write_system,
         )
         self._locks.acquire(
             ctx.lock_token,
@@ -453,7 +411,7 @@ class QuorumCoordinator:
     # ------------------------------------------------------------------
 
     def _start_read_phase(self, ctx: _OpContext) -> None:
-        quorum = self._policy.select_read_quorum(self._detector, self._rng)
+        quorum = self._system.select_read_quorum(self._detector, self._rng)
         if quorum is None:
             self._defer_unavailable(ctx)
             return
@@ -486,7 +444,7 @@ class QuorumCoordinator:
     # ------------------------------------------------------------------
 
     def _start_version_phase(self, ctx: _OpContext) -> None:
-        quorum = self._policy.select_read_quorum(self._detector, self._rng)
+        quorum = self._system.select_read_quorum(self._detector, self._rng)
         if quorum is None:
             # The paper's write availability depends only on the write
             # quorum (Section 3.2.2): obtain the version numbers from the
@@ -495,7 +453,7 @@ class QuorumCoordinator:
             # concurrency-control point of Section 2.2, so every write's
             # version passes through it) keeps versions monotone even when
             # the fallback quorum missed the latest committed write.
-            quorum = self._policy.select_write_quorum(self._detector, self._rng)
+            quorum = self._system.select_write_quorum(self._detector, self._rng)
         if quorum is None:
             self._defer_unavailable(ctx)
             return
@@ -529,8 +487,8 @@ class QuorumCoordinator:
     # ------------------------------------------------------------------
 
     def _start_prepare_phase(self, ctx: _OpContext) -> None:
-        policy = ctx.write_policy if ctx.write_policy is not None else self._policy
-        quorum = policy.select_write_quorum(self._detector, self._rng)
+        system = ctx.write_system if ctx.write_system is not None else self._system
+        quorum = system.select_write_quorum(self._detector, self._rng)
         if quorum is None:
             self._defer_unavailable(ctx)
             return

@@ -15,7 +15,8 @@ from typing import Any
 
 from repro.core.protocol import ArbitraryProtocol
 from repro.core.tree import ArbitraryTree
-from repro.sim.coordinator import QuorumCoordinator, QuorumPolicy
+from repro.quorums.system import QuorumSystem
+from repro.sim.coordinator import QuorumCoordinator
 from repro.sim.events import Scheduler
 from repro.sim.failures import FailureInjector, NoFailures
 from repro.sim.locks import LockManager
@@ -36,11 +37,12 @@ class SimulationConfig:
     ----------
     tree:
         The arbitrary-protocol tree to replicate over.  (To simulate a
-        different protocol, pass ``policy`` and ``n`` instead.)
-    policy / n:
-        Alternative to ``tree``: an explicit quorum policy over replicas
-        ``0..n-1`` (e.g. a :class:`~repro.sim.coordinator.SymmetricQuorumPolicy`
-        around a tree-quorum constructor).
+        different protocol, pass ``system`` instead.)
+    system:
+        Alternative to ``tree``: any
+        :class:`~repro.quorums.system.QuorumSystem` — every protocol in
+        :mod:`repro.protocols.zoo` plugs in directly.  The replica count
+        comes from the system's ``universe``.
     workload:
         The operation stream (mix, arrivals, key popularity).
     failures:
@@ -66,8 +68,7 @@ class SimulationConfig:
     """
 
     tree: ArbitraryTree | None = None
-    policy: QuorumPolicy | None = None
-    n: int | None = None
+    system: QuorumSystem | None = None
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
     failures: FailureInjector = field(default_factory=NoFailures)
     latency: Any = 1.0
@@ -79,13 +80,26 @@ class SimulationConfig:
     service_time: float = 0.0
     seed: int = 0
 
-    def resolve(self) -> tuple[QuorumPolicy, int]:
-        """The (policy, replica count) pair this config describes."""
+    def resolve(self) -> tuple[QuorumSystem, int]:
+        """The (quorum system, replica count) pair this config describes.
+
+        Replica SIDs must be ``0..n-1``; the count is derived from the
+        system's universe.
+        """
         if self.tree is not None:
+            if self.system is not None:
+                raise ValueError("provide either tree or system, not both")
             return ArbitraryProtocol(self.tree), self.tree.n
-        if self.policy is None or self.n is None:
-            raise ValueError("provide either tree, or policy together with n")
-        return self.policy, self.n
+        if self.system is None:
+            raise ValueError("provide either tree or system")
+        universe = self.system.universe
+        n = len(universe)
+        if universe != frozenset(range(n)):
+            raise ValueError(
+                f"the system's universe must be 0..{n - 1} to map onto "
+                "simulated replica sites"
+            )
+        return self.system, n
 
 
 @dataclass
@@ -113,12 +127,15 @@ def build_simulation(
     config: SimulationConfig,
 ) -> tuple[Scheduler, Workload, Monitor, Network, list[Site]]:
     """Wire a simulation without running it (useful for custom driving)."""
-    policy, n = config.resolve()
+    system, n = config.resolve()
     scheduler = Scheduler()
     rng = random.Random(config.seed)
+    # Child RNGs are seeded with 64 fresh bits each: seeding from
+    # rng.random() would collapse the seed space to a 53-bit float and
+    # correlate the child streams.
     network = Network(
         scheduler,
-        random.Random(rng.random()),
+        random.Random(rng.getrandbits(64)),
         latency=config.latency,
         drop_probability=config.drop_probability,
         duplicate_probability=config.duplicate_probability,
@@ -151,10 +168,10 @@ def build_simulation(
             QuorumCoordinator(
                 sid=coordinator_sid,
                 network=network,
-                policy=policy,
+                system=system,
                 locks=locks,
                 detector=detector,
-                rng=random.Random(rng.random()),
+                rng=random.Random(rng.getrandbits(64)),
                 timeout=config.timeout,
                 max_attempts=config.max_attempts,
                 writer_id=n + index,  # distinct from every replica SID
@@ -166,7 +183,7 @@ def build_simulation(
         spec=config.workload,
         coordinator=coordinators,
         scheduler=scheduler,
-        rng=random.Random(rng.random()),
+        rng=random.Random(rng.getrandbits(64)),
         on_outcome=monitor.record,
     )
     config.failures.install(scheduler, sites, network)

@@ -18,7 +18,7 @@ key through the *new* tree's quorums before the switch:
 2. for every key: read through the current (old) tree, then write the value
    back through the **new** tree (with a bumped version, so the migrated
    copy dominates everywhere);
-3. swap the coordinator's quorum policy to the new tree.
+3. swap the coordinator's quorum system to the new tree.
 
 Both steps use the ordinary quorum operations, so the migration inherits
 their fault tolerance (per-key retries, 2PC, termination protocol).  A key
@@ -63,7 +63,7 @@ class ReconfigOutcome:
 
     @property
     def success(self) -> bool:
-        """True iff the policy switch happened."""
+        """True iff the quorum-system switch happened."""
         return self.status is ReconfigStatus.SUCCESS
 
     @property
@@ -78,7 +78,7 @@ DoneCallback = Callable[[ReconfigOutcome], None]
 @dataclass
 class _MigrationState:
     new_tree: ArbitraryTree
-    new_policy: ArbitraryProtocol
+    new_system: ArbitraryProtocol
     keys: list
     on_done: DoneCallback
     outcome: ReconfigOutcome
@@ -92,8 +92,8 @@ class TreeReconfigurer:
     Parameters
     ----------
     coordinator:
-        The coordinator whose policy will be migrated.  Its quorum policy
-        must currently be an :class:`~repro.core.protocol.ArbitraryProtocol`
+        The coordinator whose quorum system will be migrated.  It must
+        currently be an :class:`~repro.core.protocol.ArbitraryProtocol`
         (reconfiguration between arbitrary-protocol trees is what the paper
         promises; migrating *to* the protocol from a baseline would need
         write-all state transfer instead).
@@ -123,10 +123,10 @@ class TreeReconfigurer:
             started_at=now,
             finished_at=now,
         )
-        if new_tree.n != len(self._coordinator.policy_universe()):
+        if new_tree.n != len(self._coordinator.system_universe()):
             raise ValueError(
                 f"new tree hosts {new_tree.n} replicas, the system has "
-                f"{len(self._coordinator.policy_universe())}"
+                f"{len(self._coordinator.system_universe())}"
             )
         if not self._coordinator.is_quiescent():
             outcome.status = ReconfigStatus.NOT_QUIESCENT
@@ -134,7 +134,7 @@ class TreeReconfigurer:
             return
         state = _MigrationState(
             new_tree=new_tree,
-            new_policy=ArbitraryProtocol(new_tree),
+            new_system=ArbitraryProtocol(new_tree),
             keys=list(keys),
             on_done=on_done,
             outcome=outcome,
@@ -169,10 +169,10 @@ class TreeReconfigurer:
             self._migrate_next(state)
             return
         state.outcome.operations_used += 1
-        self._coordinator.write_with_policy(
+        self._coordinator.write_with_system(
             key,
             result.value,
-            state.new_policy,
+            state.new_system,
             lambda write_result: self._write_done(state, key, write_result),
         )
 
@@ -190,6 +190,6 @@ class TreeReconfigurer:
 
     def _finish(self, state: _MigrationState) -> None:
         if state.outcome.status is ReconfigStatus.SUCCESS:
-            self._coordinator.set_policy(state.new_policy)
+            self._coordinator.set_system(state.new_system)
         state.outcome.finished_at = self._coordinator.scheduler.now
         state.on_done(state.outcome)

@@ -1,0 +1,113 @@
+"""Cross-protocol properties of the unified zoo.
+
+Every protocol in :mod:`repro.protocols.zoo` must behave as a proper
+read/write quorum system, whatever its internal structure: the enumerated
+quorums must cross-intersect (Definition 2.3's bi-coterie property), and the
+failure-aware selectors must only ever return live replicas.
+"""
+
+import random
+
+import pytest
+
+from repro.protocols.zoo import (
+    PROTOCOL_NAMES,
+    fpp_system,
+    quorum_system,
+    quorum_systems,
+)
+from repro.quorums.system import QuorumSystem
+
+#: Sizes kept small enough that full enumeration stays cheap for every
+#: protocol (quorum counts are exponential in tree height / grid side).
+SIZES = (4, 7, 10)
+
+CASES = [
+    (name, n) for n in SIZES for name in PROTOCOL_NAMES
+]
+
+
+@pytest.fixture(scope="module")
+def systems():
+    cache: dict[tuple[str, int], QuorumSystem] = {}
+    for name, n in CASES:
+        cache[(name, n)] = quorum_system(name, n)
+    return cache
+
+
+class TestFactory:
+    def test_zoo_covers_all_seven_protocols(self):
+        zoo = quorum_systems(13)
+        assert set(zoo) == set(PROTOCOL_NAMES)
+        assert len(zoo) == 7
+        for system in zoo.values():
+            assert isinstance(system, QuorumSystem)
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ValueError, match="unknown protocol"):
+            quorum_system("paxos", 9)
+
+    def test_name_lookup_case_insensitive(self):
+        assert quorum_system("HQC", 9).name == "HQC"
+
+    def test_sizes_snap_to_admissible(self):
+        zoo = quorum_systems(10)
+        assert zoo["hqc"].n == 9
+        assert zoo["tree-quorum"].n == 7
+        assert zoo["grid"].n == 9
+        assert zoo["majority"].n % 2 == 1
+        assert zoo["arbitrary"].n == 10
+
+    def test_fpp_extra(self):
+        system = fpp_system(10)
+        assert system.n == 7  # 2^2 + 2 + 1
+
+
+@pytest.mark.parametrize("name,n", CASES)
+class TestBicoterieProperty:
+    def test_read_write_quorums_cross_intersect(self, systems, name, n):
+        system = systems[(name, n)]
+        assert system.is_bicoterie()
+
+    def test_every_quorum_within_universe(self, systems, name, n):
+        system = systems[(name, n)]
+        universe = system.universe
+        for quorum in system.materialise("read"):
+            assert quorum and quorum <= universe
+        for quorum in system.materialise("write"):
+            assert quorum and quorum <= universe
+
+
+@pytest.mark.parametrize("name,n", CASES)
+class TestFailureAwareSelection:
+    def test_all_live_selection_succeeds(self, systems, name, n):
+        system = systems[(name, n)]
+        read = system.select_read_quorum(system.universe, random.Random(0))
+        write = system.select_write_quorum(system.universe, random.Random(1))
+        assert read is not None and write is not None
+        assert read & write  # bi-coterie intersection, concretely
+
+    def test_selected_members_are_live(self, systems, name, n):
+        system = systems[(name, n)]
+        rng = random.Random(hash((name, n)) & 0xFFFF)
+        members = sorted(system.universe)
+        for trial in range(8):
+            dead = set(rng.sample(members, k=len(members) // 4))
+            live = set(members) - dead
+            read = system.select_read_quorum(live, random.Random(trial))
+            write = system.select_write_quorum(live, random.Random(trial))
+            if read is not None:
+                assert read <= live, f"{name}: read quorum used dead replicas"
+            if write is not None:
+                assert write <= live, f"{name}: write quorum used dead replicas"
+
+    def test_nothing_live_selects_nothing(self, systems, name, n):
+        system = systems[(name, n)]
+        assert system.select_read_quorum(set()) is None
+        assert system.select_write_quorum(set()) is None
+
+    def test_sampling_matches_selection_support(self, systems, name, n):
+        system = systems[(name, n)]
+        rng = random.Random(3)
+        quorum = system.sample_read_quorum(rng)
+        assert quorum <= system.universe and quorum

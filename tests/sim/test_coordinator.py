@@ -9,7 +9,6 @@ from repro.core.protocol import ArbitraryProtocol
 from repro.sim.coordinator import (
     FailureReason,
     QuorumCoordinator,
-    SymmetricQuorumPolicy,
 )
 from repro.sim.events import Scheduler
 from repro.sim.locks import LockManager
@@ -29,7 +28,7 @@ class Rig:
         self.coordinator = QuorumCoordinator(
             sid=-1,
             network=self.network,
-            policy=ArbitraryProtocol(self.tree),
+            system=ArbitraryProtocol(self.tree),
             locks=self.locks,
             detector=lambda sid: self.sites[sid].is_up,
             rng=random.Random(seed + 1),
@@ -55,7 +54,7 @@ class TestValidation:
         rig = Rig()
         with pytest.raises(ValueError, match="negative"):
             QuorumCoordinator(
-                sid=3, network=rig.network, policy=ArbitraryProtocol(rig.tree),
+                sid=3, network=rig.network, system=ArbitraryProtocol(rig.tree),
                 locks=rig.locks, detector=lambda sid: True,
                 rng=random.Random(0),
             )
@@ -64,7 +63,7 @@ class TestValidation:
         rig = Rig()
         with pytest.raises(ValueError, match="timeout"):
             QuorumCoordinator(
-                sid=-2, network=rig.network, policy=ArbitraryProtocol(rig.tree),
+                sid=-2, network=rig.network, system=ArbitraryProtocol(rig.tree),
                 locks=rig.locks, detector=lambda sid: True,
                 rng=random.Random(0), timeout=0.0,
             )
@@ -73,7 +72,7 @@ class TestValidation:
         rig = Rig()
         with pytest.raises(ValueError, match="attempt"):
             QuorumCoordinator(
-                sid=-2, network=rig.network, policy=ArbitraryProtocol(rig.tree),
+                sid=-2, network=rig.network, system=ArbitraryProtocol(rig.tree),
                 locks=rig.locks, detector=lambda sid: True,
                 rng=random.Random(0), max_attempts=0,
             )
@@ -210,15 +209,14 @@ class TestLocking:
         assert versions == [1, 2]
 
 
-class TestSymmetricPolicy:
-    def test_wraps_tree_quorum_protocol(self):
+class TestBaselineSystems:
+    def test_tree_quorum_protocol_plugs_in_directly(self):
         from repro.protocols.tree_quorum import TreeQuorumProtocol
 
-        protocol = TreeQuorumProtocol(7)
-        policy = SymmetricQuorumPolicy(protocol.construct_quorum)
+        system = TreeQuorumProtocol(7)
         live = set(range(7))
-        read = policy.select_read_quorum(lambda sid: sid in live)
-        write = policy.select_write_quorum(lambda sid: sid in live)
+        read = system.select_read_quorum(lambda sid: sid in live)
+        write = system.select_write_quorum(lambda sid: sid in live)
         assert read == write == frozenset({0, 1, 3})
 
 

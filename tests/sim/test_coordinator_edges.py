@@ -1,5 +1,5 @@
 """Edge-case tests for the coordinator: lock timeouts, stale replies,
-write_with_policy, quiescence accounting."""
+write_with_system, quiescence accounting."""
 
 import random
 
@@ -26,7 +26,7 @@ def make_rig(spec="1-3-5", lock_timeout=None, max_attempts=3, seed=0):
     coordinator = QuorumCoordinator(
         sid=-1,
         network=network,
-        policy=ArbitraryProtocol(tree),
+        system=ArbitraryProtocol(tree),
         locks=locks,
         detector=lambda sid: sites[sid].is_up,
         rng=random.Random(seed + 1),
@@ -71,23 +71,23 @@ class TestStaleReplies:
         assert coordinator.is_quiescent()
 
 
-class TestWriteWithPolicy:
+class TestWriteWithSystem:
     def test_data_lands_on_override_quorum(self):
         tree, scheduler, network, sites, locks, coordinator = make_rig()
         override = ArbitraryProtocol(mostly_write(8))
         outcomes = []
-        coordinator.write_with_policy("k", "v", override, outcomes.append)
+        coordinator.write_with_system("k", "v", override, outcomes.append)
         scheduler.run()
         assert outcomes[0].success
         assert outcomes[0].quorum in set(override.write_quorums())
 
-    def test_versions_still_come_from_current_policy(self):
+    def test_versions_still_come_from_current_system(self):
         tree, scheduler, network, sites, locks, coordinator = make_rig()
         outcomes = []
         coordinator.write("k", "v1", outcomes.append)
         scheduler.run()
         override = ArbitraryProtocol(mostly_write(8))
-        coordinator.write_with_policy("k", "v2", override, outcomes.append)
+        coordinator.write_with_system("k", "v2", override, outcomes.append)
         scheduler.run()
         assert outcomes[1].timestamp.version == outcomes[0].timestamp.version + 1
 
@@ -117,12 +117,12 @@ class TestQuiescence:
         assert coordinator.is_quiescent()
 
 
-class TestPolicyIntrospection:
-    def test_policy_universe(self):
+class TestSystemIntrospection:
+    def test_system_universe(self):
         tree, *_rest, coordinator = make_rig()
-        assert coordinator.policy_universe() == frozenset(range(8))
+        assert coordinator.system_universe() == frozenset(range(8))
 
-    def test_policy_universe_unavailable_for_opaque_policies(self):
+    def test_system_universe_unavailable_for_opaque_systems(self):
         tree, scheduler, network, sites, locks, coordinator = make_rig()
 
         class Opaque:
@@ -132,6 +132,6 @@ class TestPolicyIntrospection:
             def select_write_quorum(self, live, rng=None):
                 return frozenset({0})
 
-        coordinator.set_policy(Opaque())
+        coordinator.set_system(Opaque())
         with pytest.raises(TypeError, match="universe"):
-            coordinator.policy_universe()
+            coordinator.system_universe()

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.builder import from_spec
 from repro.protocols.tree_quorum import TreeQuorumProtocol
-from repro.sim.coordinator import SymmetricQuorumPolicy
 from repro.sim.engine import SimulationConfig, simulate
 from repro.sim.failures import BernoulliFailures
 from repro.sim.workload import WorkloadSpec
@@ -13,19 +12,26 @@ from repro.sim.workload import WorkloadSpec
 class TestConfigResolution:
     def test_tree_config(self):
         config = SimulationConfig(tree=from_spec("1-3-5"))
-        policy, n = config.resolve()
+        system, n = config.resolve()
         assert n == 8
-        assert policy.num_write_quorums == 2
+        assert system.num_write_quorums == 2
 
-    def test_policy_config(self):
-        policy = SymmetricQuorumPolicy(TreeQuorumProtocol(7).construct_quorum)
-        config = SimulationConfig(policy=policy, n=7)
-        resolved_policy, n = config.resolve()
-        assert n == 7 and resolved_policy is policy
+    def test_system_config(self):
+        system = TreeQuorumProtocol(7)
+        config = SimulationConfig(system=system)
+        resolved, n = config.resolve()
+        assert n == 7 and resolved is system
 
     def test_missing_everything_rejected(self):
         with pytest.raises(ValueError, match="provide either"):
             SimulationConfig().resolve()
+
+    def test_tree_and_system_together_rejected(self):
+        config = SimulationConfig(
+            tree=from_spec("1-3-5"), system=TreeQuorumProtocol(7)
+        )
+        with pytest.raises(ValueError, match="not both"):
+            config.resolve()
 
 
 class TestSimulate:
@@ -58,6 +64,44 @@ class TestSimulate:
         ).summary()
         assert a == b
 
+    def test_identical_seed_identical_monitor_output(self):
+        """Full per-operation regression: same seed -> identical streams.
+
+        Stronger than comparing summaries — every outcome field, including
+        the exact quorums chosen and per-operation timings, must match.
+        The child RNGs (network, coordinators, workload) are seeded with
+        getrandbits(64) off the master seed, so the whole event history is
+        a pure function of ``SimulationConfig.seed``.
+        """
+
+        def run():
+            return simulate(
+                SimulationConfig(
+                    tree=from_spec("1-3-5"),
+                    workload=WorkloadSpec(
+                        operations=150, read_fraction=0.5, keys=16,
+                        arrival="poisson", rate=0.3,
+                    ),
+                    failures=BernoulliFailures(p=0.8, seed=11, resample_every=25.0),
+                    timeout=6.0,
+                    seed=11,
+                )
+            ).monitor
+
+        a, b = run(), run()
+        trace_a = [
+            (o.op_type, o.key, o.success, o.quorum, o.version_quorum,
+             o.attempts, o.started_at, o.finished_at, o.reason)
+            for o in a.outcomes
+        ]
+        trace_b = [
+            (o.op_type, o.key, o.success, o.quorum, o.version_quorum,
+             o.attempts, o.started_at, o.finished_at, o.reason)
+            for o in b.outcomes
+        ]
+        assert trace_a == trace_b
+        assert a.summary() == b.summary()
+
     def test_different_seeds_differ(self):
         def run(seed):
             return simulate(
@@ -82,13 +126,11 @@ class TestSimulate:
                 max_events=50,
             )
 
-    def test_simulation_with_symmetric_policy(self):
+    def test_simulation_with_baseline_system(self):
         """The engine can run the BINARY baseline end to end too."""
-        policy = SymmetricQuorumPolicy(TreeQuorumProtocol(7).construct_quorum)
         result = simulate(
             SimulationConfig(
-                policy=policy,
-                n=7,
+                system=TreeQuorumProtocol(7),
                 workload=WorkloadSpec(operations=100, read_fraction=0.5),
                 seed=0,
             )

@@ -51,8 +51,8 @@ class TestReconfiguration:
         assert outcome.success
         assert outcome.keys_migrated == 4
         assert outcome.duration > 0
-        # the new policy is live
-        assert rig.coordinator.policy.tree.spec() == mostly_write(8).spec()
+        # the new system is live
+        assert rig.coordinator.system.tree.spec() == mostly_write(8).spec()
 
     def test_values_survive_the_shape_change(self):
         rig = Rig()
@@ -100,12 +100,12 @@ class TestReconfiguration:
         rig.write("k", "v")
         for sid in (0, 1, 2):  # kill level 1: reads become impossible
             rig.sites[sid].crash()
-        old_policy = rig.coordinator.policy
+        old_system = rig.coordinator.system
         outcome = rig.reconfigure(mostly_write(8), ["k"])
         assert not outcome.success
         assert outcome.status is ReconfigStatus.READ_FAILED
         assert outcome.failed_key == "k"
-        assert rig.coordinator.policy is old_policy  # no switch
+        assert rig.coordinator.system is old_system  # no switch
 
     def test_failed_write_aborts_migration_safely(self):
         rig = Rig()
