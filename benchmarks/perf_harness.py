@@ -1,0 +1,132 @@
+"""Perf-trajectory harness: timed kernel-vs-reference cases, JSON output.
+
+The repo's other benches regenerate *paper* tables; this harness records the
+*performance* trajectory of the codebase so future PRs have a baseline to
+regress against.  A suite is a list of :class:`Case` objects, each naming a
+reference callable (the pre-kernel pure-Python path) and a kernel callable
+(the packed bitset path) computing the same quantity; :func:`run_suite`
+times both, checks the returned values agree, and
+:func:`write_bench_json` persists a machine-readable
+``benchmarks/results/BENCH_<name>.json``::
+
+    {
+      "bench": "quorum_kernel",
+      "host": {"python": "...", "numpy": "..."},
+      "cases": [
+        {"case": "exact_availability/arbitrary/n=20/read",
+         "reference_median_ns": ..., "kernel_median_ns": ...,
+         "speedup": ..., "repeat": ..., "values_agree": true}, ...
+      ],
+      "summary": {...}
+    }
+
+``reference_median_ns`` / ``kernel_median_ns`` are medians over ``repeat``
+runs (slow references may use ``repeat=1``; the value is then that single
+measurement).  ``speedup`` is reference / kernel.  Downstream consumers
+(CI artifacts, EXPERIMENTS.md, future regression gates) should treat the
+JSON as the interface, not the stdout.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import platform
+import statistics
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@dataclass
+class Case:
+    """One kernel-vs-reference timing comparison."""
+
+    name: str
+    reference: Callable[[], object]
+    kernel: Callable[[], object]
+    #: Timing repetitions (median taken); slow references keep this at 1.
+    repeat: int = 3
+    #: Optional value comparator; default is exact equality.
+    agree: Callable[[object, object], bool] = field(
+        default=lambda a, b: a == b
+    )
+
+
+def time_callable(
+    fn: Callable[[], object], repeat: int
+) -> tuple[int, object]:
+    """Median wall-clock nanoseconds over ``repeat`` runs + last value."""
+    durations: list[int] = []
+    value: object = None
+    for _ in range(max(1, repeat)):
+        start = time.perf_counter_ns()
+        value = fn()
+        durations.append(time.perf_counter_ns() - start)
+    return int(statistics.median(durations)), value
+
+
+def run_case(case: Case) -> dict:
+    """Time one case's reference and kernel sides and compare values."""
+    reference_ns, reference_value = time_callable(case.reference, case.repeat)
+    kernel_ns, kernel_value = time_callable(case.kernel, case.repeat)
+    speedup = reference_ns / kernel_ns if kernel_ns else math.inf
+    return {
+        "case": case.name,
+        "reference_median_ns": reference_ns,
+        "kernel_median_ns": kernel_ns,
+        "speedup": round(speedup, 2),
+        "repeat": case.repeat,
+        "values_agree": bool(case.agree(reference_value, kernel_value)),
+    }
+
+
+def run_suite(cases: list[Case], verbose: bool = True) -> list[dict]:
+    """Run every case, printing one progress line per case."""
+    results = []
+    for case in cases:
+        result = run_case(case)
+        results.append(result)
+        if verbose:
+            print(
+                f"{result['case']:<55} "
+                f"ref {result['reference_median_ns'] / 1e6:>10.2f} ms  "
+                f"kernel {result['kernel_median_ns'] / 1e6:>9.2f} ms  "
+                f"{result['speedup']:>8.1f}x  "
+                f"{'ok' if result['values_agree'] else 'MISMATCH'}"
+            )
+    return results
+
+
+def host_fingerprint() -> dict:
+    import numpy
+    import scipy
+
+    return {
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "scipy": scipy.__version__,
+        "machine": platform.machine(),
+    }
+
+
+def write_bench_json(
+    bench: str,
+    results: list[dict],
+    summary: dict,
+    out: Path | str | None = None,
+) -> Path:
+    """Persist a bench run as ``benchmarks/results/BENCH_<bench>.json``."""
+    path = Path(out) if out else RESULTS_DIR / f"BENCH_{bench}.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "bench": bench,
+        "host": host_fingerprint(),
+        "cases": results,
+        "summary": summary,
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path

@@ -8,6 +8,8 @@
 * ``fig4``      — Figure 4 write-load series;
 * ``survey``    — the Section 1 related-work survey;
 * ``analyse``   — analyse an arbitrary tree spec (e.g. ``1-3-5``);
+* ``availability`` — exact / Monte-Carlo availability of a spec or protocol
+  (``--samples`` / ``--seed`` reach the estimator);
 * ``tune``      — recommend a tree for a given n / p / read fraction;
 * ``simulate``  — run the discrete-event simulator and print measurements;
 * ``all``       — everything above with default parameters.
@@ -107,6 +109,38 @@ def _print_analysis(spec: str, p: float) -> None:
             ["E[write load]", round(metrics.expected_write_load, 4)],
         ],
         title=f"analysis of {spec} at p = {p}",
+    ))
+
+
+def _print_availability(spec: str, protocol: str | None, n: int,
+                        probabilities: Sequence[float], samples: int,
+                        seed: int | None) -> None:
+    """Read/write availability of a tree spec or zoo protocol.
+
+    Systems small enough for the exact computation report it; larger ones
+    fall back to the Monte-Carlo estimator, parameterised by ``samples`` and
+    ``seed`` (both plumbed through the QuorumSystem layer to the packed
+    bitset kernel).
+    """
+    from repro.core.protocol import ArbitraryProtocol
+    from repro.protocols.zoo import quorum_system
+    from repro.quorums.system import CachedQuorumSystem
+
+    if protocol is None or protocol == "arbitrary-spec":
+        system = CachedQuorumSystem(ArbitraryProtocol(from_spec(spec)))
+        label = f"availability of {spec}"
+    else:
+        system = CachedQuorumSystem(quorum_system(protocol, n or 16))
+        label = f"availability of {system.name} (n = {system.n})"
+    rows = [
+        [p,
+         round(system.availability(p, "read", samples=samples, seed=seed), 6),
+         round(system.availability(p, "write", samples=samples, seed=seed), 6)]
+        for p in probabilities
+    ]
+    print(format_table(
+        ["p", "read availability", "write availability"], rows,
+        title=f"{label} (samples = {samples}, seed = {seed})",
     ))
 
 
@@ -219,6 +253,35 @@ def build_parser() -> argparse.ArgumentParser:
     analyse_parser.add_argument("spec", help="tree spec, e.g. 1-3-5")
     analyse_parser.add_argument("--p", type=float, default=0.9)
 
+    avail_parser = sub.add_parser(
+        "availability",
+        help="read/write availability of a spec or zoo protocol",
+    )
+    avail_parser.add_argument("spec", nargs="?", default="1-3-5")
+    avail_parser.add_argument(
+        "--p", type=float, nargs="+", default=[0.5, 0.7, 0.9, 0.95, 0.99],
+        help="per-replica availabilities to evaluate",
+    )
+    avail_parser.add_argument(
+        "--samples", type=int, default=100_000,
+        help="Monte-Carlo samples (used when the system is too large "
+             "for the exact computation)",
+    )
+    avail_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="Monte-Carlo seed (pass -1 for fresh randomness)",
+    )
+    from repro.protocols.zoo import PROTOCOL_NAMES as _ZOO
+
+    avail_parser.add_argument(
+        "--protocol", choices=_ZOO, default=None,
+        help="evaluate a zoo protocol instead of a tree spec",
+    )
+    avail_parser.add_argument(
+        "--n", type=int, default=0,
+        help="replica count for --protocol (snapped to an admissible size)",
+    )
+
     tune_parser = sub.add_parser("tune", help="recommend a tree shape")
     tune_parser.add_argument("--n", type=int, default=48)
     tune_parser.add_argument("--p", type=float, default=0.9)
@@ -258,6 +321,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         _print_survey(args.n)
     elif args.command == "analyse":
         _print_analysis(args.spec, args.p)
+    elif args.command == "availability":
+        _print_availability(
+            args.spec, args.protocol, args.n, args.p, args.samples,
+            seed=None if args.seed < 0 else args.seed,
+        )
     elif args.command == "tune":
         _print_tuning(args.n, args.p, args.read_fraction)
     elif args.command == "simulate":

@@ -10,13 +10,20 @@ collections such that every read quorum intersects every write quorum.
 Quorums are stored as ``frozenset`` instances so they are hashable and
 immutable; universes are stored as ``frozenset`` as well.  Element type is
 generic but in this library elements are almost always replica identifiers
-(small integers).
+(small integers) — integer collections are dispatched to the packed bitmask
+kernel in :mod:`repro.quorums.bitset`, with the pure-Python frozenset loops
+kept both as the generic-element fallback and as the reference the kernel
+is property-tested against.
 """
 
 from __future__ import annotations
 
 from collections.abc import Collection, Hashable, Iterable, Iterator
 from typing import TypeVar
+
+import numpy as np
+
+from repro.quorums.bitset import try_pack, try_pack_pair
 
 Element = TypeVar("Element", bound=Hashable)
 
@@ -26,17 +33,40 @@ def _freeze(sets: Iterable[Collection[Element]]) -> tuple[frozenset[Element], ..
     return tuple(frozenset(s) for s in sets)
 
 
+def _is_intersecting_sets(frozen: tuple[frozenset[Element], ...]) -> bool:
+    """Pure-Python pairwise intersection check (kernel reference path)."""
+    for i, a in enumerate(frozen):
+        for b in frozen[i + 1 :]:
+            if a.isdisjoint(b):
+                return False
+    return True
+
+
 def is_intersecting(sets: Iterable[Collection[Element]]) -> bool:
     """Return True iff every pair of sets has a non-empty intersection.
 
     This is the defining property of a quorum system (Definition 2.1).
-    The check is quadratic in the number of sets, which is fine for the
-    explicitly enumerated systems used in tests and small analyses.
+    The check is quadratic in the number of sets; integer universes run on
+    the bitset kernel (one vectorised AND per set against all others).
     """
     frozen = _freeze(sets)
+    packed = try_pack(frozen)
+    if packed is not None:
+        # Self cross-intersection: the diagonal (a vs a) holds for every
+        # non-empty set, and an empty set fails against itself exactly as
+        # it fails pairwise in the reference — so the checks coincide
+        # whenever there is more than one set.
+        if len(frozen) <= 1:
+            return True
+        return packed.cross_intersects(packed)
+    return _is_intersecting_sets(frozen)
+
+
+def _is_antichain_sets(frozen: tuple[frozenset[Element], ...]) -> bool:
+    """Pure-Python antichain check (kernel reference path)."""
     for i, a in enumerate(frozen):
-        for b in frozen[i + 1 :]:
-            if a.isdisjoint(b):
+        for j, b in enumerate(frozen):
+            if i != j and a <= b:
                 return False
     return True
 
@@ -48,9 +78,22 @@ def is_antichain(sets: Iterable[Collection[Element]]) -> bool:
     Duplicate sets violate the property (each is a subset of the other).
     """
     frozen = _freeze(sets)
-    for i, a in enumerate(frozen):
-        for j, b in enumerate(frozen):
-            if i != j and a <= b:
+    packed = try_pack(frozen)
+    if packed is not None:
+        return bool((packed.superset_counts() == 1).all())
+    return _is_antichain_sets(frozen)
+
+
+def _is_cross_intersecting_sets(
+    reads: Iterable[Collection[Element]],
+    writes: Iterable[Collection[Element]],
+) -> bool:
+    """Pure-Python O(R·W) pairwise check (kernel reference path)."""
+    frozen_writes = _freeze(writes)
+    for read in reads:
+        read_set = frozenset(read)
+        for write in frozen_writes:
+            if read_set.isdisjoint(write):
                 return False
     return True
 
@@ -62,15 +105,17 @@ def is_cross_intersecting(
 
     This is the bi-coterie property (Definition 2.3) and the correctness
     condition for one-copy-equivalent replica control: a read quorum must
-    always see at least one replica touched by the latest write.
+    always see at least one replica touched by the latest write.  Integer
+    universes are checked on the bitset kernel — all R·W pairs tested with
+    batched word-wise ANDs instead of per-pair ``isdisjoint`` calls.
     """
+    frozen_reads = _freeze(reads)
     frozen_writes = _freeze(writes)
-    for read in reads:
-        read_set = frozenset(read)
-        for write in frozen_writes:
-            if read_set.isdisjoint(write):
-                return False
-    return True
+    packed = try_pack_pair(frozen_reads, frozen_writes)
+    if packed is not None:
+        packed_reads, packed_writes = packed
+        return packed_reads.cross_intersects(packed_writes)
+    return _is_cross_intersecting_sets(frozen_reads, frozen_writes)
 
 
 def minimise(sets: Iterable[Collection[Element]]) -> tuple[frozenset[Element], ...]:
@@ -79,9 +124,28 @@ def minimise(sets: Iterable[Collection[Element]]) -> tuple[frozenset[Element], .
     Applying :func:`minimise` to the quorums of a quorum system yields a
     coterie that *dominates* the original system: it has the same (or better)
     load and availability.  Ties between duplicate sets keep one copy.
+    Integer universes run the dominated-by check on the bitset kernel; the
+    candidate order (and therefore the result) is identical to the
+    pure-Python path.
     """
     frozen = sorted(set(_freeze(sets)), key=len)
-    kept: list[frozenset[Element]] = []
+    packed = try_pack(frozen)
+    if packed is not None and len(frozen) > 2:
+        rows = packed.matrix
+        kept_rows: list[int] = []
+        kept: list[frozenset[Element]] = []
+        for row, candidate in enumerate(frozen):
+            if kept_rows:
+                kept_matrix = rows[kept_rows]
+                dominated = (
+                    (kept_matrix & rows[row]) == kept_matrix
+                ).all(axis=1)
+                if bool(np.any(dominated)):
+                    continue
+            kept_rows.append(row)
+            kept.append(candidate)
+        return tuple(kept)
+    kept = []
     for candidate in frozen:
         if not any(existing <= candidate for existing in kept):
             kept.append(candidate)

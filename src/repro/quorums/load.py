@@ -29,6 +29,7 @@ import numpy as np
 from scipy.optimize import linprog
 
 from repro.quorums.base import SetSystem
+from repro.quorums.bitset import try_pack
 from repro.quorums.strategy import Strategy
 
 Element = TypeVar("Element", bound=Hashable)
@@ -64,8 +65,8 @@ class OptimalLoad:
         return primal_ok and dual_ok
 
 
-def _membership_matrix(system: SetSystem) -> tuple[np.ndarray, list]:
-    """Binary element x quorum membership matrix plus the element order."""
+def _membership_matrix_reference(system: SetSystem) -> tuple[np.ndarray, list]:
+    """Cell-by-cell membership matrix build (kernel reference path)."""
     elements = sorted(system.universe)
     index = {element: row for row, element in enumerate(elements)}
     matrix = np.zeros((len(elements), len(system)), dtype=float)
@@ -75,9 +76,27 @@ def _membership_matrix(system: SetSystem) -> tuple[np.ndarray, list]:
     return matrix, elements
 
 
+def _membership_matrix(
+    system: SetSystem, packed=None
+) -> tuple[np.ndarray, list]:
+    """Binary element x quorum membership matrix plus the element order.
+
+    Integer universes are packed into the bitset kernel and the matrix is
+    extracted with one vectorised bit-unpack instead of a Python loop per
+    (quorum, element) cell.  Callers holding a pre-packed collection (e.g.
+    ``CachedQuorumSystem``) pass it via ``packed`` to skip re-packing.
+    """
+    if packed is None:
+        packed = try_pack(system.quorums, system.universe)
+    if packed is not None:
+        return packed.membership_matrix(dtype=float), list(packed.elements)
+    return _membership_matrix_reference(system)
+
+
 def optimal_load(
     quorums: Iterable[Collection[Element]] | SetSystem,
     universe: Collection[Element] | None = None,
+    packed=None,
 ) -> OptimalLoad:
     """Compute the optimal system load of an explicitly enumerated system.
 
@@ -88,6 +107,10 @@ def optimal_load(
     universe:
         Ground set (only used when ``quorums`` is an iterable).  Elements of
         the universe that belong to no quorum trivially carry zero load.
+    packed:
+        Optional pre-built :class:`~repro.quorums.bitset.PackedQuorums` of
+        the same collection (must be packed over the same universe, in the
+        same quorum order); skips re-packing for the membership matrix.
 
     Returns
     -------
@@ -106,7 +129,7 @@ def optimal_load(
     else:
         system = SetSystem(quorums, universe=universe)
 
-    membership, elements = _membership_matrix(system)
+    membership, elements = _membership_matrix(system, packed=packed)
     n_elements, n_quorums = membership.shape
 
     # Primal: variables (w_1..w_m, L); minimise L.
@@ -172,19 +195,25 @@ def optimal_operation_load(
     :class:`~repro.quorums.system.QuorumSystem` interface (``universe`` plus
     ``read_quorums()``/``write_quorums()``); ``op`` selects which quorum
     collection to analyse.  Enumeration is guarded by ``max_quorums`` because
-    quorum counts grow exponentially for most protocols.
+    quorum counts grow exponentially for most protocols, and goes through
+    ``system.materialise`` when available so a ``CachedQuorumSystem`` serves
+    its memoized collection instead of re-draining its iterators on every
+    ``load()``/``strategy()`` call.
     """
     if op not in ("read", "write"):
         raise ValueError(f"op must be 'read' or 'write', got {op!r}")
-    quorums: list = []
-    source = system.read_quorums() if op == "read" else system.write_quorums()
-    for quorum in source:
-        quorums.append(quorum)
-        if len(quorums) > max_quorums:
-            raise ValueError(
-                f"more than {max_quorums} {op} quorums; "
-                "raise max_quorums or use a closed form"
-            )
+    if hasattr(system, "materialise"):
+        quorums = system.materialise(op, max_quorums)
+    else:  # pragma: no cover - duck-typed minimal systems
+        quorums = []
+        source = system.read_quorums() if op == "read" else system.write_quorums()
+        for quorum in source:
+            quorums.append(quorum)
+            if len(quorums) > max_quorums:
+                raise ValueError(
+                    f"more than {max_quorums} {op} quorums; "
+                    "raise max_quorums or use a closed form"
+                )
     return optimal_load(quorums, universe=system.universe)
 
 

@@ -1,0 +1,164 @@
+"""Unit tests for the packed-integer quorum kernel (repro.quorums.bitset)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.quorums.bitset import (
+    PackedQuorums,
+    mask_of,
+    mask_to_words,
+    pack_bool_matrix,
+    pack_rows,
+    try_pack,
+    try_pack_pair,
+    words_to_mask,
+)
+
+
+class TestPackingRoundTrip:
+    def test_masks_and_frozensets_round_trip(self):
+        quorums = [{0, 2, 5}, {1}, {0, 1, 2, 3, 4, 5}]
+        packed = PackedQuorums.from_quorums(quorums, universe=range(6))
+        assert packed.to_frozensets() == tuple(frozenset(q) for q in quorums)
+        assert packed.masks() == [0b100101, 0b000010, 0b111111]
+
+    def test_non_contiguous_universe(self):
+        packed = PackedQuorums.from_quorums(
+            [{10, 30}, {20}], universe={10, 20, 30}
+        )
+        # Sorted universe -> bit order 10, 20, 30.
+        assert packed.masks() == [0b101, 0b010]
+        assert packed.to_frozensets() == (frozenset({10, 30}), frozenset({20}))
+
+    def test_multi_word_round_trip(self):
+        # n = 130 spans three 64-bit words.
+        quorums = [{0, 63, 64, 129}, {65}, set(range(130))]
+        packed = PackedQuorums.from_quorums(quorums, universe=range(130))
+        assert packed.words == 3
+        assert packed.to_frozensets() == tuple(frozenset(q) for q in quorums)
+        expected = (1 << 0) | (1 << 63) | (1 << 64) | (1 << 129)
+        assert packed.masks()[0] == expected
+
+    def test_mask_word_round_trip(self):
+        mask = (1 << 129) | (1 << 64) | 0b1011
+        assert words_to_mask(mask_to_words(mask, 3)) == mask
+
+    def test_pack_rows_matches_from_quorums(self):
+        quorums = [frozenset({1, 2}), frozenset({0, 2})]
+        packed = PackedQuorums.from_quorums(quorums, universe=range(3))
+        rows = pack_rows(quorums, packed.index, packed.words)
+        assert (rows == packed.matrix).all()
+
+
+class TestKernelOps:
+    def test_popcounts_match_lengths(self):
+        quorums = [set(range(i + 1)) for i in range(70)]
+        packed = PackedQuorums.from_quorums(quorums, universe=range(70))
+        assert packed.popcounts().tolist() == [len(q) for q in quorums]
+
+    def test_membership_matrix_matches_cells(self):
+        quorums = [{0, 2}, {1, 2}, {2}]
+        packed = PackedQuorums.from_quorums(quorums, universe=range(3))
+        matrix = packed.membership_matrix()
+        assert matrix.shape == (3, 3)
+        for col, quorum in enumerate(quorums):
+            for row, element in enumerate(range(3)):
+                assert matrix[row, col] == (1.0 if element in quorum else 0.0)
+
+    def test_live_filter_subset_semantics(self):
+        packed = PackedQuorums.from_quorums(
+            [{0, 1}, {2}, {0, 2}], universe=range(3)
+        )
+        live = packed.pack_live({0, 2})
+        assert packed.live_filter(live).tolist() == [False, True, True]
+
+    def test_live_filter_empty_live_set(self):
+        packed = PackedQuorums.from_quorums([{0}, {1, 2}], universe=range(3))
+        live = packed.pack_live(())
+        assert not packed.live_filter(live).any()
+        assert packed.first_live(live) is None
+        assert packed.select(live, random.Random(0)) is None
+
+    def test_live_set_with_foreign_sids_is_projected(self):
+        packed = PackedQuorums.from_quorums([{0, 1}], universe=range(2))
+        live = packed.pack_live({0, 1, 99, -5})
+        assert packed.live_filter(live).tolist() == [True]
+
+    def test_n_equals_one(self):
+        packed = PackedQuorums.from_quorums([{0}], universe={0})
+        assert packed.n == 1 and packed.words == 1
+        assert packed.first_live(packed.pack_live({0})) == 0
+        assert packed.first_live(packed.pack_live(set())) is None
+
+    def test_multi_word_live_filter(self):
+        quorums = [{0, 100}, {64, 65}, {127}]
+        packed = PackedQuorums.from_quorums(quorums, universe=range(128))
+        live = packed.pack_live({0, 100, 127})
+        assert packed.live_filter(live).tolist() == [True, False, True]
+
+    def test_select_matches_reservoir_reference(self):
+        quorums = [frozenset({i, i + 1}) for i in range(40)]
+        packed = PackedQuorums.from_quorums(quorums, universe=range(41))
+        live_set = set(range(0, 41, 1)) - {7, 20}
+        live = packed.pack_live(live_set)
+        for seed in range(10):
+            rng = random.Random(seed)
+            got = packed.select(live, rng)
+            # Reference reservoir over the same viable sequence.
+            rng2 = random.Random(seed)
+            chosen, viable = None, 0
+            for i, quorum in enumerate(quorums):
+                if quorum <= live_set:
+                    viable += 1
+                    if rng2.randrange(viable) == 0:
+                        chosen = i
+            assert got == chosen
+
+    def test_cross_intersects_requires_shared_universe(self):
+        a = PackedQuorums.from_quorums([{0}], universe=range(2))
+        b = PackedQuorums.from_quorums([{0}], universe=range(3))
+        with pytest.raises(ValueError):
+            a.cross_intersects(b)
+
+    def test_cross_intersects_multi_word(self):
+        reads = [{0, 70}, {1, 71}]
+        writes = [{0, 1}, {70, 71}]
+        packed_reads, packed_writes = try_pack_pair(reads, writes)
+        assert packed_reads.cross_intersects(packed_writes)
+        packed_reads, packed_writes = try_pack_pair(reads, [{2, 72}])
+        assert not packed_reads.cross_intersects(packed_writes)
+
+    def test_superset_counts_flags_duplicates_and_chains(self):
+        packed = PackedQuorums.from_quorums(
+            [{0}, {0, 1}, {2}, {2}], universe=range(3)
+        )
+        assert packed.superset_counts().tolist() == [2, 1, 2, 2]
+
+
+class TestBoolPacking:
+    def test_pack_bool_matrix_matches_masks(self):
+        rng = np.random.default_rng(5)
+        for n in (1, 8, 64, 65, 130):
+            alive = rng.random((17, n)) < 0.6
+            words = pack_bool_matrix(alive)
+            assert words.shape == (17, max(1, -(-n // 64)))
+            for row in range(17):
+                expected = sum(1 << i for i in range(n) if alive[row, i])
+                assert words_to_mask(words[row]) == expected
+
+
+class TestDispatch:
+    def test_try_pack_rejects_non_integer_universe(self):
+        assert try_pack([{"a", "b"}, {"b"}]) is None
+        assert try_pack_pair([{"a"}], [{"a"}]) is None
+
+    def test_try_pack_accepts_negative_ints(self):
+        packed = try_pack([{-3, 4}, {0}])
+        assert packed is not None
+        assert packed.to_frozensets() == (frozenset({-3, 4}), frozenset({0}))
+
+    def test_mask_of(self):
+        index = {5: 0, 9: 1, 11: 2}
+        assert mask_of({5, 11}, index) == 0b101

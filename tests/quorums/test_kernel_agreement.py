@@ -1,0 +1,290 @@
+"""Cross-protocol agreement: bitset kernel vs. frozenset reference paths.
+
+For every protocol in the zoo (plus n = 1 and multi-word n > 64 edge
+systems) the packed kernel must reproduce the pure-Python reference
+*bit-identically*: exact availability (both enumeration regimes), the
+Monte-Carlo estimator under one RNG stream, bi-coterie verification,
+LP membership matrices and loads, and failure-aware selection under
+identical ``random.Random`` streams.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.protocols.zoo import PROTOCOL_NAMES, quorum_system
+from repro.quorums.availability import (
+    _availability_by_inclusion_exclusion,
+    _availability_by_universe_enumeration,
+    _estimate_monte_carlo_reference,
+    _normalise_probabilities,
+    estimate_availability_monte_carlo,
+    exact_availability,
+)
+from repro.quorums.base import (
+    _is_cross_intersecting_sets,
+    is_cross_intersecting,
+    SetSystem,
+)
+from repro.quorums.bitset import try_pack
+from repro.quorums.load import (
+    _membership_matrix,
+    _membership_matrix_reference,
+    optimal_load,
+)
+from repro.quorums.system import CachedQuorumSystem, QuorumSystem
+
+#: Small sizes keep the 2^n reference enumeration affordable in CI.
+ZOO_SIZE = 9
+
+
+@pytest.fixture(scope="module")
+def zoo():
+    systems = {}
+    for name in PROTOCOL_NAMES:
+        system = quorum_system(name, ZOO_SIZE)
+        systems[name] = (
+            system,
+            tuple(system.read_quorums()),
+            tuple(system.write_quorums()),
+        )
+    return systems
+
+
+@pytest.mark.parametrize("name", PROTOCOL_NAMES)
+@pytest.mark.parametrize("p", [0.5, 0.85, 1.0])
+def test_exact_availability_bit_identical(zoo, name, p):
+    system, reads, writes = zoo[name]
+    probabilities = _normalise_probabilities(system.universe, p)
+    for quorums in (reads, writes):
+        reference = _availability_by_universe_enumeration(
+            quorums, probabilities
+        )
+        kernel = exact_availability(quorums, p, universe=system.universe)
+        assert kernel == reference
+
+
+@pytest.mark.parametrize("name", PROTOCOL_NAMES)
+def test_heterogeneous_probabilities_bit_identical(zoo, name):
+    system, reads, _ = zoo[name]
+    p = {sid: 0.5 + 0.4 * (sid % 5) / 5 for sid in system.universe}
+    probabilities = _normalise_probabilities(system.universe, p)
+    reference = _availability_by_universe_enumeration(reads, probabilities)
+    assert exact_availability(reads, p, universe=system.universe) == reference
+
+
+@pytest.mark.parametrize("name", PROTOCOL_NAMES)
+def test_inclusion_exclusion_bit_identical(zoo, name):
+    system, _, writes = zoo[name]
+    if len(writes) > 12:
+        pytest.skip("2^m reference too large")
+    probabilities = _normalise_probabilities(system.universe, 0.8)
+    reference = _availability_by_inclusion_exclusion(writes, probabilities)
+    packed = try_pack(writes, system.universe)
+    from repro.quorums.bitset import availability_by_inclusion_exclusion
+
+    assert availability_by_inclusion_exclusion(packed, probabilities) == reference
+
+
+@pytest.mark.parametrize("name", PROTOCOL_NAMES)
+def test_monte_carlo_bit_identical(zoo, name):
+    system, reads, _ = zoo[name]
+    probabilities = _normalise_probabilities(system.universe, 0.75)
+    reference = _estimate_monte_carlo_reference(reads, probabilities, 20_000, 11)
+    kernel = estimate_availability_monte_carlo(
+        reads, 0.75, universe=system.universe, samples=20_000, seed=11
+    )
+    assert kernel == reference
+
+
+@pytest.mark.parametrize("name", PROTOCOL_NAMES)
+def test_bicoterie_check_agrees(zoo, name):
+    _, reads, writes = zoo[name]
+    assert is_cross_intersecting(reads, writes) is True
+    assert _is_cross_intersecting_sets(reads, writes) is True
+    # Break the property and check both paths notice.
+    broken_reads = tuple(q for q in reads)[:1]
+    lonely = frozenset({min(min(q) for q in reads)})
+    disjoint_writes = tuple(
+        q - lonely for q in writes if q - lonely
+    )
+    if disjoint_writes and not _is_cross_intersecting_sets(
+        broken_reads, disjoint_writes
+    ):
+        assert not is_cross_intersecting(broken_reads, disjoint_writes)
+
+
+@pytest.mark.parametrize("name", PROTOCOL_NAMES)
+def test_membership_matrix_and_load_agree(zoo, name):
+    system, reads, _ = zoo[name]
+    set_system = SetSystem(reads, universe=system.universe)
+    kernel_matrix, kernel_elements = _membership_matrix(set_system)
+    ref_matrix, ref_elements = _membership_matrix_reference(set_system)
+    assert kernel_elements == ref_elements
+    assert (kernel_matrix == ref_matrix).all()
+    assert kernel_matrix.dtype == ref_matrix.dtype
+    lp = optimal_load(set_system)
+    assert lp.verify()
+
+
+@pytest.mark.parametrize("name", PROTOCOL_NAMES)
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_selection_identical_rng_streams(zoo, name, seed):
+    system, reads, writes = zoo[name]
+    universe = sorted(system.universe)
+    dead = set(universe[:: max(1, len(universe) // 3)])
+    live = set(universe) - dead
+    for quorums in (reads, writes):
+        reference = QuorumSystem._select_by_scan(
+            iter(quorums), live, random.Random(seed)
+        )
+        from repro.quorums.system import _select_by_mask
+
+        kernel = _select_by_mask(
+            iter(quorums), system.universe, live, random.Random(seed)
+        )
+        assert kernel == reference
+    # Deterministic (rng=None) first-viable selection agrees too.
+    from repro.quorums.system import _select_by_mask
+
+    assert _select_by_mask(
+        iter(reads), system.universe, live, None
+    ) == QuorumSystem._select_by_scan(iter(reads), live, None)
+
+
+@pytest.mark.parametrize("name", PROTOCOL_NAMES)
+def test_selection_under_generic_scan_path_matches(zoo, name):
+    """The public select_* API agrees between oracle (callable) and mask
+    (collection) liveness for the generic scan systems."""
+    system, reads, _ = zoo[name]
+    universe = sorted(system.universe)
+    live = set(universe[1:])
+    oracle = live.__contains__
+    for seed in (0, 5):
+        by_set = QuorumSystem._select_by_scan(
+            iter(reads), live, random.Random(seed)
+        )
+        by_oracle = QuorumSystem._select_by_scan(
+            iter(reads), oracle, random.Random(seed)
+        )
+        assert by_set == by_oracle
+
+
+def test_empty_live_set_selects_nothing(zoo):
+    for name in PROTOCOL_NAMES:
+        system, _, _ = zoo[name]
+        assert system.select_read_quorum(set()) is None
+        assert system.select_write_quorum(set(), random.Random(0)) is None
+
+
+def test_n_equals_one_edge_case():
+    system = quorum_system("rowa", 1)
+    assert system.n == 1
+    assert system.select_read_quorum({0}) is not None
+    assert system.select_read_quorum(set()) is None
+    assert exact_availability(
+        tuple(system.read_quorums()), 0.9, universe=system.universe
+    ) == pytest.approx(0.9)
+
+
+class _WideSystem(QuorumSystem):
+    """Synthetic n > 64 system exercising multi-word masks end to end."""
+
+    name = "wide-stripes"
+
+    def __init__(self, n: int = 70, stripes: int = 7) -> None:
+        self._n = n
+        self._stripes = stripes
+
+    @property
+    def universe(self):
+        return frozenset(range(self._n))
+
+    def read_quorums(self):
+        width = self._n // self._stripes
+        for s in range(self._stripes):
+            yield frozenset(range(s * width, (s + 1) * width))
+
+    def write_quorums(self):
+        width = self._n // self._stripes
+        for offset in range(width):
+            yield frozenset(
+                s * width + offset for s in range(self._stripes)
+            )
+
+
+def test_multi_word_system_agrees_end_to_end():
+    system = _WideSystem(n=70, stripes=7)
+    reads = tuple(system.read_quorums())
+    writes = tuple(system.write_quorums())
+    assert system.n == 70
+    assert is_cross_intersecting(reads, writes)
+    assert _is_cross_intersecting_sets(reads, writes)
+
+    # Selection across the 64-bit word boundary.
+    live = set(range(70)) - {3}
+    assert system.select_read_quorum(live) == QuorumSystem._select_by_scan(
+        iter(reads), live, None
+    )
+    for seed in range(3):
+        assert system.select_write_quorum(
+            live, random.Random(seed)
+        ) == QuorumSystem._select_by_scan(iter(writes), live, random.Random(seed))
+
+    # Monte-Carlo on three words, same stream as the reference.
+    probabilities = _normalise_probabilities(system.universe, 0.9)
+    reference = _estimate_monte_carlo_reference(
+        writes, probabilities, 10_000, 3
+    )
+    kernel = estimate_availability_monte_carlo(
+        writes, 0.9, universe=system.universe, samples=10_000, seed=3
+    )
+    assert kernel == reference
+
+    # Inclusion-exclusion regime (n = 70 > 22, m = 7 <= 20).
+    exact_ie = exact_availability(reads, 0.9, universe=system.universe)
+    ref_ie = _availability_by_inclusion_exclusion(reads, probabilities)
+    assert exact_ie == ref_ie
+
+
+def test_cached_system_packs_and_enumerates_once():
+    system = CachedQuorumSystem(quorum_system("grid", 9))
+    a1 = system.availability(0.9, "read")
+    a2 = system.availability(0.9, "read")
+    assert a1 == a2
+    system.load("read")
+    system.is_bicoterie()
+    assert system.enumerations <= 2  # once per operation
+    packed = system.packed("read")
+    assert packed is system.packed("read")
+    assert packed.to_frozensets() == system.materialise("read")
+
+
+def test_cached_availability_keyed_by_samples_and_seed():
+    system = CachedQuorumSystem(quorum_system("grid", 9))
+    exact = system.availability(0.9, "read")
+    also_exact = system.availability(0.9, "read", samples=10, seed=42)
+    # Small system -> both go through the exact path; keys differ, value same.
+    assert exact == also_exact
+    assert len(system._availability_cache) == 2
+
+
+def test_operation_paths_use_enumeration_cache():
+    system = CachedQuorumSystem(quorum_system("grid", 9))
+    from repro.quorums.availability import operation_availability
+    from repro.quorums.load import optimal_operation_load
+
+    operation_availability(system, 0.9, "read")
+    optimal_operation_load(system, "read")
+    operation_availability(system, 0.8, "read")
+    optimal_operation_load(system, "read")
+    assert system.enumerations == 1
+
+
+def test_numpy_random_stream_unchanged():
+    """The kernel MC draws the exact RNG stream of the reference."""
+    rng = np.random.default_rng(123)
+    expected = rng.random((5, 3))
+    rng2 = np.random.default_rng(123)
+    assert (rng2.random((5, 3)) == expected).all()
