@@ -1,0 +1,185 @@
+"""Overhead of the observability layer on the simulation hot paths.
+
+The tracing instrumentation (``repro.obs``) must be free when disabled:
+every hook in the coordinator/network/lock-manager hot paths is guarded by
+a single ``recorder.enabled`` attribute check against the shared no-op
+:data:`~repro.obs.recorder.NULL_RECORDER`.  This bench quantifies that
+claim on the simulation benchmark workload:
+
+* times the sim with tracing disabled (the default) and enabled, and
+  reports the enabled/disabled ratio — the *opt-in* cost of full tracing;
+* microbenchmarks the guard itself (`if recorder.enabled:` on the no-op
+  recorder), counts how many guard touchpoints the workload actually hits
+  (from the enabled run's span/counter/metric volumes, doubled for
+  begin/end pairs and padded 2x for guards that record nothing), and
+  bounds the disabled-path overhead as ``touchpoints x guard_cost /
+  disabled_runtime``;
+* asserts that bound stays under 2% (the PR's acceptance criterion).
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py [--quick] [--out P]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+try:
+    from benchmarks.perf_harness import time_callable, write_bench_json
+except ImportError:  # direct `python benchmarks/bench_obs_overhead.py`
+    sys.path.insert(0, str(Path(__file__).parent))
+    from perf_harness import time_callable, write_bench_json
+
+from repro.core.builder import from_spec
+from repro.obs.recorder import NULL_RECORDER
+from repro.sim.engine import SimulationConfig, simulate
+from repro.sim.workload import WorkloadSpec
+
+#: Acceptance ceiling for the disabled-recorder overhead on the sim bench.
+MAX_DISABLED_OVERHEAD = 0.02
+
+
+def _config(operations: int, trace: bool) -> SimulationConfig:
+    return SimulationConfig(
+        tree=from_spec("1-3-5"),
+        workload=WorkloadSpec(
+            operations=operations, read_fraction=0.5, keys=32,
+            arrival="poisson", rate=0.3,
+        ),
+        drop_probability=0.03,
+        timeout=8.0,
+        max_attempts=3,
+        seed=17,
+        trace=trace,
+    )
+
+
+def _guard_cost_ns(iterations: int = 2_000_000) -> float:
+    """Median per-check cost of ``if recorder.enabled:`` on the no-op
+    recorder, with the bare loop's own cost subtracted out."""
+    recorder = NULL_RECORDER
+    guarded, bare = [], []
+    for _ in range(3):
+        start = time.perf_counter_ns()
+        for _ in range(iterations):
+            if recorder.enabled:
+                raise AssertionError("null recorder must stay disabled")
+        guarded.append(time.perf_counter_ns() - start)
+        start = time.perf_counter_ns()
+        for _ in range(iterations):
+            pass
+        bare.append(time.perf_counter_ns() - start)
+    per_check = (sorted(guarded)[1] - sorted(bare)[1]) / iterations
+    return max(per_check, 0.1)  # clock jitter floor
+
+
+def _touchpoints(recorder) -> int:
+    """Guard evaluations the workload hit, counted from an enabled run.
+
+    Every span costs a begin and an end guard, counters and metric
+    observations one each; the total is doubled again to cover guards
+    that fire but record nothing (not-granted branches, phase closes).
+    """
+    spans = len(recorder.spans)
+    counters = sum(
+        value for group in recorder.counters.values() for value in group.values()
+    )
+    metrics = sum(len(values) for values in recorder.metrics.values())
+    return 2 * (2 * spans + counters + metrics)
+
+
+def run(quick: bool = False, out: str | None = None) -> dict:
+    operations = 400 if quick else 2000
+    repeat = 2 if quick else 3
+
+    disabled_ns, disabled_result = time_callable(
+        lambda: simulate(_config(operations, trace=False)), repeat
+    )
+    enabled_ns, enabled_result = time_callable(
+        lambda: simulate(_config(operations, trace=True)), repeat
+    )
+    guard_ns = _guard_cost_ns(500_000 if quick else 2_000_000)
+    touchpoints = _touchpoints(enabled_result.recorder)
+    disabled_overhead = touchpoints * guard_ns / disabled_ns
+    enabled_ratio = enabled_ns / disabled_ns
+
+    # identical event history either way: tracing must not perturb the run
+    assert (
+        disabled_result.events_processed == enabled_result.events_processed
+    ), "tracing changed the simulation itself"
+
+    results = [
+        {
+            "case": f"sim/operations={operations}/trace=off",
+            "median_ns": disabled_ns,
+            "repeat": repeat,
+        },
+        {
+            "case": f"sim/operations={operations}/trace=on",
+            "median_ns": enabled_ns,
+            "repeat": repeat,
+            "spans": len(enabled_result.recorder.spans),
+        },
+        {
+            "case": "guard/if-recorder.enabled",
+            "median_ns_per_check": round(guard_ns, 3),
+            "touchpoints": touchpoints,
+        },
+    ]
+    summary = {
+        "disabled_overhead_bound": round(disabled_overhead, 6),
+        "disabled_overhead_limit": MAX_DISABLED_OVERHEAD,
+        "enabled_over_disabled": round(enabled_ratio, 3),
+        "quick": quick,
+    }
+    print(
+        f"disabled run {disabled_ns / 1e6:.1f} ms, "
+        f"enabled run {enabled_ns / 1e6:.1f} ms "
+        f"({enabled_ratio:.2f}x), guard {guard_ns:.1f} ns x "
+        f"{touchpoints} touchpoints -> disabled overhead bound "
+        f"{disabled_overhead:.4%} (limit {MAX_DISABLED_OVERHEAD:.0%})"
+    )
+    write_bench_json("obs_overhead", results, summary, out=out)
+    assert disabled_overhead < MAX_DISABLED_OVERHEAD, (
+        f"disabled-recorder overhead bound {disabled_overhead:.4%} "
+        f"exceeds {MAX_DISABLED_OVERHEAD:.0%}"
+    )
+    return summary
+
+
+def test_obs_overhead_smoke(emit):
+    """CI smoke: quick tier; the disabled path must stay under 2%.
+
+    Writes to a ``_smoke`` JSON so a local pytest run never clobbers the
+    recorded full-run trajectory in ``BENCH_obs_overhead.json``.
+    """
+    from benchmarks.perf_harness import RESULTS_DIR
+
+    summary = run(
+        quick=True, out=str(RESULTS_DIR / "BENCH_obs_overhead_smoke.json")
+    )
+    emit(
+        "obs_overhead_smoke",
+        "obs overhead smoke: disabled-path bound "
+        f"{summary['disabled_overhead_bound']:.4%} (< 2%), "
+        f"tracing opt-in cost {summary['enabled_over_disabled']:.2f}x",
+    )
+    assert summary["disabled_overhead_bound"] < MAX_DISABLED_OVERHEAD
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small workload only (CI smoke tier)",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="output JSON path (default benchmarks/results/BENCH_obs_overhead.json)",
+    )
+    arguments = parser.parse_args()
+    run(quick=arguments.quick, out=arguments.out)

@@ -12,6 +12,10 @@
   (``--samples`` / ``--seed`` reach the estimator);
 * ``tune``      — recommend a tree for a given n / p / read fraction;
 * ``simulate``  — run the discrete-event simulator and print measurements;
+* ``trace``     — run the simulator with tracing on and export the span
+  stream (one JSON object per line) plus message counters;
+* ``report``    — per-phase latency breakdown + flame summary, either for
+  a fresh traced run or from a previously exported JSONL trace;
 * ``all``       — everything above with default parameters.
 """
 
@@ -161,11 +165,13 @@ def _print_tuning(n: int, p: float, read_fraction: float) -> None:
     ))
 
 
-def _print_simulation(spec: str, operations: int, read_fraction: float,
-                      p: float, seed: int, protocol: str | None = None,
-                      n: int = 0) -> None:
+def _sim_config(spec: str, operations: int, read_fraction: float,
+                p: float, seed: int, protocol: str | None = None,
+                n: int = 0, drop: float = 0.0, max_attempts: int = 1,
+                trace: bool = False):
+    """Build the (config, label) pair shared by simulate/trace/report."""
     from repro.protocols.zoo import quorum_system
-    from repro.sim import BernoulliFailures, SimulationConfig, WorkloadSpec, simulate
+    from repro.sim import BernoulliFailures, SimulationConfig, WorkloadSpec
     from repro.sim.failures import NoFailures
 
     failures = (
@@ -177,19 +183,31 @@ def _print_simulation(spec: str, operations: int, read_fraction: float,
         arrival="poisson", rate=0.25,
     )
     if protocol is None or protocol == "arbitrary-spec":
-        tree = from_spec(spec)
         config = SimulationConfig(
-            tree=tree, workload=workload, failures=failures,
-            max_attempts=1, timeout=8.0, seed=seed,
+            tree=from_spec(spec), workload=workload, failures=failures,
+            drop_probability=drop, max_attempts=max_attempts, timeout=8.0,
+            seed=seed, trace=trace,
         )
         label = f"simulation of {spec}"
     else:
         system = quorum_system(protocol, n or from_spec(spec).n)
         config = SimulationConfig(
             system=system, workload=workload, failures=failures,
-            max_attempts=1, timeout=8.0, seed=seed,
+            drop_probability=drop, max_attempts=max_attempts, timeout=8.0,
+            seed=seed, trace=trace,
         )
         label = f"simulation of {system.name} (n = {system.n})"
+    return config, label
+
+
+def _print_simulation(spec: str, operations: int, read_fraction: float,
+                      p: float, seed: int, protocol: str | None = None,
+                      n: int = 0) -> None:
+    from repro.sim import simulate
+
+    config, label = _sim_config(
+        spec, operations, read_fraction, p, seed, protocol=protocol, n=n
+    )
     result = simulate(config)
     summary = result.summary()
     rows: list[list] = []
@@ -199,6 +217,11 @@ def _print_simulation(spec: str, operations: int, read_fraction: float,
             ["read cost", round(summary["read_cost"], 3), metrics.read_cost],
             ["write cost", round(summary["write_cost"], 3),
              round(metrics.write_cost_avg, 3)],
+            # A write also runs the Section 3.2.2 version round against a
+            # read quorum, so the replicas it actually contacts are the
+            # write quorum plus a read quorum's worth.
+            ["write cost (total)", round(summary["write_cost_total"], 3),
+             round(metrics.write_cost_avg + metrics.read_cost, 3)],
             ["read load", round(summary["read_load"], 3),
              round(metrics.read_load, 3)],
             ["write load", round(summary["write_load"], 3),
@@ -215,6 +238,7 @@ def _print_simulation(spec: str, operations: int, read_fraction: float,
         rows = [
             ["read cost", round(summary["read_cost"], 3), "-"],
             ["write cost", round(summary["write_cost"], 3), "-"],
+            ["write cost (total)", round(summary["write_cost_total"], 3), "-"],
             ["read load", round(summary["read_load"], 3),
              round(system.load("read"), 3)],
             ["write load", round(summary["write_load"], 3),
@@ -230,6 +254,103 @@ def _print_simulation(spec: str, operations: int, read_fraction: float,
         rows,
         title=f"{label}: {operations} ops, p = {p}, seed {seed}",
     ))
+
+
+def _run_traced(args) -> tuple:
+    """Run one traced simulation from trace/report CLI arguments."""
+    from repro.sim import simulate
+
+    config, label = _sim_config(
+        args.spec, args.operations, args.read_fraction, args.p, args.seed,
+        protocol=args.protocol, n=args.n, drop=args.drop,
+        max_attempts=args.max_attempts, trace=True,
+    )
+    return simulate(config), label
+
+
+def _print_trace(args) -> None:
+    """``repro trace``: run a traced simulation, export JSON Lines."""
+    from repro.obs import export_trace
+
+    result, label = _run_traced(args)
+    recorder = result.recorder
+    path = export_trace(recorder, args.out)
+    traces = recorder.traces()
+    print(f"{label}: {args.operations} ops, p = {args.p}, seed {args.seed}")
+    print(
+        f"wrote {path}: {len(traces)} traces, {len(recorder.spans)} spans, "
+        f"{sum(len(c) for c in recorder.counters.values())} counter cells"
+    )
+    open_spans = recorder.open_spans()
+    if open_spans:
+        print(f"WARNING: {len(open_spans)} spans never finished")
+
+
+def _print_report(args) -> None:
+    """``repro report``: per-phase breakdown + flame summary + counters."""
+    from repro.obs import (
+        flame_summary,
+        load_trace,
+        phase_breakdown,
+        render_counters,
+        render_phase_breakdown,
+        summaries_of,
+    )
+
+    if args.trace_file is not None:
+        recorder = load_trace(args.trace_file)
+        print(f"trace report for {args.trace_file}")
+    else:
+        result, label = _run_traced(args)
+        recorder = result.recorder
+        summary = result.summary()
+        print(f"{label}: {args.operations} ops, p = {args.p}, "
+              f"seed {args.seed}")
+        print(
+            f"availability: read {summary['read_availability']:.3f} "
+            f"write {summary['write_availability']:.3f}; "
+            f"mean latency: ok {summary['read_latency_mean']:.2f}/"
+            f"{summary['write_latency_mean']:.2f} "
+            f"failed {summary['failure_latency_mean']:.2f}"
+        )
+    print()
+    print("per-phase latency breakdown")
+    print(render_phase_breakdown(phase_breakdown(recorder.finished_spans())))
+    print()
+    print(flame_summary(recorder))
+    print()
+    print(render_counters(recorder))
+    metric_summaries = summaries_of(recorder)
+    if metric_summaries:
+        print()
+        print("metrics")
+        for name, stats in sorted(metric_summaries.items()):
+            print(
+                f"  {name:<18} count {int(stats['count']):>7}  "
+                f"mean {stats['mean']:>9.3f}  min {stats['min']:>8.3f}  "
+                f"max {stats['max']:>9.3f}"
+            )
+
+
+def _add_trace_sim_arguments(parser) -> None:
+    """Simulation options shared by ``trace`` and ``report``."""
+    from repro.protocols.zoo import PROTOCOL_NAMES
+
+    parser.add_argument("spec", nargs="?", default="1-3-5")
+    parser.add_argument("--operations", type=int, default=500)
+    parser.add_argument("--read-fraction", type=float, default=0.5)
+    parser.add_argument("--p", type=float, default=1.0,
+                        help="per-replica availability (1.0 = no failures)")
+    parser.add_argument("--drop", type=float, default=0.0,
+                        help="message drop probability in [0, 1]")
+    parser.add_argument("--max-attempts", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--protocol", choices=PROTOCOL_NAMES, default=None,
+        help="simulate a zoo protocol instead of an explicit tree spec",
+    )
+    parser.add_argument("--n", type=int, default=0,
+                        help="replica count for --protocol")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -306,6 +427,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="replica count for --protocol (snapped to an admissible size)",
     )
 
+    trace_parser = sub.add_parser(
+        "trace", help="run a traced simulation and export JSONL spans"
+    )
+    _add_trace_sim_arguments(trace_parser)
+    trace_parser.add_argument(
+        "--out", default="trace.jsonl",
+        help="output path for the JSON Lines trace",
+    )
+
+    report_parser = sub.add_parser(
+        "report",
+        help="per-phase latency breakdown + flame summary of a traced run",
+    )
+    _add_trace_sim_arguments(report_parser)
+    report_parser.add_argument(
+        "--trace-file", default=None,
+        help="report on a previously exported JSONL trace instead of "
+             "running a fresh simulation",
+    )
+
     all_parser = sub.add_parser("all", help="everything, default parameters")
     all_parser.add_argument("--p", type=float, default=0.7)
     return parser
@@ -333,6 +474,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             args.spec, args.operations, args.read_fraction, args.p, args.seed,
             protocol=args.protocol, n=args.n,
         )
+    elif args.command == "trace":
+        _print_trace(args)
+    elif args.command == "report":
+        _print_report(args)
     elif args.command == "all":
         _print_example()
         print()

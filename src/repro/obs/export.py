@@ -1,0 +1,88 @@
+"""Trace export/import as JSON Lines.
+
+One record per line, discriminated by ``record``:
+
+* ``{"record": "span", ...}`` — one :class:`~repro.obs.spans.Span`;
+* ``{"record": "counter", "group": ..., "name": ..., "value": ...}`` —
+  one counter cell (message send/deliver/drop tallies by type);
+* ``{"record": "metric", "name": ..., "summary": {...}}`` — count/mean/
+  min/max of one scalar metric (lock wait/hold times).
+
+Attribute values must be JSON-serialisable; the instrumentation only puts
+strings, numbers and booleans in span attributes.  :func:`load_trace`
+rebuilds a :class:`~repro.obs.recorder.TraceRecorder` whose spans and
+counters round-trip exactly; metrics come back as their summaries (the
+raw observations are not exported) via ``loaded_metric_summaries``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.recorder import TraceRecorder
+from repro.obs.spans import Span
+
+
+def trace_records(recorder: TraceRecorder) -> list[dict]:
+    """The JSONL records of a recorder, spans first."""
+    records: list[dict] = [span.to_dict() for span in recorder.spans.values()]
+    for group in sorted(recorder.counters):
+        for name, value in sorted(recorder.counters[group].items()):
+            records.append(
+                {"record": "counter", "group": group, "name": name, "value": value}
+            )
+    for name, summary in sorted(recorder.metric_summaries().items()):
+        records.append({"record": "metric", "name": name, "summary": summary})
+    return records
+
+
+def export_trace(recorder: TraceRecorder, path: Path | str) -> Path:
+    """Write a recorder's full contents to ``path`` as JSON Lines."""
+    path = Path(path)
+    with path.open("w") as handle:
+        for record in trace_records(recorder):
+            handle.write(json.dumps(record) + "\n")
+    return path
+
+
+def load_trace(path: Path | str) -> TraceRecorder:
+    """Rebuild a recorder from a JSONL trace file.
+
+    The returned recorder carries the spans and counters verbatim; metric
+    summaries land in ``loaded_metric_summaries`` (raw observation lists
+    are not part of the export format).
+    """
+    recorder = TraceRecorder()
+    loaded_summaries: dict[str, dict[str, float]] = {}
+    with Path(path).open() as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            data = json.loads(line)
+            kind = data.get("record")
+            if kind == "span":
+                span = Span.from_dict(data)
+                recorder.spans[span.span_id] = span
+            elif kind == "counter":
+                recorder.count(data["group"], data["name"], data["value"])
+            elif kind == "metric":
+                loaded_summaries[data["name"]] = data["summary"]
+            else:
+                raise ValueError(
+                    f"{path}:{line_number}: unknown record type {kind!r}"
+                )
+    recorder.loaded_metric_summaries = loaded_summaries  # type: ignore[attr-defined]
+    return recorder
+
+
+def summaries_of(recorder: TraceRecorder) -> dict[str, dict[str, float]]:
+    """Metric summaries, honouring ones loaded from a JSONL file."""
+    loaded = getattr(recorder, "loaded_metric_summaries", None)
+    computed = recorder.metric_summaries()
+    if loaded:
+        merged = dict(loaded)
+        merged.update(computed)
+        return merged
+    return computed

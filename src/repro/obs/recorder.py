@@ -1,0 +1,195 @@
+"""Trace recorders: the sink every instrumented component writes to.
+
+Two implementations share one duck-typed interface:
+
+* :class:`NullRecorder` — the default everywhere.  ``enabled`` is False
+  and every hook is a no-op, so instrumented hot paths cost one attribute
+  check (``if recorder.enabled:``) when tracing is off — the simulator
+  runs at full speed unless a trace was asked for.
+* :class:`TraceRecorder` — keeps every span, per-message-type counter and
+  scalar metric observation in memory; traces export as JSON Lines
+  (:mod:`repro.obs.export`) and render as reports (:mod:`repro.obs.report`).
+
+Span ids are recorder-local, start at 1, and 0 is the reserved "no span"
+sentinel, so context structs can hold plain ints with no ``None`` checks.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import Counter
+from typing import Any
+
+from repro.obs.spans import STATUS_OK, Span, SpanKind
+
+
+class NullRecorder:
+    """No-op recorder: the zero-overhead default when tracing is off."""
+
+    enabled: bool = False
+
+    def start_trace(self, name: str, at: float, **attributes: Any) -> int:
+        """Open a root (operation) span; returns its trace/span id."""
+        return 0
+
+    def start_span(
+        self,
+        trace_id: int,
+        parent_id: int,
+        name: str,
+        kind: SpanKind,
+        at: float,
+        **attributes: Any,
+    ) -> int:
+        """Open a child span; returns its span id."""
+        return 0
+
+    def end_span(
+        self, span_id: int, at: float, status: str = STATUS_OK, **attributes: Any
+    ) -> None:
+        """Close a span (idempotent; span id 0 is ignored)."""
+
+    def event(
+        self,
+        trace_id: int,
+        parent_id: int,
+        name: str,
+        at: float,
+        status: str = STATUS_OK,
+        **attributes: Any,
+    ) -> None:
+        """Record a point-in-time event span (start == end)."""
+
+    def count(self, group: str, name: str, delta: int = 1) -> None:
+        """Bump a counter, e.g. ``count("message.sent", "ReadRequest")``."""
+
+    def observe(self, metric: str, value: float) -> None:
+        """Record one scalar observation, e.g. a lock wait time."""
+
+
+#: Shared no-op instance; safe because NullRecorder is stateless.
+NULL_RECORDER = NullRecorder()
+
+
+class TraceRecorder(NullRecorder):
+    """In-memory recorder backing traces, counters and metrics."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._ids = itertools.count(1)
+        #: Every span ever started, keyed by span id (insertion-ordered).
+        self.spans: dict[int, Span] = {}
+        #: ``group -> Counter(name -> count)`` e.g. message send/drop tallies.
+        self.counters: dict[str, Counter] = {}
+        #: ``metric -> raw observations`` e.g. lock wait/hold times.
+        self.metrics: dict[str, list[float]] = {}
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    def start_trace(self, name: str, at: float, **attributes: Any) -> int:
+        span_id = next(self._ids)
+        self.spans[span_id] = Span(
+            trace_id=span_id,
+            span_id=span_id,
+            parent_id=None,
+            name=name,
+            kind=SpanKind.OPERATION,
+            start=at,
+            attributes=attributes,
+        )
+        return span_id
+
+    def start_span(
+        self,
+        trace_id: int,
+        parent_id: int,
+        name: str,
+        kind: SpanKind,
+        at: float,
+        **attributes: Any,
+    ) -> int:
+        span_id = next(self._ids)
+        self.spans[span_id] = Span(
+            trace_id=trace_id,
+            span_id=span_id,
+            parent_id=parent_id or None,
+            name=name,
+            kind=kind,
+            start=at,
+            attributes=attributes,
+        )
+        return span_id
+
+    def end_span(
+        self, span_id: int, at: float, status: str = STATUS_OK, **attributes: Any
+    ) -> None:
+        span = self.spans.get(span_id)
+        if span is None or span.end is not None:
+            return
+        span.end = at
+        span.status = status
+        if attributes:
+            span.attributes.update(attributes)
+
+    def event(
+        self,
+        trace_id: int,
+        parent_id: int,
+        name: str,
+        at: float,
+        status: str = STATUS_OK,
+        **attributes: Any,
+    ) -> None:
+        span_id = self.start_span(
+            trace_id, parent_id, name, SpanKind.EVENT, at, **attributes
+        )
+        self.end_span(span_id, at, status=status)
+
+    def count(self, group: str, name: str, delta: int = 1) -> None:
+        counter = self.counters.get(group)
+        if counter is None:
+            counter = self.counters[group] = Counter()
+        counter[name] += delta
+
+    def observe(self, metric: str, value: float) -> None:
+        self.metrics.setdefault(metric, []).append(value)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def finished_spans(self) -> list[Span]:
+        """Every closed span, in start order."""
+        return [span for span in self.spans.values() if span.finished]
+
+    def open_spans(self) -> list[Span]:
+        """Spans started but never ended (empty for a finished run)."""
+        return [span for span in self.spans.values() if not span.finished]
+
+    def traces(self) -> dict[int, list[Span]]:
+        """Spans grouped by trace id, each list in start order."""
+        grouped: dict[int, list[Span]] = {}
+        for span in self.spans.values():
+            grouped.setdefault(span.trace_id, []).append(span)
+        return grouped
+
+    def trace(self, trace_id: int) -> list[Span]:
+        """All spans of one trace, in start order."""
+        return [s for s in self.spans.values() if s.trace_id == trace_id]
+
+    def metric_summaries(self) -> dict[str, dict[str, float]]:
+        """count/mean/min/max per metric (the exported form of metrics)."""
+        summaries: dict[str, dict[str, float]] = {}
+        for name, values in self.metrics.items():
+            if not values:
+                continue
+            summaries[name] = {
+                "count": float(len(values)),
+                "mean": sum(values) / len(values),
+                "min": min(values),
+                "max": max(values),
+            }
+        return summaries

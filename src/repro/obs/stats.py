@@ -1,0 +1,94 @@
+"""Small statistics helpers shared by the monitor and trace reports.
+
+* :func:`linear_percentile` — percentile by linear interpolation between
+  closest ranks (numpy's default "linear" method).  The simulator's old
+  nearest-rank-with-``round()`` percentile suffered from banker's rounding
+  (``round(0.5) == 0``), misreporting p50/p95 on small samples; this is
+  the fixed, canonical implementation.
+* :class:`Histogram` — fixed-bucket histogram with an overflow bucket,
+  used for latency and span-duration distributions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+def linear_percentile(sorted_values: list[float], fraction: float) -> float:
+    """Percentile of pre-sorted ``sorted_values`` by linear interpolation.
+
+    ``fraction`` is in [0, 1]; an empty input yields NaN.  For a sample of
+    size n the percentile sits at rank ``fraction * (n - 1)`` and is
+    interpolated between the two bracketing order statistics, so e.g. the
+    p50 of ``[1, 2]`` is 1.5 (the nearest-rank variant reported 1).
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    if not sorted_values:
+        return math.nan
+    position = fraction * (len(sorted_values) - 1)
+    lower = math.floor(position)
+    upper = math.ceil(position)
+    if lower == upper:
+        return sorted_values[lower]
+    weight = position - lower
+    return sorted_values[lower] * (1.0 - weight) + sorted_values[upper] * weight
+
+
+@dataclass
+class Histogram:
+    """Counts of values falling into ``bounds``-delimited buckets.
+
+    ``bounds`` are the inclusive upper edges of the first ``len(bounds)``
+    buckets; one overflow bucket catches everything larger.
+    """
+
+    bounds: list[float]
+    counts: list[int] = field(default_factory=list)
+    total: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if sorted(self.bounds) != list(self.bounds):
+            raise ValueError("bucket bounds must be sorted ascending")
+        if not self.counts:
+            self.counts = [0] * (len(self.bounds) + 1)
+
+    @classmethod
+    def exponential(
+        cls, start: float = 1.0, factor: float = 2.0, buckets: int = 12
+    ) -> "Histogram":
+        """Geometric bucket edges ``start, start*factor, ...``."""
+        if start <= 0 or factor <= 1 or buckets < 1:
+            raise ValueError("need start > 0, factor > 1, buckets >= 1")
+        return cls(bounds=[start * factor**i for i in range(buckets)])
+
+    def add(self, value: float) -> None:
+        """Count one observation."""
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[index] += 1
+                break
+        else:
+            self.counts[-1] += 1
+        self.total += 1
+
+    def extend(self, values: list[float]) -> "Histogram":
+        """Count many observations; returns self for chaining."""
+        for value in values:
+            self.add(value)
+        return self
+
+    def render(self, width: int = 40) -> str:
+        """A text bar chart, one line per non-empty leading bucket."""
+        peak = max(self.counts) if self.total else 0
+        lines = []
+        labels = [f"<= {bound:g}" for bound in self.bounds] + [
+            f" > {self.bounds[-1]:g}"
+        ]
+        for label, count in zip(labels, self.counts):
+            bar = "#" * (round(width * count / peak) if peak else 0)
+            lines.append(f"{label:>12} {count:>7} {bar}")
+        return "\n".join(lines)

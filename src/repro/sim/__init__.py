@@ -15,7 +15,9 @@ availability, per-replica load) can also be *measured* end-to-end:
   :mod:`repro.sim.coordinator`);
 * client workload generation and measurement (:mod:`repro.sim.workload`,
   :mod:`repro.sim.monitor`);
-* one-call experiment wiring (:mod:`repro.sim.engine`).
+* one-call experiment wiring (:mod:`repro.sim.engine`);
+* structured tracing of every operation (spans, message counters, lock
+  metrics) via :mod:`repro.obs` — pass ``SimulationConfig(trace=True)``.
 """
 
 from repro.sim.coordinator import OperationOutcome, QuorumCoordinator

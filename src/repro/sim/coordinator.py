@@ -33,6 +33,8 @@ from collections.abc import Callable
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.obs.recorder import NULL_RECORDER, NullRecorder
+from repro.obs.spans import STATUS_OK, SpanKind
 from repro.quorums.liveness import LivenessOracle
 from repro.quorums.system import QuorumSystem
 from repro.sim.events import EventHandle, Scheduler
@@ -119,6 +121,13 @@ class _OpContext:
     timeout_handle: EventHandle | None = None
     finished: bool = False
     write_system: QuorumSystem | None = None
+    lock_granted: bool = False
+    # Trace span ids (0 = no span; only set when a recorder is enabled).
+    trace_id: int = 0
+    op_span: int = 0
+    lock_span: int = 0
+    attempt_span: int = 0
+    phase_span: int = 0
 
 
 class QuorumCoordinator:
@@ -148,6 +157,11 @@ class QuorumCoordinator:
         Total quorum attempts per operation (1 = measure pure availability).
     writer_id:
         The SID recorded inside write timestamps.
+    recorder:
+        Trace recorder receiving one span tree per operation (lock wait,
+        quorum selection, protocol phases, timeouts, retries, deferrals).
+        The default :data:`~repro.obs.recorder.NULL_RECORDER` makes every
+        hook a guarded no-op.
     """
 
     def __init__(
@@ -164,6 +178,7 @@ class QuorumCoordinator:
         tx_ids: TransactionIdSource | None = None,
         unavailable_delay: float | None = None,
         version_floor: dict | None = None,
+        recorder: NullRecorder = NULL_RECORDER,
     ) -> None:
         if sid >= 0:
             raise ValueError("coordinator SIDs must be negative")
@@ -183,6 +198,7 @@ class QuorumCoordinator:
         )
         self._max_attempts = max_attempts
         self._writer_id = writer_id
+        self._recorder = recorder
         self._tx_ids = tx_ids or TransactionIdSource()
         self._by_request: dict[int, _OpContext] = {}
         self._by_txid: dict[int, _OpContext] = {}
@@ -248,6 +264,7 @@ class QuorumCoordinator:
             started_at=self.scheduler.now,
             stage=_Stage.READ,
         )
+        self._trace_operation_start(ctx, LockMode.SHARED)
         self._locks.acquire(
             ctx.lock_token,
             key,
@@ -293,6 +310,7 @@ class QuorumCoordinator:
             stage=_Stage.VERSION,
             write_system=write_system,
         )
+        self._trace_operation_start(ctx, LockMode.EXCLUSIVE)
         self._locks.acquire(
             ctx.lock_token,
             key,
@@ -301,10 +319,67 @@ class QuorumCoordinator:
         )
 
     # ------------------------------------------------------------------
+    # trace span helpers
+    # ------------------------------------------------------------------
+
+    def _trace_operation_start(self, ctx: _OpContext, mode: LockMode) -> None:
+        recorder = self._recorder
+        if not recorder.enabled:
+            return
+        now = self.scheduler.now
+        ctx.trace_id = ctx.op_span = recorder.start_trace(
+            ctx.op_type, now, key=str(ctx.key), coordinator=self.sid
+        )
+        ctx.lock_span = recorder.start_span(
+            ctx.trace_id, ctx.op_span, "lock_wait", SpanKind.LOCK_WAIT, now,
+            op=ctx.op_type, mode=mode.value,
+        )
+
+    def _begin_phase(self, ctx: _OpContext, name: str, quorum_size: int) -> None:
+        recorder = self._recorder
+        if not recorder.enabled:
+            return
+        now = self.scheduler.now
+        if ctx.phase_span:
+            recorder.end_span(ctx.phase_span, now)
+            ctx.phase_span = 0
+        recorder.event(
+            ctx.trace_id, ctx.attempt_span, "quorum_select", now,
+            op=ctx.op_type, stage=name, size=quorum_size,
+        )
+        ctx.phase_span = recorder.start_span(
+            ctx.trace_id, ctx.attempt_span, f"phase/{name}", SpanKind.PHASE,
+            now, op=ctx.op_type, quorum=quorum_size,
+        )
+
+    def _end_phase(self, ctx: _OpContext, status: str = STATUS_OK) -> None:
+        if ctx.phase_span:
+            self._recorder.end_span(
+                ctx.phase_span, self.scheduler.now, status=status
+            )
+            ctx.phase_span = 0
+
+    def _close_attempt(self, ctx: _OpContext, status: str = STATUS_OK) -> None:
+        recorder = self._recorder
+        if not recorder.enabled:
+            return
+        self._end_phase(ctx, status=status)
+        if ctx.attempt_span:
+            recorder.end_span(ctx.attempt_span, self.scheduler.now, status=status)
+            ctx.attempt_span = 0
+
+    # ------------------------------------------------------------------
     # lock handling
     # ------------------------------------------------------------------
 
     def _lock_decided(self, ctx: _OpContext, granted: bool) -> None:
+        ctx.lock_granted = granted
+        if ctx.lock_span:
+            self._recorder.end_span(
+                ctx.lock_span, self.scheduler.now,
+                status=STATUS_OK if granted else FailureReason.LOCK_TIMEOUT.value,
+            )
+            ctx.lock_span = 0
         if not granted:
             self._finish(ctx, success=False, reason=FailureReason.LOCK_TIMEOUT)
             return
@@ -321,6 +396,17 @@ class QuorumCoordinator:
         ctx.replies.clear()
         ctx.versions.clear()
         ctx.votes.clear()
+        # Stale commit acknowledgements must not leak into the next
+        # attempt: a fresh attempt selects a fresh quorum, and acks from an
+        # earlier one would let ``_on_ack`` complete the commit early.
+        ctx.acks.clear()
+        recorder = self._recorder
+        if recorder.enabled:
+            self._close_attempt(ctx)
+            ctx.attempt_span = recorder.start_span(
+                ctx.trace_id, ctx.op_span, "attempt", SpanKind.ATTEMPT,
+                self.scheduler.now, op=ctx.op_type, number=ctx.attempts,
+            )
         if ctx.op_type == "read":
             self._start_read_phase(ctx)
         else:
@@ -335,6 +421,17 @@ class QuorumCoordinator:
         injectors and the workload stay correctly interleaved.
         """
         self._cancel_timeout(ctx)
+        recorder = self._recorder
+        if recorder.enabled:
+            now = self.scheduler.now
+            span = recorder.start_span(
+                ctx.trace_id, ctx.attempt_span or ctx.op_span,
+                "unavailable_defer", SpanKind.DEFER, now, op=ctx.op_type,
+            )
+            recorder.end_span(
+                span, now + self._unavailable_delay,
+                status=FailureReason.UNAVAILABLE.value,
+            )
         self.scheduler.schedule(
             self._unavailable_delay,
             lambda: self._retry_or_fail(ctx, FailureReason.UNAVAILABLE),
@@ -343,9 +440,15 @@ class QuorumCoordinator:
     def _retry_or_fail(self, ctx: _OpContext, reason: FailureReason) -> None:
         if ctx.finished:
             return
+        self._close_attempt(ctx, status=reason.value)
         if ctx.attempts >= self._max_attempts:
             self._finish(ctx, success=False, reason=reason)
             return
+        if self._recorder.enabled:
+            self._recorder.event(
+                ctx.trace_id, ctx.op_span, "retry", self.scheduler.now,
+                op=ctx.op_type, reason=reason.value, attempt=ctx.attempts,
+            )
         self._start_attempt(ctx)
 
     def _arm_timeout(self, ctx: _OpContext) -> None:
@@ -364,6 +467,12 @@ class QuorumCoordinator:
     def _on_timeout(self, ctx: _OpContext, attempt: int, stage: _Stage) -> None:
         if ctx.finished or ctx.attempts != attempt or ctx.stage is not stage:
             return
+        if self._recorder.enabled:
+            self._recorder.event(
+                ctx.trace_id, ctx.attempt_span or ctx.op_span, "timeout",
+                self.scheduler.now, op=ctx.op_type, stage=stage.value,
+                attempt=attempt,
+            )
         if stage is _Stage.COMMIT:
             self._continue_commit(ctx)
             return
@@ -390,7 +499,20 @@ class QuorumCoordinator:
         self._in_flight -= 1
         self._cancel_timeout(ctx)
         self._unregister(ctx)
-        self._locks.release(ctx.lock_token, ctx.key)
+        # Only release a lock that was actually granted: on the
+        # LOCK_TIMEOUT path the request was denied while still queued, so
+        # there is nothing to release.
+        if ctx.lock_granted:
+            self._locks.release(ctx.lock_token, ctx.key)
+        recorder = self._recorder
+        if recorder.enabled:
+            status = STATUS_OK if success else reason.value
+            self._close_attempt(ctx, status=status)
+            recorder.end_span(
+                ctx.op_span, self.scheduler.now, status=status,
+                attempts=ctx.attempts, quorum=len(ctx.quorum),
+                version_quorum=len(ctx.version_quorum),
+            )
         outcome = OperationOutcome(
             op_type=ctx.op_type,
             key=ctx.key,
@@ -417,6 +539,7 @@ class QuorumCoordinator:
             return
         ctx.stage = _Stage.READ
         ctx.quorum = quorum
+        self._begin_phase(ctx, "read", len(quorum))
         ctx.request_id = self._tx_ids.next_id()
         self._by_request[ctx.request_id] = ctx
         self._arm_timeout(ctx)
@@ -459,6 +582,7 @@ class QuorumCoordinator:
             return
         ctx.stage = _Stage.VERSION
         ctx.version_quorum = quorum
+        self._begin_phase(ctx, "version", len(quorum))
         ctx.request_id = self._tx_ids.next_id()
         self._by_request[ctx.request_id] = ctx
         self._arm_timeout(ctx)
@@ -475,6 +599,7 @@ class QuorumCoordinator:
         if set(ctx.versions) < ctx.version_quorum:
             return
         self._cancel_timeout(ctx)
+        self._end_phase(ctx)
         observed = dominant(list(ctx.versions.values()))
         floor = self._version_floor.get(ctx.key, ZERO_TIMESTAMP)
         current = observed if observed.version >= floor.version else floor
@@ -495,6 +620,7 @@ class QuorumCoordinator:
         assert ctx.write_timestamp is not None
         ctx.stage = _Stage.PREPARE
         ctx.quorum = quorum
+        self._begin_phase(ctx, "prepare", len(quorum))
         ctx.txid = self._tx_ids.next_id()
         self._by_txid[ctx.txid] = ctx
         self._arm_timeout(ctx)
@@ -524,6 +650,7 @@ class QuorumCoordinator:
         assert ctx.write_timestamp is not None
         self._version_floor[ctx.key] = ctx.write_timestamp
         ctx.stage = _Stage.COMMIT
+        self._begin_phase(ctx, "commit", len(ctx.quorum))
         self._arm_timeout(ctx)
 
     def _on_ack(self, ctx: _OpContext, message: AckMessage) -> None:
@@ -548,6 +675,12 @@ class QuorumCoordinator:
         if not pending:
             self._complete_commit(ctx)
             return
+        if self._recorder.enabled:
+            self._recorder.event(
+                ctx.trace_id, ctx.attempt_span or ctx.op_span,
+                "commit_retransmit", self.scheduler.now, op=ctx.op_type,
+                pending=len(pending),
+            )
         for member in sorted(pending):
             self._network.send(
                 CommitMessage(src=self.sid, dst=member, txid=ctx.txid)

@@ -15,6 +15,7 @@ from typing import Any
 
 from repro.core.protocol import ArbitraryProtocol
 from repro.core.tree import ArbitraryTree
+from repro.obs.recorder import NULL_RECORDER, NullRecorder, TraceRecorder
 from repro.quorums.system import QuorumSystem
 from repro.sim.coordinator import QuorumCoordinator
 from repro.sim.events import Scheduler
@@ -65,6 +66,12 @@ class SimulationConfig:
         version registry, so concurrent clients stay serialisable.
     seed:
         Master RNG seed; every run with the same config is identical.
+    trace:
+        When True, wire a :class:`~repro.obs.recorder.TraceRecorder`
+        through the whole stack (coordinator spans, network message
+        counters, lock wait/hold metrics); the recorder lands on
+        ``Monitor.recorder`` / ``SimulationResult.recorder``.  Off by
+        default — the no-op recorder keeps the hot paths at full speed.
     """
 
     tree: ArbitraryTree | None = None
@@ -79,6 +86,7 @@ class SimulationConfig:
     clients: int = 1
     service_time: float = 0.0
     seed: int = 0
+    trace: bool = False
 
     def resolve(self) -> tuple[QuorumSystem, int]:
         """The (quorum system, replica count) pair this config describes.
@@ -112,6 +120,8 @@ class SimulationResult:
     sites: list[Site]
     duration: float
     events_processed: int
+    #: The run's trace recorder (a no-op recorder unless ``config.trace``).
+    recorder: NullRecorder = NULL_RECORDER
 
     def summary(self) -> dict[str, float]:
         """Monitor headline numbers plus network/message counters."""
@@ -130,6 +140,7 @@ def build_simulation(
     system, n = config.resolve()
     scheduler = Scheduler()
     rng = random.Random(config.seed)
+    recorder: NullRecorder = TraceRecorder() if config.trace else NULL_RECORDER
     # Child RNGs are seeded with 64 fresh bits each: seeding from
     # rng.random() would collapse the seed space to a 53-bit float and
     # correlate the child streams.
@@ -139,13 +150,14 @@ def build_simulation(
         latency=config.latency,
         drop_probability=config.drop_probability,
         duplicate_probability=config.duplicate_probability,
+        recorder=recorder,
     )
     sites = [
         Site(sid, network, service_time=config.service_time)
         for sid in range(n)
     ]
-    locks = LockManager(scheduler)
-    monitor = Monitor(replica_ids=tuple(range(n)))
+    locks = LockManager(scheduler, recorder=recorder)
+    monitor = Monitor(replica_ids=tuple(range(n)), recorder=recorder)
 
     if config.clients < 1:
         raise ValueError("need at least one client")
@@ -177,6 +189,7 @@ def build_simulation(
                 writer_id=n + index,  # distinct from every replica SID
                 tx_ids=tx_ids,
                 version_floor=version_floor,
+                recorder=recorder,
             )
         )
     workload = Workload(
@@ -220,4 +233,5 @@ def simulate(config: SimulationConfig, max_events: int = 5_000_000) -> Simulatio
         sites=sites,
         duration=scheduler.now,
         events_processed=scheduler.processed_events,
+        recorder=monitor.recorder,
     )

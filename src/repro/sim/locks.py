@@ -21,6 +21,7 @@ from collections.abc import Callable
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.obs.recorder import NULL_RECORDER, NullRecorder
 from repro.sim.events import Scheduler
 
 
@@ -36,6 +37,7 @@ class _LockRequest:
     txid: int
     mode: LockMode
     callback: Callable[[bool], None]
+    enqueued_at: float = 0.0
 
 
 @dataclass
@@ -59,6 +61,9 @@ class LockStats:
     granted_after_wait: int = 0
     timeouts: int = 0
     releases: int = 0
+    #: Releases for a transaction that held nothing — a protocol bug
+    #: (e.g. releasing after a lock-wait timeout) made visible.
+    spurious_releases: int = 0
 
     @property
     def granted(self) -> int:
@@ -76,15 +81,29 @@ class LockManager:
     wait_timeout:
         Optional cap on queue time; a request still queued after this long
         is denied (callback fires with ``False``).
+    recorder:
+        Trace recorder receiving ``lock.wait`` / ``lock.hold`` /
+        ``lock.denied_wait`` scalar observations (simulated time units);
+        the default no-op recorder skips all of it.
     """
 
     def __init__(
-        self, scheduler: Scheduler, wait_timeout: float | None = None
+        self,
+        scheduler: Scheduler,
+        wait_timeout: float | None = None,
+        recorder: NullRecorder = NULL_RECORDER,
     ) -> None:
         self._scheduler = scheduler
         self._wait_timeout = wait_timeout
+        self._recorder = recorder
         self._keys: dict[Any, _KeyLockState] = {}
+        #: When each (key, txid) grant happened; only fed when tracing.
+        self._granted_at: dict[tuple[Any, int], float] = {}
         self.stats = LockStats()
+
+    def _record_grant(self, key: Any, txid: int, waited: float) -> None:
+        self._recorder.observe("lock.wait", waited)
+        self._granted_at[(key, txid)] = self._scheduler.now
 
     # ------------------------------------------------------------------
     # acquisition
@@ -124,10 +143,15 @@ class LockManager:
         if not state.queue and state.compatible(mode) and held is None:
             state.holders[txid] = mode
             self.stats.granted_immediately += 1
+            if self._recorder.enabled:
+                self._record_grant(key, txid, 0.0)
             self._scheduler.schedule(0.0, lambda: callback(True))
             return
 
-        request = _LockRequest(txid=txid, mode=mode, callback=callback)
+        request = _LockRequest(
+            txid=txid, mode=mode, callback=callback,
+            enqueued_at=self._scheduler.now,
+        )
         state.queue.append(request)
         if self._wait_timeout is not None:
             self._scheduler.schedule(
@@ -140,6 +164,10 @@ class LockManager:
             return
         state.queue.remove(request)
         self.stats.timeouts += 1
+        if self._recorder.enabled:
+            self._recorder.observe(
+                "lock.denied_wait", self._scheduler.now - request.enqueued_at
+            )
         request.callback(False)
 
     # ------------------------------------------------------------------
@@ -147,13 +175,25 @@ class LockManager:
     # ------------------------------------------------------------------
 
     def release(self, txid: int, key: Any) -> None:
-        """Release one lock and grant as many queued requests as possible."""
+        """Release one lock and grant as many queued requests as possible.
+
+        Releasing a lock the transaction does not hold is counted in
+        ``stats.spurious_releases`` — it is always a caller bug (e.g.
+        releasing after a denied lock wait) and used to pass silently.
+        """
         state = self._keys.get(key)
         if state is None or txid not in state.holders:
+            self.stats.spurious_releases += 1
             return
         del state.holders[txid]
         self.stats.releases += 1
-        self._grant_queued(state)
+        if self._recorder.enabled:
+            granted_at = self._granted_at.pop((key, txid), None)
+            if granted_at is not None:
+                self._recorder.observe(
+                    "lock.hold", self._scheduler.now - granted_at
+                )
+        self._grant_queued(key, state)
         if not state.holders and not state.queue:
             del self._keys[key]
 
@@ -164,7 +204,7 @@ class LockManager:
         ]:
             self.release(txid, key)
 
-    def _grant_queued(self, state: _KeyLockState) -> None:
+    def _grant_queued(self, key: Any, state: _KeyLockState) -> None:
         while state.queue:
             head = state.queue[0]
             if not state.compatible(head.mode):
@@ -172,6 +212,10 @@ class LockManager:
             state.queue.popleft()
             state.holders[head.txid] = head.mode
             self.stats.granted_after_wait += 1
+            if self._recorder.enabled:
+                self._record_grant(
+                    key, head.txid, self._scheduler.now - head.enqueued_at
+                )
             callback = head.callback
             self._scheduler.schedule(0.0, lambda cb=callback: cb(True))
             if head.mode is LockMode.EXCLUSIVE:

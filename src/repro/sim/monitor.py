@@ -9,8 +9,15 @@ and aggregates the quantities the paper analyses:
   mix as the strategy;
 * **measured availability** — the success fraction (run the workload with
   ``max_attempts=1`` so retries don't mask failures);
-* **measured cost** — mean quorum size per operation kind;
-* latency percentiles and attempt counts.
+* **measured cost** — mean quorum size per operation kind, reported both
+  as the data quorum alone (the paper's m(R)/m(W)) and as the *total*
+  replicas contacted — a write also runs the Section 3.2.2 version round
+  against a read quorum, which the analytical write cost does not charge;
+* latency percentiles (linear interpolation) and attempt counts, with
+  failed operations' latencies tracked separately so timeout/retry cost
+  stays visible;
+* when a trace recorder is attached, a per-phase latency breakdown and
+  phase-duration histograms built from the span stream.
 """
 
 from __future__ import annotations
@@ -19,16 +26,21 @@ import math
 from collections import Counter
 from dataclasses import dataclass, field
 
+from repro.obs.recorder import NULL_RECORDER, NullRecorder
+from repro.obs.report import PhaseStat, phase_breakdown, phase_histograms
+from repro.obs.stats import Histogram, linear_percentile
 from repro.sim.coordinator import OperationOutcome
 
 
 def _percentile(sorted_values: list[float], fraction: float) -> float:
-    if not sorted_values:
-        return math.nan
-    index = min(
-        len(sorted_values) - 1, max(0, round(fraction * (len(sorted_values) - 1)))
-    )
-    return sorted_values[index]
+    """Linear-interpolation percentile of pre-sorted values.
+
+    The previous nearest-rank implementation used ``round()``, whose
+    banker's rounding misreported p50/p95 on small samples (e.g. the p50
+    of two values was the *lower* one); delegate to the canonical fixed
+    implementation.
+    """
+    return linear_percentile(sorted_values, fraction)
 
 
 @dataclass
@@ -40,7 +52,10 @@ class OperationSummary:
     failed: int = 0
     total_attempts: int = 0
     total_quorum_size: int = 0
+    total_version_quorum_size: int = 0
+    total_replicas_contacted: int = 0
     latencies: list[float] = field(default_factory=list)
+    failure_latencies: list[float] = field(default_factory=list)
     failure_reasons: Counter = field(default_factory=Counter)
 
     @property
@@ -52,10 +67,32 @@ class OperationSummary:
 
     @property
     def mean_cost(self) -> float:
-        """Mean quorum size over successful operations."""
+        """Mean *data* quorum size over successful operations.
+
+        This is the measured counterpart of the paper's m(R)/m(W); see
+        :attr:`mean_total_cost` for everything an operation contacted.
+        """
         if self.succeeded == 0:
             return math.nan
         return self.total_quorum_size / self.succeeded
+
+    @property
+    def mean_version_cost(self) -> float:
+        """Mean version-round quorum size over successful operations.
+
+        Zero for reads; for writes this is the Section 3.2.2 "obtain the
+        highest version number" round the data-quorum cost omits.
+        """
+        if self.succeeded == 0:
+            return math.nan
+        return self.total_version_quorum_size / self.succeeded
+
+    @property
+    def mean_total_cost(self) -> float:
+        """Mean total replicas contacted (data + version rounds)."""
+        if self.succeeded == 0:
+            return math.nan
+        return self.total_replicas_contacted / self.succeeded
 
     @property
     def mean_latency(self) -> float:
@@ -64,17 +101,48 @@ class OperationSummary:
             return math.nan
         return sum(self.latencies) / len(self.latencies)
 
+    @property
+    def failure_latency_mean(self) -> float:
+        """Mean simulated latency of *failed* operations.
+
+        Failed operations burn real (simulated) time in timeouts, retries
+        and lock waits; dropping them from latency accounting silently
+        understated the cost of running at low availability.
+        """
+        if not self.failure_latencies:
+            return math.nan
+        return sum(self.failure_latencies) / len(self.failure_latencies)
+
     def latency_percentile(self, fraction: float) -> float:
         """Latency percentile (e.g. 0.5, 0.95) of successful operations."""
         return _percentile(sorted(self.latencies), fraction)
+
+    def failure_latency_percentile(self, fraction: float) -> float:
+        """Latency percentile of failed operations."""
+        return _percentile(sorted(self.failure_latencies), fraction)
+
+    def latency_histogram(
+        self, start: float = 1.0, factor: float = 2.0, buckets: int = 12
+    ) -> Histogram:
+        """Histogram of successful-operation latencies."""
+        return Histogram.exponential(start, factor, buckets).extend(
+            self.latencies
+        )
 
 
 class Monitor:
     """Collects outcomes and computes the measured counterparts of the
     paper's analytical quantities."""
 
-    def __init__(self, replica_ids: tuple[int, ...]) -> None:
+    def __init__(
+        self,
+        replica_ids: tuple[int, ...],
+        recorder: NullRecorder = NULL_RECORDER,
+    ) -> None:
         self._replica_ids = replica_ids
+        #: The trace recorder the run was instrumented with (no-op unless
+        #: tracing was enabled); phase breakdowns are built from it.
+        self.recorder = recorder
         self.reads = OperationSummary()
         self.writes = OperationSummary()
         self._read_touches: Counter = Counter()
@@ -93,11 +161,16 @@ class Monitor:
         if outcome.success:
             summary.succeeded += 1
             summary.total_quorum_size += len(outcome.quorum)
+            summary.total_version_quorum_size += len(outcome.version_quorum)
+            summary.total_replicas_contacted += len(outcome.quorum) + len(
+                outcome.version_quorum
+            )
             summary.latencies.append(outcome.latency)
             for sid in outcome.quorum:
                 touches[sid] += 1
         else:
             summary.failed += 1
+            summary.failure_latencies.append(outcome.latency)
             summary.failure_reasons[outcome.reason.value] += 1
 
     # ------------------------------------------------------------------
@@ -151,8 +224,37 @@ class Monitor:
         """Reads plus writes attempted."""
         return self.reads.attempted + self.writes.attempted
 
+    @property
+    def failure_latency_mean(self) -> float:
+        """Mean latency across every failed operation (reads and writes)."""
+        latencies = self.reads.failure_latencies + self.writes.failure_latencies
+        if not latencies:
+            return math.nan
+        return sum(latencies) / len(latencies)
+
+    def phase_breakdown(self) -> list[PhaseStat]:
+        """Per-phase latency statistics from the trace stream.
+
+        Requires the run to have been traced (``recorder.enabled``);
+        returns an empty list otherwise.
+        """
+        if not self.recorder.enabled:
+            return []
+        return phase_breakdown(self.recorder.finished_spans())
+
+    def phase_histograms(self) -> dict[tuple[str, str], Histogram]:
+        """Phase-duration histograms from the trace stream (see above)."""
+        if not self.recorder.enabled:
+            return {}
+        return phase_histograms(self.recorder.finished_spans())
+
     def summary(self) -> dict[str, float]:
-        """A flat dict of the headline measured quantities."""
+        """A flat dict of the headline measured quantities.
+
+        ``write_cost`` is the data quorum alone (comparable to the
+        analytical m(W)); ``write_cost_total`` adds the version round's
+        quorum, i.e. every replica the write actually contacted.
+        """
         return {
             "reads": self.reads.attempted,
             "writes": self.writes.attempted,
@@ -160,8 +262,13 @@ class Monitor:
             "write_availability": self.writes.availability,
             "read_cost": self.reads.mean_cost,
             "write_cost": self.writes.mean_cost,
+            "write_version_cost": self.writes.mean_version_cost,
+            "write_cost_total": self.writes.mean_total_cost,
             "read_load": self.measured_read_load(),
             "write_load": self.measured_write_load(),
             "read_latency_mean": self.reads.mean_latency,
             "write_latency_mean": self.writes.mean_latency,
+            "read_failure_latency_mean": self.reads.failure_latency_mean,
+            "write_failure_latency_mean": self.writes.failure_latency_mean,
+            "failure_latency_mean": self.failure_latency_mean,
         }

@@ -23,6 +23,7 @@ from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
 from typing import Protocol
 
+from repro.obs.recorder import NULL_RECORDER, NullRecorder
 from repro.sim.events import Scheduler
 from repro.sim.messages import Message
 
@@ -109,7 +110,14 @@ def exponential_latency(mean: float) -> LatencyModel:
 
 
 class Network:
-    """The shared message fabric of one simulation."""
+    """The shared message fabric of one simulation.
+
+    ``drop_probability`` and ``duplicate_probability`` are genuine
+    probabilities over the closed interval ``[0, 1]``: 1.0 drops
+    (respectively duplicates) every message, which adversarial tests use
+    to model fully lossy links.  ``recorder`` receives per-message-type
+    send/deliver/drop/duplicate counters when tracing is enabled.
+    """
 
     def __init__(
         self,
@@ -118,12 +126,14 @@ class Network:
         latency: LatencyModel | float = 1.0,
         drop_probability: float = 0.0,
         duplicate_probability: float = 0.0,
+        recorder: NullRecorder = NULL_RECORDER,
     ) -> None:
-        if not 0.0 <= drop_probability < 1.0:
-            raise ValueError("drop probability must be in [0, 1)")
-        if not 0.0 <= duplicate_probability < 1.0:
-            raise ValueError("duplicate probability must be in [0, 1)")
+        if not 0.0 <= drop_probability <= 1.0:
+            raise ValueError("drop probability must be in [0, 1]")
+        if not 0.0 <= duplicate_probability <= 1.0:
+            raise ValueError("duplicate probability must be in [0, 1]")
         self._scheduler = scheduler
+        self._recorder = recorder
         self._rng = rng
         self._latency = (
             fixed_latency(latency) if isinstance(latency, (int, float)) else latency
@@ -184,12 +194,19 @@ class Network:
         """
         if message.dst not in self._endpoints:
             raise KeyError(f"no endpoint registered for SID {message.dst}")
+        recorder = self._recorder
         self.stats.sent += 1
+        if recorder.enabled:
+            recorder.count("message.sent", type(message).__name__)
         if not self._partition.connected(message.src, message.dst):
             self.stats.dropped_partition += 1
+            if recorder.enabled:
+                recorder.count("message.dropped.partition", type(message).__name__)
             return
         if self._drop_probability and self._rng.random() < self._drop_probability:
             self.stats.dropped_loss += 1
+            if recorder.enabled:
+                recorder.count("message.dropped.loss", type(message).__name__)
             return
         delay = self._latency(self._rng)
         self._scheduler.schedule(delay, lambda: self._deliver(message))
@@ -200,6 +217,8 @@ class Network:
             # links may also deliver twice; protocol handlers must be
             # idempotent (timestamp-guarded writes, re-acked commits, ...)
             self.stats.duplicated += 1
+            if recorder.enabled:
+                recorder.count("message.duplicated", type(message).__name__)
             extra = delay + self._latency(self._rng)
             self._scheduler.schedule(extra, lambda: self._deliver(message))
 
@@ -210,8 +229,13 @@ class Network:
 
     def _deliver(self, message: Message) -> None:
         endpoint = self._endpoints.get(message.dst)
+        recorder = self._recorder
         if endpoint is None or not endpoint.is_up:
             self.stats.dropped_dead += 1
+            if recorder.enabled:
+                recorder.count("message.dropped.dead", type(message).__name__)
             return
         self.stats.delivered += 1
+        if recorder.enabled:
+            recorder.count("message.delivered", type(message).__name__)
         endpoint.receive(message)

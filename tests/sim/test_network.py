@@ -109,9 +109,58 @@ class TestLoss:
         assert network.stats.dropped_loss > 50
         assert len(sink.received) == 200 - network.stats.dropped_loss
 
-    def test_invalid_drop_probability(self):
+    @pytest.mark.parametrize("probability", [-0.01, 1.01])
+    def test_out_of_range_drop_probability_rejected(self, probability):
         with pytest.raises(ValueError, match="drop probability"):
-            Network(Scheduler(), random.Random(0), drop_probability=1.0)
+            Network(Scheduler(), random.Random(0), drop_probability=probability)
+
+    @pytest.mark.parametrize("probability", [-0.01, 1.01])
+    def test_out_of_range_duplicate_probability_rejected(self, probability):
+        with pytest.raises(ValueError, match="duplicate probability"):
+            Network(
+                Scheduler(), random.Random(0),
+                duplicate_probability=probability,
+            )
+
+    @pytest.mark.parametrize("probability", [0.0, 1.0])
+    def test_boundary_probabilities_accepted(self, probability):
+        # Regression: probabilities are a closed interval; 1.0 used to be
+        # rejected even though the docstring presented these as
+        # probabilities.
+        Network(
+            Scheduler(), random.Random(0),
+            drop_probability=probability,
+            duplicate_probability=probability,
+        )
+
+    def test_drop_probability_one_drops_everything(self):
+        scheduler = Scheduler()
+        network = Network(
+            scheduler, random.Random(3), latency=1.0, drop_probability=1.0
+        )
+        sink = Sink()
+        network.register(0, Sink())
+        network.register(1, sink)
+        for _ in range(50):
+            network.send(ReadRequest(src=0, dst=1, key="k"))
+        scheduler.run()
+        assert sink.received == []
+        assert network.stats.dropped_loss == 50
+
+    def test_duplicate_probability_one_duplicates_everything(self):
+        scheduler = Scheduler()
+        network = Network(
+            scheduler, random.Random(3), latency=1.0,
+            duplicate_probability=1.0,
+        )
+        sink = Sink()
+        network.register(0, Sink())
+        network.register(1, sink)
+        for _ in range(50):
+            network.send(ReadRequest(src=0, dst=1, key="k"))
+        scheduler.run()
+        assert network.stats.duplicated == 50
+        assert len(sink.received) == 100
 
 
 class TestPartitions:
