@@ -31,8 +31,10 @@ from __future__ import annotations
 
 import json
 import math
+import os
 import platform
 import statistics
+import subprocess
 import time
 from collections.abc import Callable
 from dataclasses import dataclass, field
@@ -101,15 +103,36 @@ def run_suite(cases: list[Case], verbose: bool = True) -> list[dict]:
     return results
 
 
+def _git_sha() -> str:
+    """The repo HEAD commit, or "unknown" outside a usable git checkout."""
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).parent,
+            capture_output=True, text=True, timeout=10, check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
 def host_fingerprint() -> dict:
+    """Everything needed to compare BENCH_*.json files across runs.
+
+    Timings from different machines, interpreter versions or commits are
+    not comparable; stamping platform, CPU count and the git SHA into every
+    result file makes the perf trajectory interpretable after the fact.
+    """
     import numpy
     import scipy
 
     return {
-        "python": platform.python_version(),
+        "python_version": platform.python_version(),
         "numpy": numpy.__version__,
         "scipy": scipy.__version__,
         "machine": platform.machine(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "git_sha": _git_sha(),
     }
 
 

@@ -41,6 +41,35 @@ class FigureSeries:
     series: dict[Configuration, dict[str, tuple[SeriesPoint, ...]]]
     p: float
 
+    def merge(self, other: "FigureSeries") -> "FigureSeries":
+        """Combine two shards of the same sweep into a new series.
+
+        Shards must agree on ``quantities`` and ``p``.  Per configuration
+        and quantity the point tuples are concatenated in fold order, so
+        merging size-shards in ascending task order reproduces the serial
+        sweep exactly.
+        """
+        if other.quantities != self.quantities:
+            raise ValueError(
+                "cannot merge sweeps over different quantities: "
+                f"{self.quantities} vs {other.quantities}"
+            )
+        if other.p != self.p:
+            raise ValueError(
+                f"cannot merge sweeps at different p: {self.p} vs {other.p}"
+            )
+        merged: dict[Configuration, dict[str, tuple[SeriesPoint, ...]]] = {
+            config: dict(per_quantity)
+            for config, per_quantity in self.series.items()
+        }
+        for config, per_quantity in other.series.items():
+            target = merged.setdefault(config, {})
+            for quantity, points in per_quantity.items():
+                target[quantity] = target.get(quantity, ()) + points
+        return FigureSeries(
+            quantities=self.quantities, series=merged, p=self.p
+        )
+
 
 def sweep_configurations(
     quantities: Sequence[str],

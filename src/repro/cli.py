@@ -8,10 +8,15 @@
 * ``fig4``      — Figure 4 write-load series;
 * ``survey``    — the Section 1 related-work survey;
 * ``analyse``   — analyse an arbitrary tree spec (e.g. ``1-3-5``);
+* ``sweep``     — an arbitrary-quantity configuration sweep
+  (``--jobs N`` shards size runs across a process pool);
 * ``availability`` — exact / Monte-Carlo availability of a spec or protocol
-  (``--samples`` / ``--seed`` reach the estimator);
+  (``--samples`` / ``--seed`` reach the estimator; ``--jobs N`` shards the
+  Monte-Carlo sampling across a process pool);
 * ``tune``      — recommend a tree for a given n / p / read fraction;
-* ``simulate``  — run the discrete-event simulator and print measurements;
+* ``simulate``  — run the discrete-event simulator and print measurements
+  (``--repeats R --jobs N`` fans independently seeded repeats across a
+  process pool and reports the merged measurements);
 * ``trace``     — run the simulator with tracing on and export the span
   stream (one JSON object per line) plus message counters;
 * ``report``    — per-phase latency breakdown + flame summary, either for
@@ -116,15 +121,34 @@ def _print_analysis(spec: str, p: float) -> None:
     ))
 
 
+def _print_sweep(quantities: Sequence[str], sizes: Sequence[int], p: float,
+                 jobs: int) -> None:
+    """``repro sweep``: arbitrary-quantity configuration sweep via the runner."""
+    from repro.runner import ProgressPrinter, parallel_sweep
+
+    series = parallel_sweep(
+        tuple(quantities), sizes=tuple(sizes), p=p, jobs=jobs,
+        progress=ProgressPrinter("sweep") if jobs > 1 else None,
+    )
+    for quantity in quantities:
+        print(format_series(
+            series, quantity,
+            title=f"sweep: {quantity} (p = {p}, jobs = {jobs})",
+        ))
+        print()
+
+
 def _print_availability(spec: str, protocol: str | None, n: int,
                         probabilities: Sequence[float], samples: int,
-                        seed: int | None) -> None:
+                        seed: int | None, jobs: int = 1) -> None:
     """Read/write availability of a tree spec or zoo protocol.
 
     Systems small enough for the exact computation report it; larger ones
     fall back to the Monte-Carlo estimator, parameterised by ``samples`` and
     ``seed`` (both plumbed through the QuorumSystem layer to the packed
-    bitset kernel).
+    bitset kernel).  With ``jobs > 1`` the estimate always runs the chunked
+    Monte-Carlo path, sharded across a process pool — bit-identical to the
+    same chunked estimate at ``jobs = 1``.
     """
     from repro.core.protocol import ArbitraryProtocol
     from repro.protocols.zoo import quorum_system
@@ -133,18 +157,37 @@ def _print_availability(spec: str, protocol: str | None, n: int,
     if protocol is None or protocol == "arbitrary-spec":
         system = CachedQuorumSystem(ArbitraryProtocol(from_spec(spec)))
         label = f"availability of {spec}"
+        ref = ("tree", spec)
     else:
         system = CachedQuorumSystem(quorum_system(protocol, n or 16))
         label = f"availability of {system.name} (n = {system.n})"
-    rows = [
-        [p,
-         round(system.availability(p, "read", samples=samples, seed=seed), 6),
-         round(system.availability(p, "write", samples=samples, seed=seed), 6)]
-        for p in probabilities
-    ]
+        ref = ("protocol", protocol, n or 16)
+    if jobs > 1:
+        import random as _random
+
+        from repro.runner import parallel_availability
+
+        master = _random.randrange(2**63) if seed is None else seed
+        rows = [
+            [p,
+             round(parallel_availability(
+                 ref, p, "read", samples=samples, seed=master, jobs=jobs), 6),
+             round(parallel_availability(
+                 ref, p, "write", samples=samples, seed=master, jobs=jobs), 6)]
+            for p in probabilities
+        ]
+        title = (f"{label} (Monte-Carlo, samples = {samples}, "
+                 f"seed = {master}, jobs = {jobs})")
+    else:
+        rows = [
+            [p,
+             round(system.availability(p, "read", samples=samples, seed=seed), 6),
+             round(system.availability(p, "write", samples=samples, seed=seed), 6)]
+            for p in probabilities
+        ]
+        title = f"{label} (samples = {samples}, seed = {seed})"
     print(format_table(
-        ["p", "read availability", "write availability"], rows,
-        title=f"{label} (samples = {samples}, seed = {seed})",
+        ["p", "read availability", "write availability"], rows, title=title,
     ))
 
 
@@ -169,47 +212,55 @@ def _sim_config(spec: str, operations: int, read_fraction: float,
                 p: float, seed: int, protocol: str | None = None,
                 n: int = 0, drop: float = 0.0, max_attempts: int = 1,
                 trace: bool = False):
-    """Build the (config, label) pair shared by simulate/trace/report."""
-    from repro.protocols.zoo import quorum_system
-    from repro.sim import BernoulliFailures, SimulationConfig, WorkloadSpec
-    from repro.sim.failures import NoFailures
+    """Build the (config, label) pair shared by simulate/trace/report.
 
-    failures = (
-        NoFailures() if p >= 1.0
-        else BernoulliFailures(p=p, seed=seed, resample_every=40.0)
-    )
-    workload = WorkloadSpec(
-        operations=operations, read_fraction=read_fraction, keys=32,
-        arrival="poisson", rate=0.25,
-    )
-    if protocol is None or protocol == "arbitrary-spec":
-        config = SimulationConfig(
-            tree=from_spec(spec), workload=workload, failures=failures,
-            drop_probability=drop, max_attempts=max_attempts, timeout=8.0,
-            seed=seed, trace=trace,
-        )
-        label = f"simulation of {spec}"
-    else:
-        system = quorum_system(protocol, n or from_spec(spec).n)
-        config = SimulationConfig(
-            system=system, workload=workload, failures=failures,
-            drop_probability=drop, max_attempts=max_attempts, timeout=8.0,
-            seed=seed, trace=trace,
-        )
-        label = f"simulation of {system.name} (n = {system.n})"
-    return config, label
+    Delegates to :func:`repro.runner.tasks.build_sim_config` — the single
+    source of the simulation defaults — so CLI runs and parallel-runner
+    workers build identical configurations.
+    """
+    from repro.runner.tasks import SimParams, build_sim_config
+
+    return build_sim_config(SimParams(
+        spec=spec, operations=operations, read_fraction=read_fraction,
+        p=p, seed=seed, protocol=protocol, n=n, drop=drop,
+        max_attempts=max_attempts, trace=trace,
+    ))
 
 
 def _print_simulation(spec: str, operations: int, read_fraction: float,
                       p: float, seed: int, protocol: str | None = None,
-                      n: int = 0) -> None:
+                      n: int = 0, repeats: int = 1, jobs: int = 1) -> None:
     from repro.sim import simulate
 
     config, label = _sim_config(
         spec, operations, read_fraction, p, seed, protocol=protocol, n=n
     )
-    result = simulate(config)
-    summary = result.summary()
+    if repeats > 1:
+        from repro.runner import (
+            ProgressPrinter,
+            SimParams,
+            merge_monitors,
+            parallel_simulations,
+        )
+
+        monitors = parallel_simulations(
+            SimParams(
+                spec=spec, operations=operations,
+                read_fraction=read_fraction, p=p, seed=seed,
+                protocol=protocol, n=n,
+            ),
+            repeats, jobs=jobs,
+            progress=ProgressPrinter("simulate") if jobs > 1 else None,
+        )
+        summary = merge_monitors(monitors).summary()
+        messages: object = "-"
+        run_title = (f"{label}: {operations} ops x {repeats} repeats, "
+                     f"p = {p}, master seed {seed}, jobs {jobs}")
+    else:
+        result = simulate(config)
+        summary = result.summary()
+        messages = int(summary["messages_sent"])
+        run_title = f"{label}: {operations} ops, p = {p}, seed {seed}"
     rows: list[list] = []
     if protocol is None or protocol == "arbitrary-spec":
         metrics = analyse(config.tree, p=min(p, 1.0))
@@ -230,7 +281,7 @@ def _print_simulation(spec: str, operations: int, read_fraction: float,
              round(metrics.read_availability, 3)],
             ["write availability", round(summary["write_availability"], 3),
              round(metrics.write_availability, 3)],
-            ["messages", int(summary["messages_sent"]), "-"],
+            ["messages", messages, "-"],
         ]
     else:
         system = config.system
@@ -247,12 +298,12 @@ def _print_simulation(spec: str, operations: int, read_fraction: float,
              round(system.availability(min(p, 1.0), "read"), 3)],
             ["write availability", round(summary["write_availability"], 3),
              round(system.availability(min(p, 1.0), "write"), 3)],
-            ["messages", int(summary["messages_sent"]), "-"],
+            ["messages", messages, "-"],
         ]
     print(format_table(
         ["quantity", "simulated", "closed form"],
         rows,
-        title=f"{label}: {operations} ops, p = {p}, seed {seed}",
+        title=run_title,
     ))
 
 
@@ -374,6 +425,23 @@ def build_parser() -> argparse.ArgumentParser:
     analyse_parser.add_argument("spec", help="tree spec, e.g. 1-3-5")
     analyse_parser.add_argument("--p", type=float, default=0.9)
 
+    sweep_parser = sub.add_parser(
+        "sweep", help="configuration sweep over arbitrary quantities"
+    )
+    sweep_parser.add_argument(
+        "--quantities", nargs="+", default=["read_cost", "write_cost"],
+        help="ConfigPoint attribute names to sweep",
+    )
+    sweep_parser.add_argument(
+        "--sizes", type=int, nargs="+", default=None,
+        help="replica counts on the x-axis (default: the figures' range)",
+    )
+    sweep_parser.add_argument("--p", type=float, default=0.7)
+    sweep_parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes to shard size runs across",
+    )
+
     avail_parser = sub.add_parser(
         "availability",
         help="read/write availability of a spec or zoo protocol",
@@ -402,6 +470,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--n", type=int, default=0,
         help="replica count for --protocol (snapped to an admissible size)",
     )
+    avail_parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes; > 1 shards the Monte-Carlo sampling",
+    )
 
     tune_parser = sub.add_parser("tune", help="recommend a tree shape")
     tune_parser.add_argument("--n", type=int, default=48)
@@ -425,6 +497,14 @@ def build_parser() -> argparse.ArgumentParser:
     sim_parser.add_argument(
         "--n", type=int, default=0,
         help="replica count for --protocol (snapped to an admissible size)",
+    )
+    sim_parser.add_argument(
+        "--repeats", type=int, default=1,
+        help="independently seeded repeats (merged measurements reported)",
+    )
+    sim_parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes to fan repeats across",
     )
 
     trace_parser = sub.add_parser(
@@ -462,17 +542,26 @@ def main(argv: Sequence[str] | None = None) -> int:
         _print_survey(args.n)
     elif args.command == "analyse":
         _print_analysis(args.spec, args.p)
+    elif args.command == "sweep":
+        from repro.analysis.sweeps import DEFAULT_SIZES
+
+        _print_sweep(
+            args.quantities,
+            DEFAULT_SIZES if args.sizes is None else args.sizes,
+            args.p, args.jobs,
+        )
     elif args.command == "availability":
         _print_availability(
             args.spec, args.protocol, args.n, args.p, args.samples,
-            seed=None if args.seed < 0 else args.seed,
+            seed=None if args.seed < 0 else args.seed, jobs=args.jobs,
         )
     elif args.command == "tune":
         _print_tuning(args.n, args.p, args.read_fraction)
     elif args.command == "simulate":
         _print_simulation(
             args.spec, args.operations, args.read_fraction, args.p, args.seed,
-            protocol=args.protocol, n=args.n,
+            protocol=args.protocol, n=args.n, repeats=args.repeats,
+            jobs=args.jobs,
         )
     elif args.command == "trace":
         _print_trace(args)

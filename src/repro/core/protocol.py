@@ -44,6 +44,12 @@ class ArbitraryProtocol(QuorumSystem):
 
     name = "Arbitrary"
 
+    #: One independent uniform live choice per physical level (reads) and
+    #: a uniform choice among fully-live levels (writes) are exactly the
+    #: uniform distribution over the viable quorums, so the simulator may
+    #: dispatch selection onto the memoised bitset index.
+    uniform_selection = True
+
     def __init__(self, tree: ArbitraryTree) -> None:
         if tree.n < 1:
             raise ValueError("the tree must host at least one replica")

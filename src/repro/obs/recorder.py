@@ -16,7 +16,6 @@ sentinel, so context structs can hold plain ints with no ``None`` checks.
 
 from __future__ import annotations
 
-import itertools
 from collections import Counter
 from typing import Any
 
@@ -77,7 +76,10 @@ class TraceRecorder(NullRecorder):
     enabled = True
 
     def __init__(self) -> None:
-        self._ids = itertools.count(1)
+        # A plain int counter, not itertools.count: recorders cross process
+        # boundaries in parallel runs and generator-based counters do not
+        # pickle.
+        self._next_id = 1
         #: Every span ever started, keyed by span id (insertion-ordered).
         self.spans: dict[int, Span] = {}
         #: ``group -> Counter(name -> count)`` e.g. message send/drop tallies.
@@ -85,12 +87,17 @@ class TraceRecorder(NullRecorder):
         #: ``metric -> raw observations`` e.g. lock wait/hold times.
         self.metrics: dict[str, list[float]] = {}
 
+    def _new_id(self) -> int:
+        span_id = self._next_id
+        self._next_id += 1
+        return span_id
+
     # ------------------------------------------------------------------
     # recording
     # ------------------------------------------------------------------
 
     def start_trace(self, name: str, at: float, **attributes: Any) -> int:
-        span_id = next(self._ids)
+        span_id = self._new_id()
         self.spans[span_id] = Span(
             trace_id=span_id,
             span_id=span_id,
@@ -111,7 +118,7 @@ class TraceRecorder(NullRecorder):
         at: float,
         **attributes: Any,
     ) -> int:
-        span_id = next(self._ids)
+        span_id = self._new_id()
         self.spans[span_id] = Span(
             trace_id=trace_id,
             span_id=span_id,
@@ -156,6 +163,51 @@ class TraceRecorder(NullRecorder):
 
     def observe(self, metric: str, value: float) -> None:
         self.metrics.setdefault(metric, []).append(value)
+
+    # ------------------------------------------------------------------
+    # merging (parallel shard fold)
+    # ------------------------------------------------------------------
+
+    def merge(self, other: "TraceRecorder") -> "TraceRecorder":
+        """Absorb another recorder's spans, counters and metrics.
+
+        The other recorder's span ids are renumbered into this recorder's
+        id space (ids are recorder-local, so shards reuse the same small
+        integers); parent/trace references are remapped consistently.
+        Returns self.
+        """
+        mapping: dict[int, int] = {}
+        for old_id in other.spans:
+            mapping[old_id] = self._new_id()
+        for old_id, span in other.spans.items():
+            new_id = mapping[old_id]
+            self.spans[new_id] = Span(
+                trace_id=mapping.get(span.trace_id, span.trace_id),
+                span_id=new_id,
+                parent_id=(
+                    None
+                    if span.parent_id is None
+                    else mapping.get(span.parent_id, span.parent_id)
+                ),
+                name=span.name,
+                kind=span.kind,
+                start=span.start,
+                end=span.end,
+                status=span.status,
+                attributes=dict(span.attributes),
+            )
+        for group, counter in other.counters.items():
+            self.count_all(group, counter)
+        for metric, values in other.metrics.items():
+            self.metrics.setdefault(metric, []).extend(values)
+        return self
+
+    def count_all(self, group: str, counts: Counter) -> None:
+        """Bulk form of :meth:`count` (used by merges)."""
+        counter = self.counters.get(group)
+        if counter is None:
+            counter = self.counters[group] = Counter()
+        counter.update(counts)
 
     # ------------------------------------------------------------------
     # introspection

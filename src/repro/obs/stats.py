@@ -81,6 +81,22 @@ class Histogram:
             self.add(value)
         return self
 
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Add another histogram's counts bucket-by-bucket (returns self).
+
+        The bucket layouts must match exactly — merging is only meaningful
+        for histograms built from the same configuration, as the parallel
+        runner's shards are.
+        """
+        if other.bounds != self.bounds:
+            raise ValueError(
+                "cannot merge histograms with different bucket bounds"
+            )
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+        self.total += other.total
+        return self
+
     def render(self, width: int = 40) -> str:
         """A text bar chart, one line per non-empty leading bucket."""
         peak = max(self.counts) if self.total else 0

@@ -53,6 +53,10 @@ class AgrawalTreeProtocol(ProtocolModel):
 
     name = "AE-Tree"
 
+    #: Recursive majority-spine preference is not uniform over the
+    #: enumerated quorums — keep the structural path in the simulator.
+    uniform_selection = False
+
     def __init__(self, d: int = 1, height: int = 2) -> None:
         if d < 1:
             raise ValueError("the majority parameter d must be at least 1")

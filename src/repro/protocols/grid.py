@@ -42,6 +42,11 @@ class GridProtocol(ProtocolModel):
 
     name = "Grid"
 
+    #: The write selector prefers one fully-live column and covers the
+    #: rest, which is not uniform over the enumerated quorum collection —
+    #: keep the structural path in the simulator.
+    uniform_selection = False
+
     def __init__(self, n: int, rows: int | None = None, cols: int | None = None) -> None:
         super().__init__(n)
         if rows is None and cols is None:

@@ -67,6 +67,10 @@ class HQCProtocol(ProtocolModel):
 
     name = "HQC"
 
+    #: Recursive 2-of-3 subtree preference is not uniform over the
+    #: enumerated quorums — keep the structural path in the simulator.
+    uniform_selection = False
+
     def __init__(self, n: int) -> None:
         super().__init__(n)
         self._depth = ternary_depth(n)

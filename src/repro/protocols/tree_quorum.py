@@ -64,6 +64,10 @@ class TreeQuorumProtocol(ProtocolModel):
 
     name = "BINARY"
 
+    #: Path-with-substitution prefers root-to-leaf paths over the larger
+    #: substitution quorums — not uniform over the enumerated collection.
+    uniform_selection = False
+
     def __init__(self, n: int) -> None:
         super().__init__(n)
         self._height = complete_binary_height(n)

@@ -1,0 +1,232 @@
+"""Memoised bitset-dispatched quorum selection: the simulator's hot path.
+
+Every quorum attempt in the simulator asks the same question — *give me a
+uniformly random quorum that is a subset of the current live set* — and the
+pre-existing answers were all per-attempt work: the generic
+:class:`~repro.quorums.system.QuorumSystem` scan re-enumerates and re-packs
+the quorum collection on every call, and the structural protocol selectors
+rebuild their candidate lists from frozensets.  Live sets, however, change
+only when a site crashes or recovers or a partition is installed/healed —
+orders of magnitude less often than operations are issued.
+
+:class:`SelectionIndex` exploits that: it packs a system's quorum
+collections into :class:`~repro.quorums.bitset.PackedQuorums` matrices
+*once*, memoises the viable-row index vector per ``(op, live-mask)`` (one
+vectorised mask-AND when a live set is first seen), and serves every
+subsequent selection with a single ``rng.randrange`` over the viable count —
+O(live-set) to build the mask, O(1) to pick.
+
+Distribution contract
+---------------------
+The index picks **uniformly among the viable quorums** (the quorums that
+are subsets of the live set).  That is exactly the distribution of the
+generic reservoir scan, and of every structural selector that declares
+``uniform_selection = True`` (the paper's arbitrary protocol: independent
+uniform per-level choices; majority: ``rng.sample`` over the live set;
+ROWA: a uniform live singleton).  Protocols whose structural selectors
+*prefer* primary quorums (tree-quorum's root path, HQC's top-level
+recursion, the grid's column orientation) declare
+``uniform_selection = False`` and are never dispatched here — substituting
+a uniform pick would change their measured costs and loads.
+
+:func:`select_uniform_reference` is the pure-Python frozenset twin used by
+the agreement tests and benchmarks: filter the quorum list by the live set,
+draw one ``randrange``.  Index and reference consume identical RNG streams,
+so selections agree bit-for-bit under the same seed.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Collection, Sequence
+
+import numpy as np
+
+from repro.quorums.bitset import PackedQuorums, mask_to_words, try_pack
+from repro.quorums.liveness import Liveness, as_oracle
+
+#: Materialisation guard: systems with more quorums than this keep their
+#: structural selectors (enumeration would cost more than it saves).
+DEFAULT_MAX_QUORUMS = 4096
+
+#: Viable-row cache entries kept per index before a wholesale flush.  Long
+#: Bernoulli-failure runs see a new live mask per resample epoch; the flush
+#: bounds memory without tracking recency on the hot path.
+DEFAULT_CACHE_LIMIT = 1024
+
+_OPS = ("read", "write")
+
+
+def select_uniform_reference(
+    quorums: Sequence[frozenset[int]],
+    live: Liveness,
+    rng: random.Random | None = None,
+) -> frozenset[int] | None:
+    """Uniform-over-viable selection on plain frozensets (reference path).
+
+    Builds the viable candidate list per call — the very cost the index
+    memoises away — then draws one ``rng.randrange(len(viable))``.  With
+    ``rng=None`` the first viable quorum (enumeration order) is returned.
+    """
+    oracle = as_oracle(live)
+    viable = [
+        quorum
+        for quorum in quorums
+        if all(oracle(sid) for sid in quorum)
+    ]
+    if not viable:
+        return None
+    if rng is None:
+        return viable[0]
+    return viable[rng.randrange(len(viable))]
+
+
+class SelectionIndex:
+    """Per-system cache turning quorum selection into an O(1) uniform pick.
+
+    Parameters
+    ----------
+    system:
+        Any :class:`~repro.quorums.system.QuorumSystem`-shaped object.  The
+        index materialises and packs its quorum collections lazily, per
+        operation, on first use; systems that cannot be packed (quorum
+        count above ``max_quorums``, non-integer universe, or no
+        ``materialise``/``universe`` at all) fall back to the system's own
+        ``select_read_quorum`` / ``select_write_quorum`` transparently.
+    max_quorums:
+        Materialisation guard per operation.
+    cache_limit:
+        Viable-row cache entries kept before the cache is flushed.
+
+    The ``packed_selects`` / ``fallback_selects`` / ``cache_hits`` /
+    ``cache_misses`` counters make the dispatch observable to tests and
+    benchmarks.
+    """
+
+    __slots__ = (
+        "_system",
+        "_max_quorums",
+        "_cache_limit",
+        "_packed",
+        "_quorums",
+        "_viable",
+        "packed_selects",
+        "fallback_selects",
+        "cache_hits",
+        "cache_misses",
+    )
+
+    def __init__(
+        self,
+        system,
+        max_quorums: int = DEFAULT_MAX_QUORUMS,
+        cache_limit: int = DEFAULT_CACHE_LIMIT,
+    ) -> None:
+        if max_quorums < 1:
+            raise ValueError("max_quorums must be positive")
+        if cache_limit < 1:
+            raise ValueError("cache_limit must be positive")
+        self._system = system
+        self._max_quorums = max_quorums
+        self._cache_limit = cache_limit
+        #: op -> PackedQuorums | None (None = tried and unpackable).
+        self._packed: dict[str, PackedQuorums | None] = {}
+        #: op -> materialised quorums, aligned with the packed row order.
+        self._quorums: dict[str, tuple[frozenset[int], ...]] = {}
+        #: (op, live-mask) -> indices of viable rows.
+        self._viable: dict[tuple[str, int], np.ndarray] = {}
+        self.packed_selects = 0
+        self.fallback_selects = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    @property
+    def system(self):
+        """The system selections are served for."""
+        return self._system
+
+    def supported(self, op: str) -> bool:
+        """Whether ``op`` selections run on the packed fast path."""
+        return self._tables(op) is not None
+
+    def _tables(self, op: str) -> PackedQuorums | None:
+        if op not in _OPS:
+            raise ValueError(f"op must be 'read' or 'write', got {op!r}")
+        if op in self._packed:
+            return self._packed[op]
+        packed: PackedQuorums | None = None
+        materialise = getattr(self._system, "materialise", None)
+        universe = getattr(self._system, "universe", None)
+        if materialise is not None and universe is not None:
+            try:
+                quorums = materialise(op, self._max_quorums)
+            except ValueError:
+                quorums = None
+            if quorums:
+                packed = try_pack(quorums, universe)
+                if packed is not None:
+                    self._quorums[op] = tuple(quorums)
+        self._packed[op] = packed
+        return packed
+
+    def select(
+        self,
+        op: str,
+        live: Collection[int],
+        rng: random.Random | None = None,
+    ) -> frozenset[int] | None:
+        """A uniformly chosen viable quorum of ``op``, or ``None``.
+
+        ``live`` must be an explicit collection of live SIDs (the caller
+        owns liveness-epoch caching); callables are routed to the fallback.
+        """
+        packed = self._tables(op)
+        if packed is None or callable(live):
+            self.fallback_selects += 1
+            if op == "read":
+                return self._system.select_read_quorum(live, rng)
+            return self._system.select_write_quorum(live, rng)
+        self.packed_selects += 1
+        mask = 0
+        index = packed.index
+        for sid in live:
+            bit = index.get(sid)
+            if bit is not None:
+                mask |= 1 << bit
+        key = (op, mask)
+        rows = self._viable.get(key)
+        if rows is None:
+            self.cache_misses += 1
+            if len(self._viable) >= self._cache_limit:
+                self._viable.clear()
+            rows = np.nonzero(
+                packed.live_filter(mask_to_words(mask, packed.words))
+            )[0]
+            self._viable[key] = rows
+        else:
+            self.cache_hits += 1
+        if not rows.size:
+            return None
+        quorums = self._quorums[op]
+        if rng is None:
+            return quorums[int(rows[0])]
+        return quorums[int(rows[rng.randrange(rows.size)])]
+
+    def select_read(
+        self, live: Collection[int], rng: random.Random | None = None
+    ) -> frozenset[int] | None:
+        """A uniformly chosen viable read quorum, or ``None``."""
+        return self.select("read", live, rng)
+
+    def select_write(
+        self, live: Collection[int], rng: random.Random | None = None
+    ) -> frozenset[int] | None:
+        """A uniformly chosen viable write quorum, or ``None``."""
+        return self.select("write", live, rng)
+
+    def __repr__(self) -> str:
+        name = getattr(self._system, "name", type(self._system).__name__)
+        return (
+            f"SelectionIndex({name!r}, packed={self.packed_selects}, "
+            f"fallback={self.fallback_selects}, hits={self.cache_hits})"
+        )

@@ -124,6 +124,17 @@ class QuorumSystem(abc.ABC):
     #: Human-readable system name (used in tables and bench output).
     name: str = "quorum-system"
 
+    #: Distribution contract consumed by the simulator's selection fast
+    #: path (:class:`repro.quorums.selection.SelectionIndex`): True iff
+    #: ``select_read_quorum`` / ``select_write_quorum`` draw **uniformly**
+    #: among the quorums that are subsets of the live set.  The generic
+    #: reservoir scan below has exactly that distribution, so the default
+    #: is True; subclasses overriding selection with a *non-uniform*
+    #: structural construction (primary-path preference, recursive subtree
+    #: orderings) MUST set this to False or the fast path would change
+    #: their measured costs and loads.
+    uniform_selection: bool = True
+
     @property
     @abc.abstractmethod
     def universe(self) -> frozenset[int]:
@@ -326,6 +337,12 @@ class CachedQuorumSystem(QuorumSystem):
     @property
     def name(self) -> str:  # type: ignore[override]
         return self._system.name
+
+    @property
+    def uniform_selection(self) -> bool:  # type: ignore[override]
+        # Selection is delegated, so the wrapped system's distribution
+        # contract is the wrapper's too.
+        return self._system.uniform_selection
 
     @property
     def universe(self) -> frozenset[int]:

@@ -1,0 +1,34 @@
+"""Progress reporting for parallel runs.
+
+The pool reports ``(done, total)`` after every completed task;
+:class:`ProgressPrinter` renders that as an in-place tick line on stderr so
+long sweeps stay observable without polluting stdout (whose tables are the
+actual CLI output).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import TextIO
+
+
+def null_progress(done: int, total: int) -> None:
+    """A no-op progress callback."""
+
+
+class ProgressPrinter:
+    """Render ``k/total`` completion ticks in place on a terminal stream."""
+
+    def __init__(self, label: str, stream: TextIO | None = None) -> None:
+        self._label = label
+        self._stream = stream if stream is not None else sys.stderr
+        self._finished = False
+
+    def __call__(self, done: int, total: int) -> None:
+        if self._finished:
+            return
+        self._stream.write(f"\r{self._label}: {done}/{total} tasks")
+        if done >= total:
+            self._stream.write("\n")
+            self._finished = True
+        self._stream.flush()

@@ -36,6 +36,7 @@ from typing import Any
 from repro.obs.recorder import NULL_RECORDER, NullRecorder
 from repro.obs.spans import STATUS_OK, SpanKind
 from repro.quorums.liveness import LivenessOracle
+from repro.quorums.selection import SelectionIndex
 from repro.quorums.system import QuorumSystem
 from repro.sim.events import EventHandle, Scheduler
 from repro.sim.locks import LockManager, LockMode
@@ -99,7 +100,7 @@ class _Stage(enum.Enum):
     COMMIT = "commit"
 
 
-@dataclass
+@dataclass(slots=True)
 class _OpContext:
     op_type: str
     key: Any
@@ -179,6 +180,7 @@ class QuorumCoordinator:
         unavailable_delay: float | None = None,
         version_floor: dict | None = None,
         recorder: NullRecorder = NULL_RECORDER,
+        liveness_epoch: Callable[[], int] | None = None,
     ) -> None:
         if sid >= 0:
             raise ValueError("coordinator SIDs must be negative")
@@ -211,6 +213,12 @@ class QuorumCoordinator:
         self._version_floor: dict[Any, Timestamp] = (
             version_floor if version_floor is not None else {}
         )
+        self._liveness_epoch = liveness_epoch
+        self._selector: SelectionIndex | None = None
+        self._universe: tuple[int, ...] = ()
+        self._live_cache: tuple[int, ...] | None = None
+        self._live_cache_epoch: int | None = None
+        self._rebuild_selector()
         network.register(sid, self)
 
     @property
@@ -226,6 +234,80 @@ class QuorumCoordinator:
     def set_system(self, system: QuorumSystem) -> None:
         """Swap the quorum system (used by tree reconfiguration)."""
         self._system = system
+        self._rebuild_selector()
+
+    @property
+    def selector(self) -> SelectionIndex | None:
+        """The bitset selection index, if the active system qualifies."""
+        return self._selector
+
+    # ------------------------------------------------------------------
+    # quorum selection fast path
+    # ------------------------------------------------------------------
+
+    def _rebuild_selector(self) -> None:
+        """(Re)attach a :class:`SelectionIndex` to the active system.
+
+        Only systems that declare ``uniform_selection`` may be dispatched
+        onto the packed kernel: the index picks uniformly among viable
+        quorums, so substituting it for a structural selector that prefers
+        primary quorums (tree-quorum paths, HQC's recursion, ...) would
+        change the measured distribution, not just its speed.
+        """
+        self._selector = None
+        self._live_cache = None
+        self._live_cache_epoch = None
+        if not getattr(self._system, "uniform_selection", False):
+            return
+        universe = getattr(self._system, "universe", None)
+        if universe is None:
+            return
+        try:
+            self._universe = tuple(sorted(universe))
+        except TypeError:
+            return
+        self._selector = SelectionIndex(self._system)
+
+    def _live_replicas(self) -> tuple[int, ...]:
+        """The detector's live view of the universe, cached per epoch.
+
+        The network's liveness epoch advances on every crash, recovery,
+        partition install and heal, so between bumps the probe loop can be
+        skipped entirely — the dominant saving for large ``n``.
+        """
+        epoch_fn = self._liveness_epoch
+        epoch = epoch_fn() if epoch_fn is not None else None
+        if (
+            self._live_cache is None
+            or epoch is None
+            or epoch != self._live_cache_epoch
+        ):
+            detector = self._detector
+            self._live_cache = tuple(
+                sid for sid in self._universe if detector(sid)
+            )
+            self._live_cache_epoch = epoch
+        return self._live_cache
+
+    def _select_quorum(
+        self, op: str, system: QuorumSystem | None = None
+    ) -> frozenset[int] | None:
+        """Select a live ``op`` quorum, via the packed index when possible.
+
+        ``system`` overrides the coordinator's own system (reconfiguration
+        state transfer); overrides always use their own structural selector
+        since they are rare and short-lived.
+        """
+        if system is not None and system is not self._system:
+            if op == "read":
+                return system.select_read_quorum(self._detector, self._rng)
+            return system.select_write_quorum(self._detector, self._rng)
+        selector = self._selector
+        if selector is not None:
+            return selector.select(op, self._live_replicas(), self._rng)
+        if op == "read":
+            return self._system.select_read_quorum(self._detector, self._rng)
+        return self._system.select_write_quorum(self._detector, self._rng)
 
     def system_universe(self) -> frozenset[int]:
         """The replica SIDs the active system spans (if it reports them)."""
@@ -533,7 +615,7 @@ class QuorumCoordinator:
     # ------------------------------------------------------------------
 
     def _start_read_phase(self, ctx: _OpContext) -> None:
-        quorum = self._system.select_read_quorum(self._detector, self._rng)
+        quorum = self._select_quorum("read")
         if quorum is None:
             self._defer_unavailable(ctx)
             return
@@ -567,7 +649,7 @@ class QuorumCoordinator:
     # ------------------------------------------------------------------
 
     def _start_version_phase(self, ctx: _OpContext) -> None:
-        quorum = self._system.select_read_quorum(self._detector, self._rng)
+        quorum = self._select_quorum("read")
         if quorum is None:
             # The paper's write availability depends only on the write
             # quorum (Section 3.2.2): obtain the version numbers from the
@@ -576,7 +658,7 @@ class QuorumCoordinator:
             # concurrency-control point of Section 2.2, so every write's
             # version passes through it) keeps versions monotone even when
             # the fallback quorum missed the latest committed write.
-            quorum = self._system.select_write_quorum(self._detector, self._rng)
+            quorum = self._select_quorum("write")
         if quorum is None:
             self._defer_unavailable(ctx)
             return
@@ -612,8 +694,7 @@ class QuorumCoordinator:
     # ------------------------------------------------------------------
 
     def _start_prepare_phase(self, ctx: _OpContext) -> None:
-        system = ctx.write_system if ctx.write_system is not None else self._system
-        quorum = system.select_write_quorum(self._detector, self._rng)
+        quorum = self._select_quorum("write", ctx.write_system)
         if quorum is None:
             self._defer_unavailable(ctx)
             return

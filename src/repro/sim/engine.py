@@ -143,7 +143,11 @@ def build_simulation(
     recorder: NullRecorder = TraceRecorder() if config.trace else NULL_RECORDER
     # Child RNGs are seeded with 64 fresh bits each: seeding from
     # rng.random() would collapse the seed space to a 53-bit float and
-    # correlate the child streams.
+    # correlate the child streams.  The derivation order is part of the
+    # determinism contract: network, workload, then one *dedicated* master
+    # stream for coordinators, so changing ``clients`` never perturbs the
+    # network or workload streams (and client k's stream is the same in
+    # every run that has at least k clients).
     network = Network(
         scheduler,
         random.Random(rng.getrandbits(64)),
@@ -165,6 +169,8 @@ def build_simulation(
 
     tx_ids = TransactionIdSource()
     version_floor: dict = {}
+    workload_seed = rng.getrandbits(64)
+    coordinator_master = random.Random(rng.getrandbits(64))
     coordinators = []
     for index in range(config.clients):
         coordinator_sid = COORDINATOR_SID - index
@@ -183,20 +189,21 @@ def build_simulation(
                 system=system,
                 locks=locks,
                 detector=detector,
-                rng=random.Random(rng.getrandbits(64)),
+                rng=random.Random(coordinator_master.getrandbits(64)),
                 timeout=config.timeout,
                 max_attempts=config.max_attempts,
                 writer_id=n + index,  # distinct from every replica SID
                 tx_ids=tx_ids,
                 version_floor=version_floor,
                 recorder=recorder,
+                liveness_epoch=lambda: network.liveness_epoch,
             )
         )
     workload = Workload(
         spec=config.workload,
         coordinator=coordinators,
         scheduler=scheduler,
-        rng=random.Random(rng.getrandbits(64)),
+        rng=random.Random(workload_seed),
         on_outcome=monitor.record,
     )
     config.failures.install(scheduler, sites, network)

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class _QueuedEvent:
     time: float
     sequence: int

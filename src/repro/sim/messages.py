@@ -24,7 +24,7 @@ from repro.sim.replica import Timestamp
 _MESSAGE_IDS = itertools.count()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Message:
     """Base class: addressing plus a unique id for tracing."""
 
@@ -33,7 +33,7 @@ class Message:
     msg_id: int = field(default_factory=lambda: next(_MESSAGE_IDS), init=False)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReadRequest(Message):
     """Ask a replica for its current value+timestamp of ``key``."""
 
@@ -41,7 +41,7 @@ class ReadRequest(Message):
     request_id: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReadReply(Message):
     """A replica's value+timestamp answer to a :class:`ReadRequest`."""
 
@@ -51,7 +51,7 @@ class ReadReply(Message):
     timestamp: Timestamp = Timestamp(0, -1)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class VersionRequest(Message):
     """Ask a replica for only the timestamp of ``key``."""
 
@@ -59,7 +59,7 @@ class VersionRequest(Message):
     request_id: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class VersionReply(Message):
     """A replica's timestamp answer to a :class:`VersionRequest`."""
 
@@ -68,7 +68,7 @@ class VersionReply(Message):
     timestamp: Timestamp = Timestamp(0, -1)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PrepareMessage(Message):
     """2PC phase 1: ask a participant to prepare ``key := value``."""
 
@@ -78,7 +78,7 @@ class PrepareMessage(Message):
     timestamp: Timestamp = Timestamp(0, -1)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class VoteMessage(Message):
     """2PC phase 1 answer: the participant's commit vote."""
 
@@ -86,21 +86,21 @@ class VoteMessage(Message):
     vote_commit: bool = True
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CommitMessage(Message):
     """2PC phase 2: apply the prepared write."""
 
     txid: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AbortMessage(Message):
     """2PC phase 2: discard the prepared write."""
 
     txid: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AckMessage(Message):
     """Participant acknowledgement of a commit/abort decision."""
 
@@ -108,7 +108,7 @@ class AckMessage(Message):
     committed: bool = True
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DecisionRequest(Message):
     """2PC termination protocol: a recovered participant asks the
     coordinator for the outcome of an in-doubt transaction."""

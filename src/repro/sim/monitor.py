@@ -129,6 +129,25 @@ class OperationSummary:
             self.latencies
         )
 
+    def merge(self, other: "OperationSummary") -> "OperationSummary":
+        """Fold ``other``'s aggregates into this summary (returns self).
+
+        Merging is order-sensitive only through the latency lists, which
+        are concatenated — the parallel runner folds shards in task order
+        so a merged summary is identical to the serial one.
+        """
+        self.attempted += other.attempted
+        self.succeeded += other.succeeded
+        self.failed += other.failed
+        self.total_attempts += other.total_attempts
+        self.total_quorum_size += other.total_quorum_size
+        self.total_version_quorum_size += other.total_version_quorum_size
+        self.total_replicas_contacted += other.total_replicas_contacted
+        self.latencies.extend(other.latencies)
+        self.failure_latencies.extend(other.failure_latencies)
+        self.failure_reasons.update(other.failure_reasons)
+        return self
+
 
 class Monitor:
     """Collects outcomes and computes the measured counterparts of the
@@ -172,6 +191,33 @@ class Monitor:
             summary.failed += 1
             summary.failure_latencies.append(outcome.latency)
             summary.failure_reasons[outcome.reason.value] += 1
+
+    def merge(self, other: "Monitor") -> "Monitor":
+        """Fold another monitor's measurements into this one (returns self).
+
+        Both monitors must observe the same replica set.  Outcome lists and
+        latency samples are concatenated, so folding shard monitors in task
+        order reproduces the serial monitor exactly.  Trace recorders merge
+        when both runs were traced (span ids are renumbered into this
+        recorder's id space).
+        """
+        if other._replica_ids != self._replica_ids:
+            raise ValueError(
+                "cannot merge monitors over different replica sets: "
+                f"{self._replica_ids} vs {other._replica_ids}"
+            )
+        self.reads.merge(other.reads)
+        self.writes.merge(other.writes)
+        self._read_touches.update(other._read_touches)
+        self._write_touches.update(other._write_touches)
+        self.outcomes.extend(other.outcomes)
+        if (
+            self.recorder.enabled
+            and other.recorder.enabled
+            and hasattr(self.recorder, "merge")
+        ):
+            self.recorder.merge(other.recorder)
+        return self
 
     # ------------------------------------------------------------------
     # measured load (Definition 2.5, empirically)

@@ -142,6 +142,7 @@ class Network:
         self._duplicate_probability = duplicate_probability
         self._endpoints: dict[int, Endpoint] = {}
         self._partition = PartitionSpec()
+        self._liveness_epoch = 0
         self.stats = NetworkStats()
 
     def register(self, sid: int, endpoint: Endpoint) -> None:
@@ -160,16 +161,37 @@ class Network:
         return self._scheduler
 
     # ------------------------------------------------------------------
+    # liveness epochs
+    # ------------------------------------------------------------------
+
+    @property
+    def liveness_epoch(self) -> int:
+        """Counter bumped whenever any endpoint's reachability can change.
+
+        Site crash/recovery and partition install/heal all advance it, so a
+        consumer that caches a derived view of the live set (the
+        coordinator's packed live mask) can validate the cache with one
+        integer comparison instead of re-probing every replica.
+        """
+        return self._liveness_epoch
+
+    def bump_liveness_epoch(self) -> None:
+        """Invalidate cached live-set views (sites call this on crash/recover)."""
+        self._liveness_epoch += 1
+
+    # ------------------------------------------------------------------
     # partitions
     # ------------------------------------------------------------------
 
     def set_partition(self, spec: PartitionSpec) -> None:
         """Install a partition; messages across components are dropped."""
         self._partition = spec
+        self._liveness_epoch += 1
 
     def heal_partition(self) -> None:
         """Remove any partition (fully connected again)."""
         self._partition = PartitionSpec()
+        self._liveness_epoch += 1
 
     @property
     def partitioned(self) -> bool:

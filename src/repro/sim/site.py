@@ -135,6 +135,7 @@ class Site:
             self.stats.crashes += 1
             self._queue.clear()
             self._busy = False
+            self._network.bump_liveness_epoch()
 
     def recover(self) -> None:
         """Transient failure over: resume with stable storage intact.
@@ -148,6 +149,7 @@ class Site:
             return
         self._state = SiteState.UP
         self.stats.recoveries += 1
+        self._network.bump_liveness_epoch()
         for prepared in list(self._prepared.values()):
             self._network.send(
                 DecisionRequest(

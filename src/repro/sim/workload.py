@@ -154,6 +154,11 @@ class Workload:
             callback()
 
     @property
+    def coordinators(self) -> tuple[QuorumCoordinator, ...]:
+        """The coordinators operations are round-robined over."""
+        return self._coordinators
+
+    @property
     def issued(self) -> int:
         """Operations issued so far."""
         return self._issued

@@ -33,6 +33,7 @@ from repro.quorums.load import (
     _membership_matrix_reference,
     optimal_load,
 )
+from repro.quorums.selection import SelectionIndex, select_uniform_reference
 from repro.quorums.system import CachedQuorumSystem, QuorumSystem
 
 #: Small sizes keep the 2^n reference enumeration affordable in CI.
@@ -169,6 +170,36 @@ def test_selection_under_generic_scan_path_matches(zoo, name):
             iter(reads), oracle, random.Random(seed)
         )
         assert by_set == by_oracle
+
+
+@pytest.mark.parametrize("name", PROTOCOL_NAMES)
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_selection_index_agrees_under_random_live_sets(zoo, name, seed):
+    """The memoised SelectionIndex equals the frozenset reference pick —
+    same quorum under the same RNG stream — across the zoo, for random
+    live sets spanning full liveness down to total failure."""
+    system, reads, writes = zoo[name]
+    index = SelectionIndex(
+        system, max_quorums=max(len(reads), len(writes), 1)
+    )
+    universe = sorted(system.universe)
+    live_rng = random.Random(seed)
+    rng_index = random.Random(1000 + seed)
+    rng_reference = random.Random(1000 + seed)
+    for op, quorums in (("read", reads), ("write", writes)):
+        assert index.supported(op)
+        for _ in range(30):
+            keep = live_rng.uniform(0.0, 1.0)
+            live = tuple(
+                sid for sid in universe if live_rng.random() < keep
+            )
+            kernel = index.select(op, live, rng_index)
+            reference = select_uniform_reference(quorums, live, rng_reference)
+            assert kernel == reference
+            # And the deterministic (rng=None) pick agrees too.
+            assert index.select(op, live) == select_uniform_reference(
+                quorums, live
+            )
 
 
 def test_empty_live_set_selects_nothing(zoo):

@@ -1,0 +1,104 @@
+"""Parallel == serial, bit for bit, under a fixed master seed.
+
+The runner's whole correctness claim: task layout, per-task seeds and the
+merge fold never depend on ``--jobs``, so sharded runs reproduce the serial
+(and the unsharded library) results exactly — including the merged obs
+counters of traced runs.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.analysis.sweeps import sweep_configurations
+from repro.runner import (
+    SimParams,
+    merge_monitors,
+    parallel_availability,
+    parallel_simulations,
+    parallel_sweep,
+)
+
+JOBS = [2, 4]
+
+QUANTITIES = ("read_cost", "write_cost", "read_load")
+SIZES = (7, 15, 31)
+
+
+@pytest.mark.parametrize("jobs", JOBS)
+def test_parallel_sweep_matches_serial_library_sweep(jobs):
+    serial = sweep_configurations(QUANTITIES, sizes=SIZES, p=0.7)
+    sharded = parallel_sweep(
+        QUANTITIES, sizes=SIZES, p=0.7, jobs=jobs, size_chunk=1
+    )
+    assert sharded == serial
+
+
+def test_parallel_sweep_is_chunking_invariant():
+    runs = [
+        parallel_sweep(QUANTITIES, sizes=SIZES, p=0.7, jobs=jobs, size_chunk=chunk)
+        for jobs in (1, 2)
+        for chunk in (1, 2, 4)
+    ]
+    assert all(run == runs[0] for run in runs)
+
+
+@pytest.mark.parametrize("jobs", JOBS)
+@pytest.mark.parametrize("op", ["read", "write"])
+def test_parallel_availability_bit_identical(jobs, op):
+    ref = ("tree", "1-3-5")
+    serial = parallel_availability(
+        ref, 0.85, op, samples=30_000, seed=13, jobs=1, chunk=4_000
+    )
+    sharded = parallel_availability(
+        ref, 0.85, op, samples=30_000, seed=13, jobs=jobs, chunk=4_000
+    )
+    assert sharded == serial
+
+
+def test_parallel_availability_protocol_ref_bit_identical():
+    ref = ("protocol", "majority", 9)
+    serial = parallel_availability(ref, 0.8, samples=12_000, seed=3, jobs=1, chunk=2_500)
+    sharded = parallel_availability(ref, 0.8, samples=12_000, seed=3, jobs=2, chunk=2_500)
+    assert sharded == serial
+
+
+def _monitor_key(monitor):
+    return (monitor.reads, monitor.writes, monitor.outcomes, monitor.summary())
+
+
+@pytest.mark.parametrize("jobs", JOBS)
+def test_parallel_simulations_bit_identical(jobs):
+    params = SimParams(spec="1-3-5", operations=120, p=0.9, seed=21)
+    serial = parallel_simulations(params, repeats=5, jobs=1)
+    sharded = parallel_simulations(params, repeats=5, jobs=jobs)
+    assert len(serial) == len(sharded) == 5
+    for a, b in zip(serial, sharded):
+        assert _monitor_key(a) == _monitor_key(b)
+    # The merged monitors agree too (counters, latencies, loads).
+    merged_serial = merge_monitors(serial)
+    merged_sharded = merge_monitors(sharded)
+    assert _monitor_key(merged_serial) == _monitor_key(merged_sharded)
+    assert merged_serial.per_replica_read_load() == merged_sharded.per_replica_read_load()
+
+
+@pytest.mark.parametrize("jobs", JOBS)
+def test_parallel_traced_simulations_merge_identical_obs_counters(jobs):
+    params = SimParams(spec="1-3", operations=60, p=0.85, seed=5, trace=True)
+    serial = merge_monitors(parallel_simulations(params, repeats=3, jobs=1))
+    sharded = merge_monitors(parallel_simulations(params, repeats=3, jobs=jobs))
+    assert serial.recorder.enabled and sharded.recorder.enabled
+    assert serial.recorder.counters.keys() == sharded.recorder.counters.keys()
+    for group, counts in serial.recorder.counters.items():
+        assert Counter(counts) == Counter(sharded.recorder.counters[group])
+    assert serial.recorder.metrics == sharded.recorder.metrics
+    assert len(serial.recorder.spans) == len(sharded.recorder.spans)
+
+
+def test_master_seed_changes_every_repeat():
+    params = SimParams(spec="1-3-5", operations=80, p=0.9, seed=21)
+    base = parallel_simulations(params, repeats=3, jobs=1)
+    other = parallel_simulations(params, repeats=3, master_seed=99, jobs=1)
+    assert all(
+        a.outcomes != b.outcomes for a, b in zip(base, other)
+    )

@@ -1,0 +1,58 @@
+"""Pool mechanics: seed derivation, ordered dispatch, progress, validation."""
+
+import random
+
+import pytest
+
+from repro.runner.pool import derive_seeds, run_tasks
+
+
+def _square(x: int) -> int:
+    """Module-level so the process pool can pickle it."""
+    return x * x
+
+
+def test_derive_seeds_deterministic_and_64bit():
+    seeds = derive_seeds(42, 8)
+    assert seeds == derive_seeds(42, 8)
+    assert len(seeds) == 8
+    assert len(set(seeds)) == 8
+    assert all(0 <= seed < 2**64 for seed in seeds)
+    # The k-th child seed never depends on how many seeds are drawn.
+    assert derive_seeds(42, 3) == seeds[:3]
+
+
+def test_derive_seeds_match_master_stream():
+    rng = random.Random(7)
+    assert derive_seeds(7, 4) == [rng.getrandbits(64) for _ in range(4)]
+
+
+def test_derive_seeds_differ_across_masters():
+    assert derive_seeds(0, 4) != derive_seeds(1, 4)
+
+
+def test_run_tasks_inline_matches_pool_order():
+    items = list(range(12))
+    expected = [_square(x) for x in items]
+    assert run_tasks(_square, items, jobs=1) == expected
+    assert run_tasks(_square, items, jobs=2) == expected
+    assert run_tasks(_square, items, jobs=2, chunksize=4) == expected
+
+
+def test_run_tasks_empty_and_single_item():
+    assert run_tasks(_square, [], jobs=4) == []
+    assert run_tasks(_square, [3], jobs=4) == [9]
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_run_tasks_progress_ticks(jobs):
+    ticks = []
+    run_tasks(_square, list(range(5)), jobs=jobs, progress=lambda d, t: ticks.append((d, t)))
+    assert ticks == [(done, 5) for done in range(1, 6)]
+
+
+def test_run_tasks_validates_arguments():
+    with pytest.raises(ValueError):
+        run_tasks(_square, [1], jobs=0)
+    with pytest.raises(ValueError):
+        run_tasks(_square, [1], jobs=2, chunksize=0)
