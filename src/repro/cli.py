@@ -16,7 +16,13 @@
 * ``tune``      — recommend a tree for a given n / p / read fraction;
 * ``simulate``  — run the discrete-event simulator and print measurements
   (``--repeats R --jobs N`` fans independently seeded repeats across a
-  process pool and reports the merged measurements);
+  process pool and reports the merged measurements; ``--retry-policy`` /
+  ``--backoff`` select the coordinator's retry-delay schedule and
+  ``--detector`` turns on suspicion-aware quorum selection);
+* ``chaos``     — run a chaos scenario (flaky links, rolling restarts,
+  stragglers, partition flapping, mass crash) with the safety invariant
+  checker armed, and report availability, recovery behaviour and
+  failure-detector counters;
 * ``trace``     — run the simulator with tracing on and export the span
   stream (one JSON object per line) plus message counters;
 * ``report``    — per-phase latency breakdown + flame summary, either for
@@ -208,10 +214,43 @@ def _print_tuning(n: int, p: float, read_fraction: float) -> None:
     ))
 
 
+def _retry_policy_spec(kind: str | None, backoff: str | None):
+    """Build a :class:`RetryPolicySpec` from --retry-policy / --backoff.
+
+    ``--backoff`` takes ``key=value`` pairs (``base``, ``factor``, ``cap``,
+    ``jitter``), comma-separated; giving it without ``--retry-policy``
+    implies the exponential policy.
+    """
+    if kind is None and backoff is None:
+        return None
+    from repro.fault.retry import RetryPolicySpec
+
+    if kind is None:
+        kind = "exponential"
+    fields = {
+        "base": 1.0 if kind == "exponential" else 0.0,
+        "factor": 2.0,
+        "cap": 60.0,
+        "jitter": 0.0,
+    }
+    if backoff:
+        for part in backoff.split(","):
+            name, sep, value = part.partition("=")
+            name = name.strip()
+            if not sep or name not in fields:
+                raise SystemExit(
+                    f"invalid --backoff component {part!r}: expected "
+                    "key=value with key in base/factor/cap/jitter"
+                )
+            fields[name] = float(value)
+    return RetryPolicySpec(kind=kind, **fields)
+
+
 def _sim_config(spec: str, operations: int, read_fraction: float,
                 p: float, seed: int, protocol: str | None = None,
                 n: int = 0, drop: float = 0.0, max_attempts: int = 1,
-                trace: bool = False):
+                trace: bool = False, retry_policy=None,
+                detector: bool = False):
     """Build the (config, label) pair shared by simulate/trace/report.
 
     Delegates to :func:`repro.runner.tasks.build_sim_config` — the single
@@ -224,16 +263,19 @@ def _sim_config(spec: str, operations: int, read_fraction: float,
         spec=spec, operations=operations, read_fraction=read_fraction,
         p=p, seed=seed, protocol=protocol, n=n, drop=drop,
         max_attempts=max_attempts, trace=trace,
+        retry_policy=retry_policy, detector=detector,
     ))
 
 
 def _print_simulation(spec: str, operations: int, read_fraction: float,
                       p: float, seed: int, protocol: str | None = None,
-                      n: int = 0, repeats: int = 1, jobs: int = 1) -> None:
+                      n: int = 0, repeats: int = 1, jobs: int = 1,
+                      retry_policy=None, detector: bool = False) -> None:
     from repro.sim import simulate
 
     config, label = _sim_config(
-        spec, operations, read_fraction, p, seed, protocol=protocol, n=n
+        spec, operations, read_fraction, p, seed, protocol=protocol, n=n,
+        retry_policy=retry_policy, detector=detector,
     )
     if repeats > 1:
         from repro.runner import (
@@ -248,6 +290,7 @@ def _print_simulation(spec: str, operations: int, read_fraction: float,
                 spec=spec, operations=operations,
                 read_fraction=read_fraction, p=p, seed=seed,
                 protocol=protocol, n=n,
+                retry_policy=retry_policy, detector=detector,
             ),
             repeats, jobs=jobs,
             progress=ProgressPrinter("simulate") if jobs > 1 else None,
@@ -305,6 +348,62 @@ def _print_simulation(spec: str, operations: int, read_fraction: float,
         rows,
         title=run_title,
     ))
+
+
+def _print_chaos(args) -> None:
+    """``repro chaos``: a scenario run with the invariant checker armed."""
+    from repro.runner.tasks import SimParams, build_sim_config
+    from repro.sim import simulate
+
+    params = SimParams(
+        spec=args.spec, operations=args.operations,
+        read_fraction=args.read_fraction, p=args.p, seed=args.seed,
+        protocol=args.protocol, n=args.n, max_attempts=args.max_attempts,
+        retry_policy=_retry_policy_spec(args.retry_policy, args.backoff),
+        detector=args.detector, chaos=args.scenario,
+        chaos_horizon=args.horizon, check_invariants=True,
+    )
+    if args.repeats > 1:
+        from repro.runner import (
+            ProgressPrinter,
+            merge_monitors,
+            parallel_simulations,
+        )
+
+        monitors = parallel_simulations(
+            params, args.repeats, jobs=args.jobs,
+            progress=ProgressPrinter("chaos") if args.jobs > 1 else None,
+        )
+        summary = merge_monitors(monitors).summary()
+        _, label = build_sim_config(params)
+        title = (f"{label}: {args.operations} ops x {args.repeats} repeats, "
+                 f"master seed {args.seed}, jobs {args.jobs}")
+        extra_rows: list[list] = []
+    else:
+        config, label = build_sim_config(params)
+        result = simulate(config)
+        summary = result.summary()
+        title = f"{label}: {args.operations} ops, seed {args.seed}"
+        checker = result.invariants
+        assert checker is not None
+        extra_rows = [
+            ["invariants checked", checker.checked],
+            ["invariant violations", len(checker.violations)],
+        ]
+        if result.suspects is not None:
+            counters = result.suspects.counters()
+            extra_rows += [
+                [f"detector {name}", value]
+                for name, value in sorted(counters.items())
+            ]
+    rows = [
+        ["read availability", round(summary["read_availability"], 4)],
+        ["write availability", round(summary["write_availability"], 4)],
+        ["read latency (mean)", round(summary["read_latency_mean"], 3)],
+        ["write latency (mean)", round(summary["write_latency_mean"], 3)],
+        ["failure latency (mean)", round(summary["failure_latency_mean"], 3)],
+    ] + extra_rows
+    print(format_table(["quantity", "value"], rows, title=title))
 
 
 def _run_traced(args) -> tuple:
@@ -381,6 +480,26 @@ def _print_report(args) -> None:
                 f"mean {stats['mean']:>9.3f}  min {stats['min']:>8.3f}  "
                 f"max {stats['max']:>9.3f}"
             )
+
+
+def _add_fault_arguments(parser) -> None:
+    """Fault-layer options shared by ``simulate`` and ``chaos``."""
+    parser.add_argument(
+        "--retry-policy", choices=("fixed", "exponential"), default=None,
+        help="coordinator retry-delay schedule (default: legacy immediate "
+             "retry)",
+    )
+    parser.add_argument(
+        "--backoff", default=None, metavar="KEY=VALUE[,...]",
+        help="backoff parameters (base/factor/cap/jitter), e.g. "
+             "'base=1,factor=2,cap=30,jitter=0.2'; implies "
+             "--retry-policy exponential",
+    )
+    parser.add_argument(
+        "--detector", action="store_true",
+        help="attach the suspicion-based failure detector so quorum "
+             "selection avoids suspected sites",
+    )
 
 
 def _add_trace_sim_arguments(parser) -> None:
@@ -506,6 +625,46 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1,
         help="worker processes to fan repeats across",
     )
+    _add_fault_arguments(sim_parser)
+
+    from repro.fault.scenarios import CHAOS_SCENARIOS
+
+    chaos_parser = sub.add_parser(
+        "chaos",
+        help="run a chaos scenario with the safety invariant checker armed",
+    )
+    chaos_parser.add_argument("spec", nargs="?", default="1-3-5")
+    chaos_parser.add_argument(
+        "--scenario", choices=CHAOS_SCENARIOS + ("all",), default="all",
+        help="which failure scenario to inject",
+    )
+    chaos_parser.add_argument("--operations", type=int, default=1000)
+    chaos_parser.add_argument("--read-fraction", type=float, default=0.5)
+    chaos_parser.add_argument(
+        "--p", type=float, default=1.0,
+        help="per-replica Bernoulli availability composed under the chaos",
+    )
+    chaos_parser.add_argument("--seed", type=int, default=0)
+    chaos_parser.add_argument("--max-attempts", type=int, default=4)
+    chaos_parser.add_argument(
+        "--horizon", type=float, default=1000.0,
+        help="simulated time the scenario keeps injecting failures for",
+    )
+    chaos_parser.add_argument(
+        "--protocol", choices=PROTOCOL_NAMES, default=None,
+        help="run the chaos against a zoo protocol instead of a tree spec",
+    )
+    chaos_parser.add_argument("--n", type=int, default=0,
+                              help="replica count for --protocol")
+    chaos_parser.add_argument(
+        "--repeats", type=int, default=1,
+        help="independently seeded repeats (merged measurements reported)",
+    )
+    chaos_parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes to fan repeats across",
+    )
+    _add_fault_arguments(chaos_parser)
 
     trace_parser = sub.add_parser(
         "trace", help="run a traced simulation and export JSONL spans"
@@ -562,7 +721,11 @@ def main(argv: Sequence[str] | None = None) -> int:
             args.spec, args.operations, args.read_fraction, args.p, args.seed,
             protocol=args.protocol, n=args.n, repeats=args.repeats,
             jobs=args.jobs,
+            retry_policy=_retry_policy_spec(args.retry_policy, args.backoff),
+            detector=args.detector,
         )
+    elif args.command == "chaos":
+        _print_chaos(args)
     elif args.command == "trace":
         _print_trace(args)
     elif args.command == "report":

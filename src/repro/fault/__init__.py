@@ -1,0 +1,55 @@
+"""Adaptive fault tolerance: retry policies, failure suspicion, chaos.
+
+The paper's availability analysis (Section 3, Eq. 3.2) is a static
+snapshot of dead replicas; this package is the simulator's answer to
+*dynamic* failure handling, in the lineage of the tree-quorum adaptivity
+of Agrawal–El Abbadi and Herlihy's dynamic quorum adjustment:
+
+* :mod:`repro.fault.retry` — pluggable retry-delay schedules (fixed,
+  capped exponential backoff with deterministic seeded jitter);
+* :mod:`repro.fault.detector` — :class:`SuspectList`, a suspicion-based
+  failure detector built from timeout/drop evidence, feeding quorum
+  selection so it avoids suspected sites before falling back to blind
+  selection;
+* :mod:`repro.fault.scenarios` — a chaos scenario library (flaky-link
+  bursts, rolling restarts, stragglers, partition flapping, mass crash)
+  compiled onto the existing failure-injector and network machinery;
+* :mod:`repro.fault.invariants` — a safety checker asserting quorum
+  intersection and version monotonicity on every committed operation
+  while the chaos runs.
+"""
+
+from repro.fault.detector import SuspectList
+from repro.fault.invariants import InvariantChecker, InvariantViolation
+from repro.fault.retry import (
+    ExponentialBackoff,
+    FixedDelay,
+    RetryPolicy,
+    RetryPolicySpec,
+)
+from repro.fault.scenarios import (
+    CHAOS_SCENARIOS,
+    FlakyLinkBursts,
+    MassCrash,
+    PartitionFlapping,
+    RollingRestarts,
+    StragglerSites,
+    chaos_injector,
+)
+
+__all__ = [
+    "CHAOS_SCENARIOS",
+    "ExponentialBackoff",
+    "FixedDelay",
+    "FlakyLinkBursts",
+    "InvariantChecker",
+    "InvariantViolation",
+    "MassCrash",
+    "PartitionFlapping",
+    "RetryPolicy",
+    "RetryPolicySpec",
+    "RollingRestarts",
+    "StragglerSites",
+    "SuspectList",
+    "chaos_injector",
+]

@@ -1,0 +1,160 @@
+"""Safety invariants audited on every committed operation under chaos.
+
+Chaos scenarios are only useful if a violated guarantee is *loud*.  The
+:class:`InvariantChecker` sits on the outcome stream (it wraps any
+``on_outcome`` callback, composing with the monitor) and asserts, per
+completed operation, the two safety properties the paper's protocol is
+built around:
+
+* **read/write quorum intersection** — every successful read's quorum
+  must intersect the quorum of the latest committed write of that key
+  (the bi-coterie condition of Section 3.2.3, checked empirically on
+  the quorums the coordinator actually used).  Write quorums of the
+  arbitrary protocol are *levels* and deliberately do not intersect
+  each other — write/write safety comes from versioning, not overlap —
+  so no write/write check exists;
+* **version monotonicity** — committed write timestamps per key are
+  strictly increasing, and a successful read never returns a timestamp
+  older than the latest write committed before it (completion order is a
+  valid serialisation order under the centralised lock manager).
+
+Violations either raise :class:`InvariantViolation` immediately
+(``strict=True``, the default — chaos CI fails on first blood) or are
+collected in :attr:`violations` for post-mortem inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:  # annotation-only: runtime imports here would close the
+    # repro.fault <-> repro.sim import cycle (engine imports this module)
+    from repro.sim.coordinator import OperationOutcome
+    from repro.sim.replica import Timestamp
+
+
+class InvariantViolation(AssertionError):
+    """A safety property the protocol guarantees was observed broken."""
+
+
+@dataclass
+class _KeyHistory:
+    write_quorum: frozenset[int] | None = None
+    write_timestamp: Timestamp | None = None
+    highest_read: Timestamp | None = None
+
+
+class InvariantChecker:
+    """Audits the outcome stream for quorum-intersection and version
+    monotonicity violations.
+
+    Use :meth:`wrap` to splice the checker in front of an existing
+    outcome callback::
+
+        monitor = Monitor(...)
+        checker = InvariantChecker()
+        workload = Workload(..., on_outcome=checker.wrap(monitor.record))
+    """
+
+    def __init__(self, strict: bool = True) -> None:
+        self._strict = strict
+        self._keys: dict[Any, _KeyHistory] = {}
+        #: Human-readable description of every violation observed.
+        self.violations: list[str] = []
+        #: Operations audited (successful reads + writes).
+        self.checked = 0
+
+    def _violate(self, description: str) -> None:
+        self.violations.append(description)
+        if self._strict:
+            raise InvariantViolation(description)
+
+    # ------------------------------------------------------------------
+    # checking
+    # ------------------------------------------------------------------
+
+    def check(self, outcome: OperationOutcome) -> None:
+        """Audit one completed operation (failed ones are ignored)."""
+        if not outcome.success:
+            return
+        self.checked += 1
+        history = self._keys.get(outcome.key)
+        if history is None:
+            history = self._keys[outcome.key] = _KeyHistory()
+        if outcome.op_type == "write":
+            self._check_write(outcome, history)
+        else:
+            self._check_read(outcome, history)
+
+    def _check_write(
+        self, outcome: OperationOutcome, history: _KeyHistory
+    ) -> None:
+        if (
+            outcome.timestamp is not None
+            and history.write_timestamp is not None
+            and outcome.timestamp.sort_key() <= history.write_timestamp.sort_key()
+        ):
+            self._violate(
+                f"write version {outcome.timestamp} of key {outcome.key!r} "
+                f"does not advance past committed {history.write_timestamp}"
+            )
+        history.write_quorum = outcome.quorum
+        history.write_timestamp = outcome.timestamp
+
+    def _check_read(
+        self, outcome: OperationOutcome, history: _KeyHistory
+    ) -> None:
+        if history.write_quorum is not None and not (
+            outcome.quorum & history.write_quorum
+        ):
+            self._violate(
+                f"read quorum {sorted(outcome.quorum)} of key "
+                f"{outcome.key!r} does not intersect the latest committed "
+                f"write quorum {sorted(history.write_quorum)}"
+            )
+        if outcome.timestamp is None:
+            return
+        if (
+            history.write_timestamp is not None
+            and outcome.timestamp.sort_key() < history.write_timestamp.sort_key()
+        ):
+            self._violate(
+                f"read of key {outcome.key!r} returned stale version "
+                f"{outcome.timestamp} behind committed {history.write_timestamp}"
+            )
+        if (
+            history.highest_read is not None
+            and outcome.timestamp.sort_key() < history.highest_read.sort_key()
+        ):
+            self._violate(
+                f"reads of key {outcome.key!r} went backwards: "
+                f"{outcome.timestamp} after {history.highest_read}"
+            )
+        history.highest_read = outcome.timestamp
+
+    # ------------------------------------------------------------------
+    # composition
+    # ------------------------------------------------------------------
+
+    def wrap(
+        self, on_outcome: Callable[[OperationOutcome], None]
+    ) -> Callable[[OperationOutcome], None]:
+        """An outcome callback that audits, then forwards to ``on_outcome``."""
+
+        def audit(outcome: OperationOutcome) -> None:
+            self.check(outcome)
+            on_outcome(outcome)
+
+        return audit
+
+    @property
+    def ok(self) -> bool:
+        """True iff no violation has been observed."""
+        return not self.violations
+
+    def __repr__(self) -> str:
+        return (
+            f"InvariantChecker(checked={self.checked}, "
+            f"violations={len(self.violations)})"
+        )

@@ -65,6 +65,16 @@ class NullRecorder:
     def observe(self, metric: str, value: float) -> None:
         """Record one scalar observation, e.g. a lock wait time."""
 
+    def singleton_trace(self, name: str) -> int:
+        """A memoised root span for component-level (non-operation) events.
+
+        Long-lived components such as the failure detector emit events
+        that belong to no single operation; they attach to one shared
+        root trace per component name instead (created on first use,
+        closed immediately so it never lingers as an open span).
+        """
+        return 0
+
 
 #: Shared no-op instance; safe because NullRecorder is stateless.
 NULL_RECORDER = NullRecorder()
@@ -80,6 +90,8 @@ class TraceRecorder(NullRecorder):
         # boundaries in parallel runs and generator-based counters do not
         # pickle.
         self._next_id = 1
+        #: Component name -> root span id (see :meth:`singleton_trace`).
+        self._singletons: dict[str, int] = {}
         #: Every span ever started, keyed by span id (insertion-ordered).
         self.spans: dict[int, Span] = {}
         #: ``group -> Counter(name -> count)`` e.g. message send/drop tallies.
@@ -163,6 +175,14 @@ class TraceRecorder(NullRecorder):
 
     def observe(self, metric: str, value: float) -> None:
         self.metrics.setdefault(metric, []).append(value)
+
+    def singleton_trace(self, name: str) -> int:
+        trace_id = self._singletons.get(name)
+        if trace_id is None:
+            trace_id = self.start_trace(name, 0.0, singleton=True)
+            self.end_span(trace_id, 0.0)
+            self._singletons[name] = trace_id
+        return trace_id
 
     # ------------------------------------------------------------------
     # merging (parallel shard fold)

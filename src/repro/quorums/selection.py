@@ -212,6 +212,35 @@ class SelectionIndex:
             return quorums[int(rows[0])]
         return quorums[int(rows[rng.randrange(rows.size)])]
 
+    def select_avoiding(
+        self,
+        op: str,
+        live: Collection[int],
+        avoid: Collection[int],
+        rng: random.Random | None = None,
+    ) -> tuple[frozenset[int] | None, bool]:
+        """Prefer viable quorums that dodge ``avoid``; fall back blind.
+
+        The failure detector's entry point: ``avoid`` is the suspected
+        set.  Returns ``(quorum, avoided)`` where ``avoided`` is True iff
+        the quorum was chosen from the suspected-free candidates — i.e.
+        the preference actually both narrowed the live set and still
+        found a quorum.  When no suspected-free quorum exists the blind
+        selection runs so suspicion can only redirect load, never
+        manufacture unavailability.  Preferred masks share the per-mask
+        viable-row cache with blind ones (a restricted live set is just
+        another mask).
+        """
+        if avoid:
+            live_tuple = tuple(live)
+            preferred = tuple(sid for sid in live_tuple if sid not in avoid)
+            if len(preferred) != len(live_tuple):
+                quorum = self.select(op, preferred, rng)
+                if quorum is not None:
+                    return quorum, True
+            live = live_tuple
+        return self.select(op, live, rng), False
+
     def select_read(
         self, live: Collection[int], rng: random.Random | None = None
     ) -> frozenset[int] | None:

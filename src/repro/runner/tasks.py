@@ -16,6 +16,10 @@ order, so output is bit-identical across job counts.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.fault.retry import RetryPolicySpec
 
 from repro.analysis.sweeps import (
     DEFAULT_P,
@@ -184,7 +188,16 @@ def parallel_availability(
 
 @dataclass(frozen=True)
 class SimParams:
-    """Plain-data simulation parameters (the CLI's knobs, picklable)."""
+    """Plain-data simulation parameters (the CLI's knobs, picklable).
+
+    The fault-layer fields all default to off, so a legacy record builds a
+    byte-identical configuration: ``retry_policy`` is a picklable
+    :class:`~repro.fault.retry.RetryPolicySpec` (workers rebuild the
+    policy object per coordinator), ``chaos`` names a scenario from
+    :data:`~repro.fault.scenarios.CHAOS_SCENARIOS` (or ``"all"``)
+    composed onto the ``p``-driven failures, and ``chaos_horizon`` bounds
+    the scenario's schedule.
+    """
 
     spec: str = "1-3-5"
     operations: int = 2000
@@ -196,6 +209,11 @@ class SimParams:
     drop: float = 0.0
     max_attempts: int = 1
     trace: bool = False
+    retry_policy: "RetryPolicySpec | None" = None
+    detector: bool = False
+    chaos: str | None = None
+    chaos_horizon: float = 1000.0
+    check_invariants: bool = False
 
 
 def build_sim_config(params: SimParams):
@@ -208,7 +226,7 @@ def build_sim_config(params: SimParams):
     """
     from repro.protocols.zoo import quorum_system
     from repro.sim import BernoulliFailures, SimulationConfig, WorkloadSpec
-    from repro.sim.failures import NoFailures
+    from repro.sim.failures import CompositeFailures, NoFailures
 
     failures = (
         NoFailures() if params.p >= 1.0
@@ -224,24 +242,37 @@ def build_sim_config(params: SimParams):
         rate=0.25,
     )
     if params.protocol is None or params.protocol == "arbitrary-spec":
-        config = SimulationConfig(
-            tree=from_spec(params.spec), workload=workload,
-            failures=failures, drop_probability=params.drop,
-            max_attempts=params.max_attempts, timeout=8.0,
-            seed=params.seed, trace=params.trace,
-        )
+        tree = from_spec(params.spec)
+        system = None
+        n = tree.n
         label = f"simulation of {params.spec}"
     else:
+        tree = None
         system = quorum_system(
             params.protocol, params.n or from_spec(params.spec).n
         )
-        config = SimulationConfig(
-            system=system, workload=workload, failures=failures,
-            drop_probability=params.drop,
-            max_attempts=params.max_attempts, timeout=8.0,
-            seed=params.seed, trace=params.trace,
-        )
+        n = system.n
         label = f"simulation of {system.name} (n = {system.n})"
+    if params.chaos is not None:
+        from repro.fault.scenarios import chaos_injector
+
+        scenario = chaos_injector(
+            params.chaos, n, seed=params.seed, horizon=params.chaos_horizon
+        )
+        failures = (
+            scenario if isinstance(failures, NoFailures)
+            else CompositeFailures([failures, scenario])
+        )
+        label = f"{label} under {params.chaos} chaos"
+    config = SimulationConfig(
+        tree=tree, system=system, workload=workload,
+        failures=failures, drop_probability=params.drop,
+        max_attempts=params.max_attempts, timeout=8.0,
+        seed=params.seed, trace=params.trace,
+        retry_policy=params.retry_policy,
+        detector=params.detector,
+        check_invariants=params.check_invariants,
+    )
     return config, label
 
 

@@ -31,7 +31,11 @@ import enum
 import random
 from collections.abc import Callable
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # annotation-only: repro.fault type-hints this module back
+    from repro.fault.detector import SuspectList
+    from repro.fault.retry import RetryPolicy
 
 from repro.obs.recorder import NULL_RECORDER, NullRecorder
 from repro.obs.spans import STATUS_OK, SpanKind
@@ -163,6 +167,17 @@ class QuorumCoordinator:
         quorum selection, protocol phases, timeouts, retries, deferrals).
         The default :data:`~repro.obs.recorder.NULL_RECORDER` makes every
         hook a guarded no-op.
+    retry_policy:
+        Optional :class:`~repro.fault.retry.RetryPolicy` governing the
+        delay before each retry and before unavailability re-probes.
+        ``None`` keeps the legacy shape: immediate retry after a timeout
+        or refused vote, ``unavailable_delay`` after finding no quorum.
+    suspects:
+        Optional :class:`~repro.fault.detector.SuspectList`.  When
+        present, every quorum member that stays silent past a timeout is
+        charged suspicion evidence, replies exonerate their sender, and
+        quorum selection prefers quorums avoiding the currently
+        suspected sites before falling back to blind selection.
     """
 
     def __init__(
@@ -181,6 +196,8 @@ class QuorumCoordinator:
         version_floor: dict | None = None,
         recorder: NullRecorder = NULL_RECORDER,
         liveness_epoch: Callable[[], int] | None = None,
+        retry_policy: "RetryPolicy | None" = None,
+        suspects: "SuspectList | None" = None,
     ) -> None:
         if sid >= 0:
             raise ValueError("coordinator SIDs must be negative")
@@ -214,6 +231,8 @@ class QuorumCoordinator:
             version_floor if version_floor is not None else {}
         )
         self._liveness_epoch = liveness_epoch
+        self._retry_policy = retry_policy
+        self._suspects = suspects
         self._selector: SelectionIndex | None = None
         self._universe: tuple[int, ...] = ()
         self._live_cache: tuple[int, ...] | None = None
@@ -240,6 +259,16 @@ class QuorumCoordinator:
     def selector(self) -> SelectionIndex | None:
         """The bitset selection index, if the active system qualifies."""
         return self._selector
+
+    @property
+    def suspects(self) -> "SuspectList | None":
+        """The attached failure detector (``None`` = blind selection)."""
+        return self._suspects
+
+    @property
+    def retry_policy(self) -> "RetryPolicy | None":
+        """The attached retry policy (``None`` = legacy immediate retry)."""
+        return self._retry_policy
 
     # ------------------------------------------------------------------
     # quorum selection fast path
@@ -302,9 +331,38 @@ class QuorumCoordinator:
             if op == "read":
                 return system.select_read_quorum(self._detector, self._rng)
             return system.select_write_quorum(self._detector, self._rng)
+        suspects = self._suspects
+        avoid: frozenset[int] = (
+            suspects.suspected(self.scheduler.now)
+            if suspects is not None
+            else frozenset()
+        )
         selector = self._selector
         if selector is not None:
+            if avoid:
+                quorum, avoided = selector.select_avoiding(
+                    op, self._live_replicas(), avoid, self._rng
+                )
+                if avoided:
+                    suspects.note_avoided()
+                return quorum
             return selector.select(op, self._live_replicas(), self._rng)
+        if avoid and any(self._detector(sid) for sid in avoid):
+            # Structural selector: run it once over an oracle that also
+            # rules out suspected sites; fall back to the plain liveness
+            # oracle when no suspect-free quorum stands.
+            detector = self._detector
+
+            def preferred(sid: int) -> bool:
+                return sid not in avoid and detector(sid)
+
+            if op == "read":
+                quorum = self._system.select_read_quorum(preferred, self._rng)
+            else:
+                quorum = self._system.select_write_quorum(preferred, self._rng)
+            if quorum is not None:
+                suspects.note_avoided()
+                return quorum
         if op == "read":
             return self._system.select_read_quorum(self._detector, self._rng)
         return self._system.select_write_quorum(self._detector, self._rng)
@@ -501,8 +559,21 @@ class QuorumCoordinator:
         Discovering unavailability costs real time (a probe round); charging
         it here keeps the simulated clock moving, so periodic failure
         injectors and the workload stay correctly interleaved.
+
+        The ``ctx.finished`` guard matters: a racing timeout path can
+        finish the operation before a pending phase start lands here, and
+        scheduling the retry callback (or recording the defer span) for a
+        finished context would leak a stray event past the operation's
+        closed root span.
         """
+        if ctx.finished:
+            return
         self._cancel_timeout(ctx)
+        delay = self._unavailable_delay
+        if self._retry_policy is not None:
+            policy_delay = self._retry_policy.unavailable_delay(ctx.attempts)
+            if policy_delay is not None:
+                delay = policy_delay
         recorder = self._recorder
         if recorder.enabled:
             now = self.scheduler.now
@@ -511,11 +582,11 @@ class QuorumCoordinator:
                 "unavailable_defer", SpanKind.DEFER, now, op=ctx.op_type,
             )
             recorder.end_span(
-                span, now + self._unavailable_delay,
+                span, now + delay,
                 status=FailureReason.UNAVAILABLE.value,
             )
         self.scheduler.schedule(
-            self._unavailable_delay,
+            delay,
             lambda: self._retry_or_fail(ctx, FailureReason.UNAVAILABLE),
         )
 
@@ -531,7 +602,26 @@ class QuorumCoordinator:
                 ctx.trace_id, ctx.op_span, "retry", self.scheduler.now,
                 op=ctx.op_type, reason=reason.value, attempt=ctx.attempts,
             )
-        self._start_attempt(ctx)
+        # The unavailability path already charged its delay in
+        # _defer_unavailable; every other failure consults the retry
+        # policy for a backoff before the next attempt.
+        delay = 0.0
+        if (
+            self._retry_policy is not None
+            and reason is not FailureReason.UNAVAILABLE
+        ):
+            delay = self._retry_policy.retry_delay(ctx.attempts)
+        if delay <= 0.0:
+            self._start_attempt(ctx)
+            return
+        if self._recorder.enabled:
+            now = self.scheduler.now
+            span = self._recorder.start_span(
+                ctx.trace_id, ctx.op_span, "backoff", SpanKind.DEFER, now,
+                op=ctx.op_type, attempt=ctx.attempts,
+            )
+            self._recorder.end_span(span, now + delay)
+        self.scheduler.schedule(delay, lambda: self._start_attempt(ctx))
 
     def _arm_timeout(self, ctx: _OpContext) -> None:
         self._cancel_timeout(ctx)
@@ -546,6 +636,17 @@ class QuorumCoordinator:
             ctx.timeout_handle.cancel()
             ctx.timeout_handle = None
 
+    @staticmethod
+    def _pending_members(ctx: _OpContext, stage: _Stage) -> set[int]:
+        """Quorum members that have stayed silent in ``stage`` so far."""
+        if stage is _Stage.READ:
+            return set(ctx.quorum) - ctx.replies.keys()
+        if stage is _Stage.VERSION:
+            return set(ctx.version_quorum) - ctx.versions.keys()
+        if stage is _Stage.PREPARE:
+            return set(ctx.quorum) - ctx.votes.keys()
+        return set(ctx.quorum) - ctx.acks
+
     def _on_timeout(self, ctx: _OpContext, attempt: int, stage: _Stage) -> None:
         if ctx.finished or ctx.attempts != attempt or ctx.stage is not stage:
             return
@@ -554,6 +655,14 @@ class QuorumCoordinator:
                 ctx.trace_id, ctx.attempt_span or ctx.op_span, "timeout",
                 self.scheduler.now, op=ctx.op_type, stage=stage.value,
                 attempt=attempt,
+            )
+        if self._suspects is not None and stage is not _Stage.COMMIT:
+            # Members that never answered within the timeout window are the
+            # detector's evidence source: crashed sites are already excluded
+            # from future selections by the liveness oracle, but stragglers
+            # and flaky links look exactly like this.
+            self._suspects.record_timeout(
+                sorted(self._pending_members(ctx, stage)), self.scheduler.now
             )
         if stage is _Stage.COMMIT:
             self._continue_commit(ctx)
@@ -756,6 +865,10 @@ class QuorumCoordinator:
         if not pending:
             self._complete_commit(ctx)
             return
+        if self._suspects is not None:
+            # Live-but-silent quorum members holding up the commit phase
+            # are straggler evidence too.
+            self._suspects.record_timeout(sorted(pending), self.scheduler.now)
         if self._recorder.enabled:
             self._recorder.event(
                 ctx.trace_id, ctx.attempt_span or ctx.op_span,
@@ -809,26 +922,46 @@ class QuorumCoordinator:
     # ------------------------------------------------------------------
 
     def receive(self, message: Message) -> None:
-        """Route replies to their pending operation (stale ones are ignored)."""
+        """Route replies to their pending operation (stale ones are ignored).
+
+        Only a *timely* reply — one that still finds its pending operation
+        in the matching stage — exonerates the sender.  A straggler's
+        answer that limps in after the attempt already timed out proves
+        nothing about its current usefulness, and counting it as proof of
+        life would flap the failure detector between suspicion and trust
+        on every straggler round-trip.
+        """
+        ctx: _OpContext | None = None
+        dispatch = None
         if isinstance(message, ReadReply):
             ctx = self._by_request.get(message.request_id)
             if ctx is not None and ctx.stage is _Stage.READ:
-                self._on_read_reply(ctx, message)
+                dispatch = self._on_read_reply
         elif isinstance(message, VersionReply):
             ctx = self._by_request.get(message.request_id)
             if ctx is not None and ctx.stage is _Stage.VERSION:
-                self._on_version_reply(ctx, message)
+                dispatch = self._on_version_reply
         elif isinstance(message, VoteMessage):
             ctx = self._by_txid.get(message.txid)
             if ctx is not None and ctx.stage is _Stage.PREPARE:
-                self._on_vote(ctx, message)
+                dispatch = self._on_vote
         elif isinstance(message, DecisionRequest):
+            # A replica asking for a past decision is running recovery:
+            # it is certainly alive right now.
+            if self._suspects is not None and message.src >= 0:
+                self._suspects.exonerate(message.src, self.scheduler.now)
             self._on_decision_request(message)
+            return
         elif isinstance(message, AckMessage):
             ctx = self._by_txid.get(message.txid)
             if ctx is not None and ctx.stage is _Stage.COMMIT:
-                self._on_ack(ctx, message)
+                dispatch = self._on_ack
         else:
             raise TypeError(
                 f"coordinator cannot handle {type(message).__name__}"
             )
+        if dispatch is None:
+            return
+        if self._suspects is not None and message.src >= 0:
+            self._suspects.exonerate(message.src, self.scheduler.now)
+        dispatch(ctx, message)

@@ -15,6 +15,9 @@ from typing import Any
 
 from repro.core.protocol import ArbitraryProtocol
 from repro.core.tree import ArbitraryTree
+from repro.fault.detector import SuspectList
+from repro.fault.invariants import InvariantChecker
+from repro.fault.retry import RetryPolicySpec
 from repro.obs.recorder import NULL_RECORDER, NullRecorder, TraceRecorder
 from repro.quorums.system import QuorumSystem
 from repro.sim.coordinator import QuorumCoordinator
@@ -72,6 +75,27 @@ class SimulationConfig:
         counters, lock wait/hold metrics); the recorder lands on
         ``Monitor.recorder`` / ``SimulationResult.recorder``.  Off by
         default — the no-op recorder keeps the hot paths at full speed.
+    retry_policy:
+        Optional picklable :class:`~repro.fault.retry.RetryPolicySpec`.
+        Each coordinator builds its own policy instance from it, with a
+        seed derived from the coordinator master stream, so backoff
+        jitter is deterministic per run and per coordinator.  ``None``
+        keeps the legacy immediate-retry shape (and, crucially, the
+        legacy RNG streams byte-for-byte).
+    detector:
+        When True, attach one shared
+        :class:`~repro.fault.detector.SuspectList` to every coordinator:
+        silent quorum members accumulate suspicion evidence and quorum
+        selection prefers quorums avoiding suspected sites.
+    probe_interval / suspect_threshold:
+        Failure-detector tuning (how long suspicion lasts before a site
+        is rehabilitated, and how many pieces of evidence it takes).
+    check_invariants:
+        When True, :func:`simulate` audits every completed operation with
+        an :class:`~repro.fault.invariants.InvariantChecker` (quorum
+        intersection + version monotonicity) and raises
+        :class:`~repro.fault.invariants.InvariantViolation` on first
+        blood.  The chaos CI job runs with this on.
     """
 
     tree: ArbitraryTree | None = None
@@ -87,6 +111,11 @@ class SimulationConfig:
     service_time: float = 0.0
     seed: int = 0
     trace: bool = False
+    retry_policy: RetryPolicySpec | None = None
+    detector: bool = False
+    probe_interval: float = 30.0
+    suspect_threshold: int = 1
+    check_invariants: bool = False
 
     def resolve(self) -> tuple[QuorumSystem, int]:
         """The (quorum system, replica count) pair this config describes.
@@ -122,6 +151,10 @@ class SimulationResult:
     events_processed: int
     #: The run's trace recorder (a no-op recorder unless ``config.trace``).
     recorder: NullRecorder = NULL_RECORDER
+    #: The shared failure detector (``None`` unless ``config.detector``).
+    suspects: SuspectList | None = None
+    #: The safety auditor (``None`` unless ``config.check_invariants``).
+    invariants: InvariantChecker | None = None
 
     def summary(self) -> dict[str, float]:
         """Monitor headline numbers plus network/message counters."""
@@ -135,8 +168,15 @@ class SimulationResult:
 
 def build_simulation(
     config: SimulationConfig,
+    invariants: InvariantChecker | None = None,
 ) -> tuple[Scheduler, Workload, Monitor, Network, list[Site]]:
-    """Wire a simulation without running it (useful for custom driving)."""
+    """Wire a simulation without running it (useful for custom driving).
+
+    ``invariants`` splices a safety auditor in front of the monitor's
+    outcome callback; pass your own instance to keep a reference (one is
+    created internally when ``config.check_invariants`` asks for auditing
+    but none is supplied).
+    """
     system, n = config.resolve()
     scheduler = Scheduler()
     rng = random.Random(config.seed)
@@ -171,6 +211,20 @@ def build_simulation(
     version_floor: dict = {}
     workload_seed = rng.getrandbits(64)
     coordinator_master = random.Random(rng.getrandbits(64))
+    # One SuspectList shared by every coordinator: evidence gathered by one
+    # client's timeouts steers every client's selection (the detector
+    # models a site-local subsystem, not per-operation state).
+    suspects = (
+        SuspectList(
+            probe_interval=config.probe_interval,
+            threshold=config.suspect_threshold,
+            recorder=recorder,
+        )
+        if config.detector
+        else None
+    )
+    if invariants is None and config.check_invariants:
+        invariants = InvariantChecker()
     coordinators = []
     for index in range(config.clients):
         coordinator_sid = COORDINATOR_SID - index
@@ -182,6 +236,16 @@ def build_simulation(
             # and link failures).
             return sites[sid].is_up and network.reachable(_csid, sid)
 
+        # The coordinator's own seed is drawn unconditionally (legacy
+        # stream); the retry-policy jitter seed is drawn *only* when a
+        # policy is configured, so unconfigured runs keep byte-identical
+        # coordinator streams.
+        coordinator_rng = random.Random(coordinator_master.getrandbits(64))
+        retry_policy = (
+            config.retry_policy.build(coordinator_master.getrandbits(64))
+            if config.retry_policy is not None
+            else None
+        )
         coordinators.append(
             QuorumCoordinator(
                 sid=coordinator_sid,
@@ -189,7 +253,7 @@ def build_simulation(
                 system=system,
                 locks=locks,
                 detector=detector,
-                rng=random.Random(coordinator_master.getrandbits(64)),
+                rng=coordinator_rng,
                 timeout=config.timeout,
                 max_attempts=config.max_attempts,
                 writer_id=n + index,  # distinct from every replica SID
@@ -197,6 +261,8 @@ def build_simulation(
                 version_floor=version_floor,
                 recorder=recorder,
                 liveness_epoch=lambda: network.liveness_epoch,
+                retry_policy=retry_policy,
+                suspects=suspects,
             )
         )
     workload = Workload(
@@ -204,7 +270,11 @@ def build_simulation(
         coordinator=coordinators,
         scheduler=scheduler,
         rng=random.Random(workload_seed),
-        on_outcome=monitor.record,
+        on_outcome=(
+            invariants.wrap(monitor.record)
+            if invariants is not None
+            else monitor.record
+        ),
     )
     config.failures.install(scheduler, sites, network)
     return scheduler, workload, monitor, network, sites
@@ -218,7 +288,10 @@ def simulate(config: SimulationConfig, max_events: int = 5_000_000) -> Simulatio
     non-empty forever).  ``max_events`` is a safety net against
     configuration errors, raising rather than spinning.
     """
-    scheduler, workload, monitor, network, sites = build_simulation(config)
+    invariants = InvariantChecker() if config.check_invariants else None
+    scheduler, workload, monitor, network, sites = build_simulation(
+        config, invariants=invariants
+    )
     workload.start()
     executed = 0
     while workload.completed < config.workload.operations:
@@ -241,4 +314,6 @@ def simulate(config: SimulationConfig, max_events: int = 5_000_000) -> Simulatio
         duration=scheduler.now,
         events_processed=scheduler.processed_events,
         recorder=monitor.recorder,
+        suspects=workload.coordinators[0].suspects,
+        invariants=invariants,
     )

@@ -93,6 +93,16 @@ class BernoulliFailures(FailureInjector):
         network: Network,
     ) -> None:
         """Crash the unlucky sites now; optionally redraw periodically."""
+        if isinstance(self._p, Mapping):
+            # Validate up front instead of dying with a bare KeyError on the
+            # first draw (or — for an empty mapping against no sites —
+            # passing vacuously): a heterogeneous p must cover the fleet.
+            missing = [site.sid for site in sites if site.sid not in self._p]
+            if missing:
+                raise ValueError(
+                    "BernoulliFailures p mapping must cover every site; "
+                    f"missing SIDs {missing}"
+                )
         self._apply(sites)
         if self._resample_every is not None:
             self._schedule_resample(scheduler, sites)
@@ -168,8 +178,12 @@ class CrashRepairProcess(FailureInjector):
 
     def _schedule_recovery(self, scheduler: Scheduler, site: Site) -> None:
         delay = self._rng.expovariate(1.0 / self._mean_downtime)
-        if not self._within_horizon(scheduler, delay):
-            return
+        # Recoveries are NOT horizon-gated: the horizon stops new *crashes*
+        # (the next crash gates itself in _schedule_crash), but every crash
+        # must still pair with its repair (transient failures, Section 2.2).
+        # Gating recoveries here used to leave any site whose repair fell
+        # past the horizon crashed forever, silently depressing measured
+        # availability on long tails.
 
         def recover() -> None:
             site.recover()

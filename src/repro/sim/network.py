@@ -143,6 +143,12 @@ class Network:
         self._endpoints: dict[int, Endpoint] = {}
         self._partition = PartitionSpec()
         self._liveness_epoch = 0
+        #: Per-site extra loss (chaos: flaky links) and latency inflation
+        #: (chaos: stragglers).  Both empty by default, and the hot path
+        #: only consults them when non-empty, so configurations that never
+        #: use them draw exactly the same RNG stream as before.
+        self._site_drop: dict[int, float] = {}
+        self._latency_factors: dict[int, float] = {}
         self.stats = NetworkStats()
 
     def register(self, sid: int, endpoint: Endpoint) -> None:
@@ -178,6 +184,62 @@ class Network:
     def bump_liveness_epoch(self) -> None:
         """Invalidate cached live-set views (sites call this on crash/recover)."""
         self._liveness_epoch += 1
+
+    # ------------------------------------------------------------------
+    # runtime link degradation (chaos scenarios)
+    # ------------------------------------------------------------------
+
+    @property
+    def drop_probability(self) -> float:
+        """The current global i.i.d. message-loss probability."""
+        return self._drop_probability
+
+    def set_drop_probability(self, probability: float) -> None:
+        """Change the global loss probability mid-run (chaos bursts)."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("drop probability must be in [0, 1]")
+        self._drop_probability = probability
+
+    def set_site_drop(self, sid: int, probability: float) -> None:
+        """Extra loss on every link touching ``sid`` (0 restores it).
+
+        Composes with the global probability as independent loss events:
+        a message survives only if neither the global link, the source's
+        flakiness nor the destination's flakiness eats it.
+        """
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("drop probability must be in [0, 1]")
+        if probability == 0.0:
+            self._site_drop.pop(sid, None)
+        else:
+            self._site_drop[sid] = probability
+
+    def set_site_latency_factor(self, sid: int, factor: float) -> None:
+        """Multiply latency of every message touching ``sid`` (1 restores).
+
+        Chaos straggler sites answer everything — just ``factor`` times
+        slower; factors of source and destination multiply.
+        """
+        if factor <= 0:
+            raise ValueError("latency factor must be positive")
+        if factor == 1.0:
+            self._latency_factors.pop(sid, None)
+        else:
+            self._latency_factors[sid] = factor
+
+    def _effective_drop(self, src: int, dst: int) -> float:
+        survive = 1.0 - self._drop_probability
+        site_drop = self._site_drop
+        if site_drop:
+            survive *= 1.0 - site_drop.get(src, 0.0)
+            survive *= 1.0 - site_drop.get(dst, 0.0)
+        return 1.0 - survive
+
+    def _latency_factor(self, src: int, dst: int) -> float:
+        factors = self._latency_factors
+        if not factors:
+            return 1.0
+        return factors.get(src, 1.0) * factors.get(dst, 1.0)
 
     # ------------------------------------------------------------------
     # partitions
@@ -225,12 +287,14 @@ class Network:
             if recorder.enabled:
                 recorder.count("message.dropped.partition", type(message).__name__)
             return
-        if self._drop_probability and self._rng.random() < self._drop_probability:
+        drop = self._effective_drop(message.src, message.dst)
+        if drop and self._rng.random() < drop:
             self.stats.dropped_loss += 1
             if recorder.enabled:
                 recorder.count("message.dropped.loss", type(message).__name__)
             return
-        delay = self._latency(self._rng)
+        factor = self._latency_factor(message.src, message.dst)
+        delay = self._latency(self._rng) * factor
         self._scheduler.schedule(delay, lambda: self._deliver(message))
         if (
             self._duplicate_probability
@@ -241,7 +305,7 @@ class Network:
             self.stats.duplicated += 1
             if recorder.enabled:
                 recorder.count("message.duplicated", type(message).__name__)
-            extra = delay + self._latency(self._rng)
+            extra = delay + self._latency(self._rng) * factor
             self._scheduler.schedule(extra, lambda: self._deliver(message))
 
     def broadcast(self, messages: Iterable[Message]) -> None:

@@ -53,6 +53,24 @@ class TestBernoulli:
         with pytest.raises(ValueError):
             BernoulliFailures(p=1.5)
 
+    def test_mapping_p_drives_per_site_fate(self, rig):
+        scheduler, network, sites = rig
+        p = {site.sid: (1.0 if site.sid % 2 == 0 else 0.0) for site in sites}
+        BernoulliFailures(p=p, seed=0).install(scheduler, sites, network)
+        assert all(site.is_up == (site.sid % 2 == 0) for site in sites)
+
+    def test_mapping_p_must_cover_every_site(self, rig):
+        """Regression: a partial mapping used to die with a bare KeyError
+        on the first missing SID (and an empty mapping passed vacuously)."""
+        scheduler, network, sites = rig
+        partial = {site.sid: 0.5 for site in sites[:-3]}
+        with pytest.raises(ValueError, match="missing SIDs"):
+            BernoulliFailures(p=partial, seed=0).install(
+                scheduler, sites, network
+            )
+        with pytest.raises(ValueError, match="missing SIDs"):
+            BernoulliFailures(p={}, seed=0).install(scheduler, sites, network)
+
     def test_resampling_changes_states(self, rig):
         scheduler, network, sites = rig
         BernoulliFailures(p=0.5, seed=3, resample_every=10.0).install(
@@ -111,13 +129,33 @@ class TestCrashRepair:
             process.long_run_availability, abs=0.05
         )
 
-    def test_horizon_stops_events(self, rig):
+    def test_horizon_stops_new_crashes(self, rig):
+        scheduler, network, sites = rig
+        CrashRepairProcess(
+            mean_uptime=5.0, mean_downtime=5.0, seed=0, horizon=50.0
+        ).install(scheduler, sites, network)
+        last_crash_at = 0.0
+        crashes = [site.stats.crashes for site in sites]
+        while scheduler.step():
+            now_crashes = [site.stats.crashes for site in sites]
+            if now_crashes != crashes:
+                crashes = now_crashes
+                last_crash_at = scheduler.now
+        assert crashes and sum(crashes) > 0
+        assert last_crash_at <= 50.0
+
+    def test_recovery_paired_even_past_horizon(self, rig):
+        """Regression: a crash whose repair falls past the horizon must
+        still recover — the horizon ends the crash process, it does not
+        strand sites in the down state forever."""
         scheduler, network, sites = rig
         CrashRepairProcess(
             mean_uptime=5.0, mean_downtime=5.0, seed=0, horizon=50.0
         ).install(scheduler, sites, network)
         scheduler.run()
-        assert scheduler.now <= 50.0
+        for site in sites:
+            assert site.stats.crashes == site.stats.recoveries
+            assert site.is_up
 
 
 class TestPartitionSchedule:
