@@ -19,6 +19,11 @@
   process pool and reports the merged measurements; ``--retry-policy`` /
   ``--backoff`` select the coordinator's retry-delay schedule and
   ``--detector`` turns on suspicion-aware quorum selection);
+* ``shard``     — run a sharded multi-object keyspace: a router
+  partitions the keys onto N shards, each shard runs its own replica
+  group, and a load balancer spreads traffic over per-shard coordinator
+  pools (``--repeats R --jobs N`` fans independently seeded repeats
+  across a process pool, merged shard-wise and bit-identical to serial);
 * ``chaos``     — run a chaos scenario (flaky links, rolling restarts,
   stragglers, partition flapping, mass crash) with the safety invariant
   checker armed, and report availability, recovery behaviour and
@@ -350,6 +355,99 @@ def _print_simulation(spec: str, operations: int, read_fraction: float,
     ))
 
 
+def _shard_params(args):
+    """Build the :class:`ShardParams` record a ``shard`` invocation describes."""
+    from repro.runner import ShardParams
+
+    if args.protocol is None or args.protocol == "arbitrary-spec":
+        ref = ("tree", args.spec)
+    else:
+        ref = ("protocol", args.protocol, args.n or 16)
+    return ShardParams(
+        shards=args.shards,
+        systems=(ref,),
+        operations=args.operations,
+        read_fraction=args.read_fraction,
+        keys=args.keys,
+        zipf_s=args.zipf,
+        rate=args.rate,
+        diurnal_period=args.diurnal_period,
+        diurnal_amplitude=args.diurnal_amplitude,
+        router=args.router,
+        router_seed=args.router_seed,
+        balancer=args.balancer,
+        clients_per_shard=args.clients_per_shard,
+        p=args.p,
+        regions=args.regions,
+        drop=args.drop,
+        service_time=args.service_time,
+        seed=args.seed,
+        retry_policy=_retry_policy_spec(args.retry_policy, args.backoff),
+        detector=args.detector,
+    )
+
+
+def _print_shard(args) -> None:
+    """``repro shard``: a sharded keyspace run with per-shard breakdown."""
+    from repro.runner import build_sharded_config
+
+    params = _shard_params(args)
+    config, label = build_sharded_config(params)
+    if args.repeats > 1:
+        from repro.runner import (
+            ProgressPrinter,
+            merge_sharded_monitors,
+            parallel_shard_simulations,
+        )
+
+        monitor = merge_sharded_monitors(parallel_shard_simulations(
+            params, args.repeats, jobs=args.jobs,
+            progress=ProgressPrinter("shard") if args.jobs > 1 else None,
+        ))
+        summary = monitor.summary()
+        throughput: object = "-"
+        title = (f"{label}: {args.operations} ops x {args.repeats} repeats, "
+                 f"p = {args.p}, master seed {args.seed}, jobs {args.jobs}")
+    else:
+        from repro.shard import simulate_sharded
+
+        result = simulate_sharded(config)
+        monitor = result.monitor
+        summary = result.summary()
+        throughput = round(summary["ops_per_sec"], 4)
+        title = (f"{label}: {args.operations} ops, p = {args.p}, "
+                 f"seed {args.seed}")
+    shard_rows = [
+        [shard, s["reads"] + s["writes"],
+         round(s["read_availability"], 3), round(s["write_availability"], 3),
+         round(m.reads.latency_percentile(0.5), 2),
+         round(m.reads.latency_percentile(0.99), 2)]
+        for shard, (s, m) in enumerate(
+            zip(monitor.per_shard_summaries(), monitor.shards)
+        )
+    ]
+    print(format_table(
+        ["shard", "ops", "rd avail", "wr avail", "rd p50", "rd p99"],
+        shard_rows, title=title,
+    ))
+    print()
+    print(format_table(
+        ["quantity", "value"],
+        [
+            ["operations", int(summary["reads"] + summary["writes"])],
+            ["ops/sec (simulated)", throughput],
+            ["read availability", round(summary["read_availability"], 4)],
+            ["write availability", round(summary["write_availability"], 4)],
+            ["read latency p50/p99",
+             f"{summary['read_latency_p50']:g}/{summary['read_latency_p99']:g}"],
+            ["write latency p50/p99",
+             f"{summary['write_latency_p50']:g}/"
+             f"{summary['write_latency_p99']:g}"],
+        ],
+        title="aggregate",
+    ))
+
+
 def _print_chaos(args) -> None:
     """``repro chaos``: a scenario run with the invariant checker armed."""
     from repro.runner.tasks import SimParams, build_sim_config
@@ -627,6 +725,84 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_fault_arguments(sim_parser)
 
+    from repro.shard import BALANCER_POLICIES, ROUTER_KINDS
+
+    shard_parser = sub.add_parser(
+        "shard",
+        help="run a sharded multi-object keyspace over per-shard replica "
+             "groups",
+    )
+    shard_parser.add_argument(
+        "spec", nargs="?", default="1-3-5",
+        help="per-shard tree spec (every shard runs one replica group)",
+    )
+    shard_parser.add_argument("--shards", type=int, default=4)
+    shard_parser.add_argument(
+        "--protocol", choices=PROTOCOL_NAMES, default=None,
+        help="run shards on a zoo protocol instead of a tree spec",
+    )
+    shard_parser.add_argument("--n", type=int, default=0,
+                              help="replica count for --protocol")
+    shard_parser.add_argument("--operations", type=int, default=2000)
+    shard_parser.add_argument("--read-fraction", type=float, default=0.5)
+    shard_parser.add_argument(
+        "--keys", type=int, default=1024,
+        help="global keyspace size the router partitions",
+    )
+    shard_parser.add_argument(
+        "--zipf", type=float, default=0.0,
+        help="Zipf skew of key popularity (0 = uniform)",
+    )
+    shard_parser.add_argument(
+        "--rate", type=float, default=0.25,
+        help="aggregate Poisson arrival rate (ops per time unit)",
+    )
+    shard_parser.add_argument(
+        "--diurnal-period", type=float, default=0.0,
+        help="diurnal cycle length in simulated time units (0 = constant "
+             "rate)",
+    )
+    shard_parser.add_argument(
+        "--diurnal-amplitude", type=float, default=0.0,
+        help="relative diurnal swing in [0, 1]",
+    )
+    shard_parser.add_argument(
+        "--router", choices=ROUTER_KINDS, default="hash",
+        help="keyspace partitioning scheme",
+    )
+    shard_parser.add_argument("--router-seed", type=int, default=0,
+                              help="hash-placement seed")
+    shard_parser.add_argument(
+        "--balancer", choices=BALANCER_POLICIES, default="round-robin",
+        help="per-shard coordinator-pool policy",
+    )
+    shard_parser.add_argument("--clients-per-shard", type=int, default=1)
+    shard_parser.add_argument(
+        "--p", type=float, default=1.0,
+        help="per-replica availability (1.0 = no failures)",
+    )
+    shard_parser.add_argument(
+        "--regions", type=int, default=0,
+        help="spread each shard's replicas over this many latency regions "
+             "(0 = uniform latency)",
+    )
+    shard_parser.add_argument("--drop", type=float, default=0.0,
+                              help="message drop probability in [0, 1]")
+    shard_parser.add_argument(
+        "--service-time", type=float, default=0.0,
+        help="per-message replica processing time (adds queueing)",
+    )
+    shard_parser.add_argument("--seed", type=int, default=0)
+    shard_parser.add_argument(
+        "--repeats", type=int, default=1,
+        help="independently seeded repeats (merged shard-wise)",
+    )
+    shard_parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes to fan repeats across",
+    )
+    _add_fault_arguments(shard_parser)
+
     from repro.fault.scenarios import CHAOS_SCENARIOS
 
     chaos_parser = sub.add_parser(
@@ -724,6 +900,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             retry_policy=_retry_policy_spec(args.retry_policy, args.backoff),
             detector=args.detector,
         )
+    elif args.command == "shard":
+        _print_shard(args)
     elif args.command == "chaos":
         _print_chaos(args)
     elif args.command == "trace":

@@ -25,16 +25,20 @@ from repro.runner.merge import (
     merge_availability,
     merge_monitors,
     merge_series,
+    merge_sharded_monitors,
 )
 from repro.runner.pool import derive_seeds, run_tasks
 from repro.runner.progress import ProgressPrinter, null_progress
 from repro.runner.tasks import (
     AvailabilityChunk,
+    ShardParams,
     SimParams,
     SweepTask,
     SystemRef,
+    build_sharded_config,
     build_sim_config,
     parallel_availability,
+    parallel_shard_simulations,
     parallel_simulations,
     parallel_sweep,
     resolve_system,
@@ -43,16 +47,20 @@ from repro.runner.tasks import (
 __all__ = [
     "AvailabilityChunk",
     "ProgressPrinter",
+    "ShardParams",
     "SimParams",
     "SweepTask",
     "SystemRef",
+    "build_sharded_config",
     "build_sim_config",
     "derive_seeds",
     "merge_availability",
     "merge_monitors",
     "merge_series",
+    "merge_sharded_monitors",
     "null_progress",
     "parallel_availability",
+    "parallel_shard_simulations",
     "parallel_simulations",
     "parallel_sweep",
     "resolve_system",

@@ -12,13 +12,31 @@ import math
 from collections.abc import Sequence
 
 from repro.analysis.sweeps import FigureSeries
-from repro.sim.monitor import Monitor
+from repro.sim.monitor import Monitor, ShardedMonitor
 
 
 def merge_monitors(monitors: Sequence[Monitor]) -> Monitor:
     """Fold shard monitors into the first one (in place; returns it)."""
     if not monitors:
         raise ValueError("need at least one monitor to merge")
+    merged = monitors[0]
+    for monitor in monitors[1:]:
+        merged.merge(monitor)
+    return merged
+
+
+def merge_sharded_monitors(
+    monitors: Sequence[ShardedMonitor],
+) -> ShardedMonitor:
+    """Fold repeat :class:`ShardedMonitor` results into the first one.
+
+    The fold is shard-wise and in task order (repeat 0's shard k absorbs
+    repeat 1's shard k, then repeat 2's, ...), exactly the order a serial
+    loop would produce — so a ``--jobs N`` sharded fan-out merges to the
+    bytes of the serial run.
+    """
+    if not monitors:
+        raise ValueError("need at least one sharded monitor to merge")
     merged = monitors[0]
     for monitor in monitors[1:]:
         merged.merge(monitor)

@@ -34,7 +34,7 @@ from repro.quorums.availability import estimate_availability_monte_carlo
 from repro.quorums.system import DEFAULT_MAX_QUORUMS, QuorumSystem
 from repro.runner.merge import merge_availability, merge_series
 from repro.runner.pool import ProgressCallback, derive_seeds, run_tasks
-from repro.sim.monitor import Monitor
+from repro.sim.monitor import Monitor, ShardedMonitor
 
 #: Plain-data reference to a quorum system: ``("tree", "1-3-5")`` or
 #: ``("protocol", "majority", 15)``.
@@ -305,3 +305,124 @@ def parallel_simulations(
         for child_seed in derive_seeds(master, repeats)
     ]
     return run_tasks(_run_sim_task, tasks, jobs=jobs, progress=progress)
+
+
+# ----------------------------------------------------------------------
+# repeated-seed sharded simulations
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardParams:
+    """Plain-data sharded-simulation parameters (picklable).
+
+    ``systems`` carries :data:`SystemRef` tuples, never materialised
+    quorum systems — workers rebuild each shard's system from its
+    reference, exactly like the other task records.  One entry is
+    broadcast to every shard.
+    """
+
+    shards: int = 4
+    systems: tuple = (("tree", "1-3-5"),)
+    operations: int = 2000
+    read_fraction: float = 0.5
+    keys: int = 1024
+    zipf_s: float = 0.0
+    arrival: str = "poisson"
+    rate: float = 0.25
+    diurnal_period: float = 0.0
+    diurnal_amplitude: float = 0.0
+    router: str = "hash"
+    router_seed: int = 0
+    balancer: str = "round-robin"
+    clients_per_shard: int = 1
+    p: float = 1.0
+    regions: int = 0
+    local_latency: float = 1.0
+    remote_latency: float = 3.0
+    drop: float = 0.0
+    timeout: float = 8.0
+    max_attempts: int = 3
+    service_time: float = 0.0
+    seed: int = 0
+    retry_policy: "RetryPolicySpec | None" = None
+    detector: bool = False
+
+
+def build_sharded_config(params: ShardParams):
+    """The ``(ShardedConfig, label)`` pair a :class:`ShardParams` describes.
+
+    The single source of the ``shard`` CLI subcommand's defaults; workers
+    and CLI runs build byte-identical configs from the same record.
+    """
+    from repro.shard import ShardedConfig
+    from repro.sim import WorkloadSpec
+
+    workload = WorkloadSpec(
+        operations=params.operations,
+        read_fraction=params.read_fraction,
+        keys=params.keys,
+        arrival=params.arrival,
+        rate=params.rate,
+        zipf_s=params.zipf_s,
+        diurnal_period=params.diurnal_period,
+        diurnal_amplitude=params.diurnal_amplitude,
+    )
+    config = ShardedConfig(
+        workload=workload,
+        shards=params.shards,
+        systems=params.systems,
+        router=params.router,
+        router_seed=params.router_seed,
+        balancer=params.balancer,
+        clients_per_shard=params.clients_per_shard,
+        p=params.p,
+        regions=params.regions,
+        local_latency=params.local_latency,
+        remote_latency=params.remote_latency,
+        drop_probability=params.drop,
+        timeout=params.timeout,
+        max_attempts=params.max_attempts,
+        service_time=params.service_time,
+        seed=params.seed,
+        retry_policy=params.retry_policy,
+        detector=params.detector,
+    )
+    names = ", ".join("/".join(str(part) for part in ref[1:]) for ref in params.systems)
+    label = (
+        f"sharded simulation: {params.shards} shards of {names} "
+        f"({params.router} router, {params.keys} keys)"
+    )
+    return config, label
+
+
+def _run_shard_sim_task(params: ShardParams) -> ShardedMonitor:
+    from repro.shard import simulate_sharded
+
+    config, _ = build_sharded_config(params)
+    return simulate_sharded(config).monitor
+
+
+def parallel_shard_simulations(
+    params: ShardParams,
+    repeats: int,
+    master_seed: int | None = None,
+    jobs: int = 1,
+    progress: ProgressCallback | None = None,
+) -> list[ShardedMonitor]:
+    """Run ``repeats`` independently seeded sharded simulations.
+
+    Same contract as :func:`parallel_simulations`: repeat k runs under the
+    k-th child seed of ``master_seed`` (default ``params.seed``) no matter
+    the job count, and the returned list folds shard-wise through
+    :func:`~repro.runner.merge.merge_sharded_monitors` to bytes identical
+    to a serial loop.
+    """
+    if repeats < 1:
+        raise ValueError("need at least one repeat")
+    master = params.seed if master_seed is None else master_seed
+    tasks = [
+        replace(params, seed=child_seed)
+        for child_seed in derive_seeds(master, repeats)
+    ]
+    return run_tasks(_run_shard_sim_task, tasks, jobs=jobs, progress=progress)

@@ -1,0 +1,42 @@
+"""Sharded multi-object keyspace: router, per-shard replica groups, balancer.
+
+The protocol layers below simulate *one* replicated object; this package
+scales the simulation out to a large keyspace by partitioning key indices
+onto shards (:mod:`repro.shard.router`), running an independent replica
+group — its own quorum system, network, sites and coordinator pool — per
+shard (:mod:`repro.shard.store`), and spreading client traffic over each
+pool (:mod:`repro.shard.balancer`).
+"""
+
+from repro.shard.balancer import BALANCER_POLICIES, LoadBalancer
+from repro.shard.router import (
+    ROUTER_KINDS,
+    HashRouter,
+    RangeRouter,
+    ShardRouter,
+    make_router,
+    mix64,
+)
+from repro.shard.store import (
+    ShardedConfig,
+    ShardedResult,
+    ShardedStore,
+    build_sharded_simulation,
+    simulate_sharded,
+)
+
+__all__ = [
+    "BALANCER_POLICIES",
+    "ROUTER_KINDS",
+    "HashRouter",
+    "LoadBalancer",
+    "RangeRouter",
+    "ShardRouter",
+    "ShardedConfig",
+    "ShardedResult",
+    "ShardedStore",
+    "build_sharded_simulation",
+    "make_router",
+    "mix64",
+    "simulate_sharded",
+]

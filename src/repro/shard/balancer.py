@@ -1,0 +1,89 @@
+"""Client-traffic load balancing across per-shard coordinator pools.
+
+Every shard runs one or more coordinators (the shard's front-ends); the
+:class:`LoadBalancer` decides which one serves each routed operation.  Two
+deterministic policies:
+
+* ``"round-robin"`` — a per-shard cursor; perfectly fair under any
+  arrival pattern and completely stateless about operation lifetimes;
+* ``"least-outstanding"`` — pick the coordinator with the fewest
+  in-flight operations (lowest slot index breaks ties), which adapts to
+  slow coordinators under open-loop arrivals.  The sharded store releases
+  the slot when the operation's outcome lands.
+
+Both policies are pure functions of the dispatch/release history, so a
+sharded simulation stays bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+#: Balancing policies the factory (and the CLI) accepts.
+BALANCER_POLICIES: tuple[str, ...] = ("round-robin", "least-outstanding")
+
+
+class LoadBalancer:
+    """Spreads operations over each shard's coordinator pool."""
+
+    def __init__(
+        self,
+        pools: Sequence[Sequence],
+        policy: str = "round-robin",
+    ) -> None:
+        if not pools:
+            raise ValueError("need at least one shard pool")
+        if any(not pool for pool in pools):
+            raise ValueError("every shard needs at least one coordinator")
+        if policy not in BALANCER_POLICIES:
+            raise ValueError(
+                f"unknown balancing policy {policy!r}; "
+                f"choose from {BALANCER_POLICIES}"
+            )
+        self._pools = [tuple(pool) for pool in pools]
+        self._policy = policy
+        self._cursors = [0] * len(self._pools)
+        self._outstanding = [[0] * len(pool) for pool in self._pools]
+        #: Operations dispatched per shard (the router's observed split).
+        self.dispatched = [0] * len(self._pools)
+
+    @property
+    def policy(self) -> str:
+        """The active balancing policy."""
+        return self._policy
+
+    @property
+    def shards(self) -> int:
+        """Number of shard pools."""
+        return len(self._pools)
+
+    def outstanding(self, shard: int) -> tuple[int, ...]:
+        """In-flight operation counts per coordinator slot of ``shard``."""
+        return tuple(self._outstanding[shard])
+
+    def pick(self, shard: int) -> tuple[int, object]:
+        """Choose ``(slot, coordinator)`` for one operation on ``shard``.
+
+        The caller must pair every pick with a :meth:`release` of the
+        returned slot when the operation completes (round-robin ignores
+        the bookkeeping but the contract keeps policies swappable).
+        """
+        pool = self._pools[shard]
+        outstanding = self._outstanding[shard]
+        if self._policy == "round-robin":
+            slot = self._cursors[shard]
+            self._cursors[shard] = (slot + 1) % len(pool)
+        else:
+            slot = min(range(len(pool)), key=outstanding.__getitem__)
+        outstanding[slot] += 1
+        self.dispatched[shard] += 1
+        return slot, pool[slot]
+
+    def release(self, shard: int, slot: int) -> None:
+        """Mark one of ``shard``'s operations on ``slot`` as finished."""
+        outstanding = self._outstanding[shard]
+        if outstanding[slot] <= 0:
+            raise ValueError(
+                f"release without a matching pick (shard {shard}, slot {slot})"
+            )
+        outstanding[slot] -= 1

@@ -21,7 +21,14 @@ availability, per-replica load) can also be *measured* end-to-end:
 """
 
 from repro.sim.coordinator import OperationOutcome, QuorumCoordinator
-from repro.sim.engine import SimulationConfig, SimulationResult, simulate
+from repro.sim.engine import (
+    ReplicaGroup,
+    SimulationConfig,
+    SimulationResult,
+    build_replica_group,
+    run_workload,
+    simulate,
+)
 from repro.sim.events import Scheduler
 from repro.sim.failures import BernoulliFailures, CrashRepairProcess, FailureInjector
 from repro.sim.locks import LockManager, LockMode
@@ -33,8 +40,8 @@ from repro.sim.messages import (
     ReadRequest,
     VoteMessage,
 )
-from repro.sim.monitor import Monitor
-from repro.sim.network import Network, PartitionSpec
+from repro.sim.monitor import Monitor, ShardedMonitor
+from repro.sim.network import Network, PartitionSpec, RegionLatencyMatrix
 from repro.sim.reconfigure import ReconfigOutcome, ReconfigStatus, TreeReconfigurer
 from repro.sim.replica import Timestamp, VersionedStore
 from repro.sim.site import Site, SiteState
@@ -62,7 +69,10 @@ __all__ = [
     "ReconfigStatus",
     "TreeReconfigurer",
     "ReadRequest",
+    "RegionLatencyMatrix",
+    "ReplicaGroup",
     "Scheduler",
+    "ShardedMonitor",
     "SimulationConfig",
     "SimulationResult",
     "Site",
@@ -73,5 +83,7 @@ __all__ = [
     "VoteMessage",
     "Workload",
     "WorkloadSpec",
+    "build_replica_group",
+    "run_workload",
     "simulate",
 ]

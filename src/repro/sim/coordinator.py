@@ -198,6 +198,7 @@ class QuorumCoordinator:
         liveness_epoch: Callable[[], int] | None = None,
         retry_policy: "RetryPolicy | None" = None,
         suspects: "SuspectList | None" = None,
+        selector: SelectionIndex | None = None,
     ) -> None:
         if sid >= 0:
             raise ValueError("coordinator SIDs must be negative")
@@ -233,6 +234,12 @@ class QuorumCoordinator:
         self._liveness_epoch = liveness_epoch
         self._retry_policy = retry_policy
         self._suspects = suspects
+        # A shared SelectionIndex (one per replica group/shard) lets every
+        # coordinator of the group reuse the same packed quorum tables and
+        # per-(op, live-mask) viable-row cache instead of building private
+        # copies; selection results are identical either way (the cache
+        # only memoises, the caller's RNG still drives the pick).
+        self._shared_selector = selector
         self._selector: SelectionIndex | None = None
         self._universe: tuple[int, ...] = ()
         self._live_cache: tuple[int, ...] | None = None
@@ -294,6 +301,10 @@ class QuorumCoordinator:
         try:
             self._universe = tuple(sorted(universe))
         except TypeError:
+            return
+        shared = self._shared_selector
+        if shared is not None and shared.system is self._system:
+            self._selector = shared
             return
         self._selector = SelectionIndex(self._system)
 

@@ -166,31 +166,52 @@ class SimulationResult:
         return result
 
 
-def build_simulation(
-    config: SimulationConfig,
-    invariants: InvariantChecker | None = None,
-) -> tuple[Scheduler, Workload, Monitor, Network, list[Site]]:
-    """Wire a simulation without running it (useful for custom driving).
+@dataclass
+class ReplicaGroup:
+    """One self-contained replica group: the unit a shard is made of.
 
-    ``invariants`` splices a safety auditor in front of the monitor's
-    outcome callback; pass your own instance to keep a reference (one is
-    created internally when ``config.check_invariants`` asks for auditing
-    but none is supplied).
+    A group owns its message fabric, replica sites, lock manager and
+    coordinator set — exactly the paper's single-object system.  The
+    classic engine builds one group; the sharded store
+    (:mod:`repro.shard.store`) composes many on a shared scheduler, one
+    per shard of the keyspace.
     """
-    system, n = config.resolve()
-    scheduler = Scheduler()
-    rng = random.Random(config.seed)
-    recorder: NullRecorder = TraceRecorder() if config.trace else NULL_RECORDER
-    # Child RNGs are seeded with 64 fresh bits each: seeding from
-    # rng.random() would collapse the seed space to a 53-bit float and
-    # correlate the child streams.  The derivation order is part of the
-    # determinism contract: network, workload, then one *dedicated* master
-    # stream for coordinators, so changing ``clients`` never perturbs the
-    # network or workload streams (and client k's stream is the same in
-    # every run that has at least k clients).
+
+    system: QuorumSystem
+    n: int
+    network: Network
+    sites: list[Site]
+    locks: LockManager
+    coordinators: list[QuorumCoordinator]
+    suspects: SuspectList | None
+
+
+def build_replica_group(
+    config: SimulationConfig,
+    system: QuorumSystem,
+    n: int,
+    scheduler: Scheduler,
+    recorder: NullRecorder,
+    network_seed: int,
+    coordinator_seed: int,
+) -> ReplicaGroup:
+    """Wire one replica group (network + sites + locks + coordinators).
+
+    ``network_seed`` / ``coordinator_seed`` are the group's child seeds —
+    the caller owns the derivation order (the classic single-group build
+    keeps the legacy network/workload/coordinator order; the sharded
+    build derives one pair per shard).  Coordinators within the group
+    share one :class:`~repro.quorums.selection.SelectionIndex` (when the
+    system qualifies) so the packed quorum tables and viable-row caches
+    are built once per group, not once per client.
+    """
+    if config.clients < 1:
+        raise ValueError("need at least one client")
+    from repro.sim.transactions import TransactionIdSource
+
     network = Network(
         scheduler,
-        random.Random(rng.getrandbits(64)),
+        random.Random(network_seed),
         latency=config.latency,
         drop_probability=config.drop_probability,
         duplicate_probability=config.duplicate_probability,
@@ -201,16 +222,9 @@ def build_simulation(
         for sid in range(n)
     ]
     locks = LockManager(scheduler, recorder=recorder)
-    monitor = Monitor(replica_ids=tuple(range(n)), recorder=recorder)
-
-    if config.clients < 1:
-        raise ValueError("need at least one client")
-    from repro.sim.transactions import TransactionIdSource
-
     tx_ids = TransactionIdSource()
     version_floor: dict = {}
-    workload_seed = rng.getrandbits(64)
-    coordinator_master = random.Random(rng.getrandbits(64))
+    coordinator_master = random.Random(coordinator_seed)
     # One SuspectList shared by every coordinator: evidence gathered by one
     # client's timeouts steers every client's selection (the detector
     # models a site-local subsystem, not per-operation state).
@@ -223,9 +237,8 @@ def build_simulation(
         if config.detector
         else None
     )
-    if invariants is None and config.check_invariants:
-        invariants = InvariantChecker()
-    coordinators = []
+    coordinators: list[QuorumCoordinator] = []
+    shared_selector = None
     for index in range(config.clients):
         coordinator_sid = COORDINATOR_SID - index
 
@@ -263,11 +276,57 @@ def build_simulation(
                 liveness_epoch=lambda: network.liveness_epoch,
                 retry_policy=retry_policy,
                 suspects=suspects,
+                selector=shared_selector,
             )
         )
+        if index == 0:
+            shared_selector = coordinators[0].selector
+    config.failures.install(scheduler, sites, network)
+    return ReplicaGroup(
+        system=system,
+        n=n,
+        network=network,
+        sites=sites,
+        locks=locks,
+        coordinators=coordinators,
+        suspects=suspects,
+    )
+
+
+def build_simulation(
+    config: SimulationConfig,
+    invariants: InvariantChecker | None = None,
+) -> tuple[Scheduler, Workload, Monitor, Network, list[Site]]:
+    """Wire a simulation without running it (useful for custom driving).
+
+    ``invariants`` splices a safety auditor in front of the monitor's
+    outcome callback; pass your own instance to keep a reference (one is
+    created internally when ``config.check_invariants`` asks for auditing
+    but none is supplied).
+    """
+    system, n = config.resolve()
+    scheduler = Scheduler()
+    rng = random.Random(config.seed)
+    recorder: NullRecorder = TraceRecorder() if config.trace else NULL_RECORDER
+    # Child RNGs are seeded with 64 fresh bits each: seeding from
+    # rng.random() would collapse the seed space to a 53-bit float and
+    # correlate the child streams.  The derivation order is part of the
+    # determinism contract: network, workload, then one *dedicated* master
+    # stream for coordinators, so changing ``clients`` never perturbs the
+    # network or workload streams (and client k's stream is the same in
+    # every run that has at least k clients).
+    network_seed = rng.getrandbits(64)
+    workload_seed = rng.getrandbits(64)
+    coordinator_seed = rng.getrandbits(64)
+    monitor = Monitor(replica_ids=tuple(range(n)), recorder=recorder)
+    if invariants is None and config.check_invariants:
+        invariants = InvariantChecker()
+    group = build_replica_group(
+        config, system, n, scheduler, recorder, network_seed, coordinator_seed
+    )
     workload = Workload(
         spec=config.workload,
-        coordinator=coordinators,
+        coordinator=group.coordinators,
         scheduler=scheduler,
         rng=random.Random(workload_seed),
         on_outcome=(
@@ -276,36 +335,52 @@ def build_simulation(
             else monitor.record
         ),
     )
-    config.failures.install(scheduler, sites, network)
-    return scheduler, workload, monitor, network, sites
+    return scheduler, workload, monitor, group.network, group.sites
+
+
+def run_workload(
+    scheduler: Scheduler, workload: Workload, max_events: int
+) -> int:
+    """Drive the event loop until the workload completes; returns events run.
+
+    Stops as soon as the last operation reports its outcome (periodic
+    injectors such as resampling failures would otherwise keep the queue
+    non-empty forever).  ``max_events`` is a safety net against
+    configuration errors, raising rather than spinning.  Shared by the
+    classic single-object :func:`simulate` and the sharded
+    :func:`repro.shard.store.simulate_sharded`.
+    """
+    operations = workload.spec.operations
+    workload.start()
+    executed = 0
+    while workload.completed < operations:
+        if executed >= max_events:
+            raise RuntimeError(
+                f"simulation exceeded {max_events} events "
+                f"({workload.completed}/{operations} ops done)"
+            )
+        if not scheduler.step():
+            raise RuntimeError(
+                "event queue drained before the workload completed "
+                f"({workload.completed}/{operations} ops done)"
+            )
+        executed += 1
+    return executed
 
 
 def simulate(config: SimulationConfig, max_events: int = 5_000_000) -> SimulationResult:
     """Run one configured simulation until the workload completes.
 
-    Stops as soon as the last operation reports its outcome (periodic
-    injectors such as resampling failures would otherwise keep the queue
-    non-empty forever).  ``max_events`` is a safety net against
-    configuration errors, raising rather than spinning.
+    A thin wrapper: :func:`build_simulation` wires the single replica
+    group (the one-shard degenerate case of the
+    :mod:`repro.shard` multi-shard build) and :func:`run_workload`
+    drains the event loop.
     """
     invariants = InvariantChecker() if config.check_invariants else None
     scheduler, workload, monitor, network, sites = build_simulation(
         config, invariants=invariants
     )
-    workload.start()
-    executed = 0
-    while workload.completed < config.workload.operations:
-        if executed >= max_events:
-            raise RuntimeError(
-                f"simulation exceeded {max_events} events "
-                f"({workload.completed}/{config.workload.operations} ops done)"
-            )
-        if not scheduler.step():
-            raise RuntimeError(
-                "event queue drained before the workload completed "
-                f"({workload.completed}/{config.workload.operations} ops done)"
-            )
-        executed += 1
+    run_workload(scheduler, workload, max_events)
     return SimulationResult(
         config=config,
         monitor=monitor,

@@ -4,18 +4,55 @@ A :class:`Workload` issues a stream of read/write operations against a
 coordinator: the read/write mix, arrival process and key popularity are all
 configurable.  The workload is the empirical counterpart of the paper's
 "frequencies of read and write operations" that drive tree configuration.
+
+Scale notes (millions of keys, millions of arrivals):
+
+* Zipf key popularity is sampled through **precomputed cumulative
+  weights** — ``random.choices(cum_weights=...)`` bisects in O(log keys)
+  per operation instead of re-accumulating an O(keys) weight list per
+  pick, so a million-key spec samples at the same per-op cost as a
+  sixteen-key one.  The cumulative list is exactly
+  ``itertools.accumulate`` of the old per-rank weights, which is what
+  ``random.choices(weights=...)`` built internally, so the sampled key
+  stream is bit-identical to the old implementation.
+* Poisson arrivals are scheduled **incrementally**: each arrival event
+  schedules its successor, so the event heap holds one pending arrival
+  instead of all N at t=0.  Inter-arrival gaps come from a dedicated
+  arrival RNG (derived from the workload stream with one ``getrandbits``
+  draw) so the gap draws never interleave with the key/op-type draws —
+  the chained schedule is bit-identical to the old draw-everything-
+  upfront schedule over the same arrival stream.
+* ``diurnal_period`` / ``diurnal_amplitude`` turn the constant-rate
+  Poisson process into a time-varying one (intensity
+  ``rate * (1 + amplitude * sin(2 pi t / period))``) via Lewis-Shedler
+  thinning — the open-loop analogue of a day/night load curve.
+* a ``dispatcher`` routes each picked key to a coordinator (and an
+  optional per-operation outcome sink) — this is how the sharded store
+  sends every key to its shard's replica group instead of assuming a
+  single replicated object.
 """
 
 from __future__ import annotations
 
+import math
 import random
 from collections.abc import Callable
 from dataclasses import dataclass
+from itertools import accumulate
 
 from collections.abc import Sequence
 
 from repro.sim.coordinator import OperationOutcome, QuorumCoordinator
 from repro.sim.events import Scheduler
+
+#: A dispatcher maps a key index to the coordinator that should serve it,
+#: plus an optional outcome sink invoked (before the workload's global
+#: ``on_outcome``) when the operation finishes — the sharded store uses the
+#: sink for per-shard accounting and load-balancer bookkeeping.
+Dispatcher = Callable[
+    [int],
+    tuple[QuorumCoordinator, Callable[[OperationOutcome], None] | None],
+]
 
 
 @dataclass(frozen=True)
@@ -36,9 +73,18 @@ class WorkloadSpec:
         ``"poisson"`` — open-loop Poisson arrivals at ``rate`` ops per time
         unit (exercises locking and concurrency).
     rate:
-        Arrival rate for the Poisson process.
+        Arrival rate for the Poisson process (the *mean* rate when a
+        diurnal curve is configured).
     zipf_s:
         Zipf skew for key popularity; 0 means uniform.
+    diurnal_period:
+        Length of one diurnal cycle in simulated time units; 0 disables
+        the curve (constant-rate Poisson, the legacy behaviour).
+    diurnal_amplitude:
+        Relative swing of the diurnal curve in ``[0, 1]``: the
+        instantaneous intensity is
+        ``rate * (1 + amplitude * sin(2 pi t / period))``, so 1.0 swings
+        between 0 and twice the mean rate.
     """
 
     operations: int = 1000
@@ -47,6 +93,8 @@ class WorkloadSpec:
     arrival: str = "closed"
     rate: float = 1.0
     zipf_s: float = 0.0
+    diurnal_period: float = 0.0
+    diurnal_amplitude: float = 0.0
 
     def __post_init__(self) -> None:
         if self.operations < 0:
@@ -61,10 +109,38 @@ class WorkloadSpec:
             raise ValueError("poisson arrivals need a positive rate")
         if self.zipf_s < 0:
             raise ValueError("zipf skew must be non-negative")
+        if not 0.0 <= self.diurnal_amplitude <= 1.0:
+            raise ValueError("diurnal amplitude must be in [0, 1]")
+        if self.diurnal_amplitude > 0.0:
+            if self.arrival != "poisson":
+                raise ValueError("diurnal curves need poisson arrivals")
+            if self.diurnal_period <= 0.0:
+                raise ValueError("diurnal curves need a positive period")
+
+    def rate_at(self, t: float) -> float:
+        """Instantaneous Poisson intensity at simulated time ``t``."""
+        if self.diurnal_amplitude == 0.0:
+            return self.rate
+        return self.rate * (
+            1.0
+            + self.diurnal_amplitude
+            * math.sin(2.0 * math.pi * t / self.diurnal_period)
+        )
+
+    @property
+    def peak_rate(self) -> float:
+        """The diurnal curve's maximum intensity (the thinning envelope)."""
+        return self.rate * (1.0 + self.diurnal_amplitude)
 
 
 class Workload:
-    """Drives a coordinator according to a :class:`WorkloadSpec`."""
+    """Drives one or more coordinators according to a :class:`WorkloadSpec`.
+
+    ``dispatcher`` overrides the default round-robin coordinator choice:
+    each operation's key index is routed through it (the sharded store
+    plugs its router + load balancer in here), and the optional per-op
+    sink it returns runs before the workload-wide ``on_outcome``.
+    """
 
     def __init__(
         self,
@@ -74,6 +150,7 @@ class Workload:
         rng: random.Random,
         on_outcome: Callable[[OperationOutcome], None],
         on_complete: Callable[[], None] | None = None,
+        dispatcher: Dispatcher | None = None,
     ) -> None:
         self._spec = spec
         if isinstance(coordinator, QuorumCoordinator):
@@ -86,27 +163,39 @@ class Workload:
         self._rng = rng
         self._on_outcome = on_outcome
         self._on_complete = on_complete
+        self._dispatcher = dispatcher
         self._issued = 0
         self._completed = 0
+        self._scheduled_arrivals = 0
+        self._next_arrival_at = 0.0
+        self._arrival_rng: random.Random | None = None
         self._next_value = 0
-        self._key_weights = self._build_key_weights()
+        self._cum_weights = self._build_cum_weights()
 
-    def _build_key_weights(self) -> list[float] | None:
+    def _build_cum_weights(self) -> list[float] | None:
+        """Cumulative Zipf weights, computed once per workload.
+
+        ``random.choices(weights=w)`` accumulates ``w`` on *every call* —
+        O(keys) per operation, which is what made million-key specs
+        unusable.  Accumulating here once and passing ``cum_weights=``
+        keeps each pick at one O(log keys) bisect while drawing exactly
+        the same stream (``choices`` bisects the identical cumulative
+        list either way).
+        """
         if self._spec.zipf_s == 0.0:
             return None
-        return [
+        return list(accumulate(
             1.0 / (rank**self._spec.zipf_s)
             for rank in range(1, self._spec.keys + 1)
-        ]
+        ))
 
-    def _pick_key(self) -> str:
-        if self._key_weights is None:
-            index = self._rng.randrange(self._spec.keys)
-        else:
-            (index,) = self._rng.choices(
-                range(self._spec.keys), weights=self._key_weights
-            )
-        return f"k{index}"
+    def _pick_key_index(self) -> int:
+        if self._cum_weights is None:
+            return self._rng.randrange(self._spec.keys)
+        (index,) = self._rng.choices(
+            range(self._spec.keys), cum_weights=self._cum_weights
+        )
+        return index
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -120,26 +209,76 @@ class Workload:
         if self._spec.arrival == "closed":
             self._issue_one()
         else:
-            self._schedule_poisson_arrivals()
+            # Gap draws live on their own child stream so that chaining
+            # them through arrival events (instead of drawing all of them
+            # up front) cannot interleave with — and thereby perturb —
+            # the key/op-type draws on the main workload stream.
+            self._arrival_rng = random.Random(self._rng.getrandbits(64))
+            self._schedule_next_arrival()
 
-    def _schedule_poisson_arrivals(self) -> None:
-        at = 0.0
-        for _ in range(self._spec.operations):
-            at += self._rng.expovariate(self._spec.rate)
-            self._scheduler.schedule(at, self._issue_one)
+    def _next_gap(self) -> float:
+        """One inter-arrival gap, via thinning when a diurnal curve is on.
+
+        Lewis-Shedler: propose exponential gaps at the envelope (peak)
+        rate and accept each proposal with probability
+        ``rate(t) / peak_rate`` — the accepted points form an
+        inhomogeneous Poisson process with exactly the diurnal intensity.
+        """
+        spec = self._spec
+        rng = self._arrival_rng
+        assert rng is not None
+        if spec.diurnal_amplitude == 0.0:
+            return rng.expovariate(spec.rate)
+        peak = spec.peak_rate
+        t = self._next_arrival_at
+        while True:
+            t += rng.expovariate(peak)
+            if rng.random() * peak <= spec.rate_at(t):
+                return t - self._next_arrival_at
+
+    def _schedule_next_arrival(self) -> None:
+        """Chain-schedule the next open-loop arrival (one in flight).
+
+        The previous implementation pushed all N arrival events onto the
+        heap at t=0 — O(operations) heap memory and an O(N log N) start
+        transient.  Each arrival now schedules its successor, so the heap
+        holds a single pending arrival regardless of workload size.
+        """
+        if self._scheduled_arrivals >= self._spec.operations:
+            return
+        self._scheduled_arrivals += 1
+        self._next_arrival_at += self._next_gap()
+        self._scheduler.schedule_at(self._next_arrival_at, self._arrive)
+
+    def _arrive(self) -> None:
+        self._schedule_next_arrival()
+        self._issue_one()
 
     def _issue_one(self) -> None:
         if self._issued >= self._spec.operations:
             return
-        coordinator = self._coordinators[self._issued % len(self._coordinators)]
+        key_index = self._pick_key_index()
+        if self._dispatcher is None:
+            coordinator = self._coordinators[
+                self._issued % len(self._coordinators)
+            ]
+            done: Callable[[OperationOutcome], None] = self._op_done
+        else:
+            coordinator, sink = self._dispatcher(key_index)
+            if sink is None:
+                done = self._op_done
+            else:
+                def done(outcome: OperationOutcome, _sink=sink) -> None:
+                    _sink(outcome)
+                    self._op_done(outcome)
         self._issued += 1
-        key = self._pick_key()
+        key = f"k{key_index}"
         if self._rng.random() < self._spec.read_fraction:
-            coordinator.read(key, self._op_done)
+            coordinator.read(key, done)
         else:
             value = f"v{self._next_value}"
             self._next_value += 1
-            coordinator.write(key, value, self._op_done)
+            coordinator.write(key, value, done)
 
     def _op_done(self, outcome: OperationOutcome) -> None:
         self._completed += 1
@@ -152,6 +291,11 @@ class Workload:
         if self._completed >= self._spec.operations and self._on_complete:
             callback, self._on_complete = self._on_complete, None
             callback()
+
+    @property
+    def spec(self) -> WorkloadSpec:
+        """The workload's parameters."""
+        return self._spec
 
     @property
     def coordinators(self) -> tuple[QuorumCoordinator, ...]:

@@ -1,0 +1,80 @@
+"""Unit tests for the per-shard coordinator load balancer."""
+
+import pytest
+
+from repro.shard.balancer import BALANCER_POLICIES, LoadBalancer
+
+
+def _pools():
+    # Coordinators are opaque to the balancer; sentinels suffice.
+    return [["a0", "a1", "a2"], ["b0", "b1"]]
+
+
+class TestConstruction:
+    def test_rejects_empty_pools(self):
+        with pytest.raises(ValueError):
+            LoadBalancer([])
+
+    def test_rejects_empty_shard_pool(self):
+        with pytest.raises(ValueError):
+            LoadBalancer([["a0"], []])
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError):
+            LoadBalancer(_pools(), policy="random")
+
+    @pytest.mark.parametrize("policy", BALANCER_POLICIES)
+    def test_known_policies_build(self, policy):
+        balancer = LoadBalancer(_pools(), policy=policy)
+        assert balancer.policy == policy
+        assert balancer.shards == 2
+
+
+class TestRoundRobin:
+    def test_cycles_through_pool(self):
+        balancer = LoadBalancer(_pools(), policy="round-robin")
+        picks = [balancer.pick(0)[1] for _ in range(7)]
+        assert picks == ["a0", "a1", "a2", "a0", "a1", "a2", "a0"]
+
+    def test_shards_have_independent_cursors(self):
+        balancer = LoadBalancer(_pools(), policy="round-robin")
+        balancer.pick(0)
+        balancer.pick(0)
+        assert balancer.pick(1)[1] == "b0"
+
+    def test_dispatched_counts(self):
+        balancer = LoadBalancer(_pools(), policy="round-robin")
+        for _ in range(5):
+            balancer.pick(0)
+        balancer.pick(1)
+        assert balancer.dispatched == [5, 1]
+
+
+class TestLeastOutstanding:
+    def test_prefers_idle_slot(self):
+        balancer = LoadBalancer(_pools(), policy="least-outstanding")
+        slot0, first = balancer.pick(0)
+        assert (slot0, first) == (0, "a0")
+        # a0 busy -> next two picks fill a1, a2; then ties break low-index.
+        assert balancer.pick(0)[1] == "a1"
+        assert balancer.pick(0)[1] == "a2"
+        assert balancer.pick(0)[1] == "a0"
+
+    def test_release_reopens_slot(self):
+        balancer = LoadBalancer(_pools(), policy="least-outstanding")
+        slot, _ = balancer.pick(0)
+        balancer.pick(0)
+        balancer.release(0, slot)
+        assert balancer.pick(0) == (0, "a0")
+
+    def test_outstanding_tracks_in_flight(self):
+        balancer = LoadBalancer(_pools(), policy="least-outstanding")
+        balancer.pick(0)
+        balancer.pick(0)
+        balancer.release(0, 0)
+        assert balancer.outstanding(0) == (0, 1, 0)
+
+    def test_unmatched_release_rejected(self):
+        balancer = LoadBalancer(_pools(), policy="least-outstanding")
+        with pytest.raises(ValueError):
+            balancer.release(0, 0)

@@ -1,0 +1,133 @@
+"""Property tests for the keyspace routers: deterministic, total, stable."""
+
+import pytest
+
+from repro.shard.router import (
+    ROUTER_KINDS,
+    HashRouter,
+    RangeRouter,
+    make_router,
+    mix64,
+)
+
+
+class TestMix64:
+    def test_process_stable_snapshot(self):
+        # Hardcoded outputs pin the placement function across processes,
+        # interpreter versions and PYTHONHASHSEED values: if any of these
+        # change, previously recorded shard placements silently shift.
+        assert mix64(0) == 0
+        assert mix64(1) == 0x5692161D100B05E5
+        assert mix64(0xDEADBEEF) == 0x4E062702EC929EEA
+        assert mix64(2**64 - 1) == 0xB4D055FCF2CBBD7B
+
+    def test_stays_in_64_bits(self):
+        for value in (0, 1, 2**63, 2**64 - 1, 2**64 + 17, -1):
+            assert 0 <= mix64(value) < 2**64
+
+
+class TestRouterContract:
+    """The router contract: deterministic, total, reseed-stable."""
+
+    @pytest.mark.parametrize("kind", ROUTER_KINDS)
+    @pytest.mark.parametrize("shards", [1, 3, 8])
+    def test_total_over_keyspace(self, kind, shards):
+        keys = 257
+        router = make_router(kind, shards, keys, seed=42)
+        placement = router.placement(keys)
+        assert len(placement) == keys
+        assert all(0 <= shard < shards for shard in placement)
+
+    @pytest.mark.parametrize("kind", ROUTER_KINDS)
+    def test_deterministic_rebuild(self, kind):
+        a = make_router(kind, 5, 1000, seed=7)
+        b = make_router(kind, 5, 1000, seed=7)
+        assert a.placement(1000) == b.placement(1000)
+
+    @pytest.mark.parametrize("kind", ROUTER_KINDS)
+    def test_stable_under_shard_count_preserving_reseed(self, kind):
+        # Rebuilding the router with the same constructor parameters —
+        # even from a differently seeded simulation — reproduces the
+        # identical key -> shard map.
+        import random
+
+        rng = random.Random(123)
+        rng.getrandbits(64)  # unrelated RNG activity must not matter
+        before = make_router(kind, 4, 512, seed=9).placement(512)
+        rng.getrandbits(64)
+        after = make_router(kind, 4, 512, seed=9).placement(512)
+        assert before == after
+
+    def test_hash_seed_changes_placement(self):
+        base = HashRouter(shards=8, seed=0).placement(4096)
+        other = HashRouter(shards=8, seed=1).placement(4096)
+        assert base != other
+
+    def test_hash_placement_snapshot(self):
+        # Pinned placement for (shards=4, seed=0): guards against any
+        # silent change to the mixing constants or reduction.
+        router = HashRouter(shards=4, seed=0)
+        assert [router.shard_of(k) for k in range(12)] == [
+            0, 1, 2, 0, 0, 0, 0, 0, 0, 3, 1, 1,
+        ]
+
+    def test_hash_near_uniform_spread(self):
+        shards, keys = 8, 40_000
+        counts = [0] * shards
+        router = HashRouter(shards=shards, seed=3)
+        for key in range(keys):
+            counts[router.shard_of(key)] += 1
+        expected = keys / shards
+        for count in counts:
+            assert abs(count - expected) < 0.08 * expected
+
+    def test_hash_rejects_negative_keys(self):
+        with pytest.raises(ValueError):
+            HashRouter(shards=4).shard_of(-1)
+
+
+class TestRangeRouter:
+    def test_monotone_and_contiguous(self):
+        router = RangeRouter(shards=3, keys=10)
+        placement = router.placement(10)
+        assert placement == sorted(placement)
+        for shard in range(3):
+            lo, hi = router.range_of(shard)
+            assert all(router.shard_of(k) == shard for k in range(lo, hi))
+
+    def test_ranges_partition_keyspace(self):
+        router = RangeRouter(shards=4, keys=11)
+        covered = []
+        for shard in range(4):
+            lo, hi = router.range_of(shard)
+            covered.extend(range(lo, hi))
+        assert covered == list(range(11))
+
+    def test_balanced_within_one_key(self):
+        router = RangeRouter(shards=7, keys=100)
+        sizes = [hi - lo for lo, hi in (router.range_of(s) for s in range(7))]
+        assert max(sizes) - min(sizes) <= 1
+        assert sum(sizes) == 100
+
+    def test_bounds_checked(self):
+        router = RangeRouter(shards=2, keys=8)
+        with pytest.raises(ValueError):
+            router.shard_of(8)
+        with pytest.raises(ValueError):
+            router.shard_of(-1)
+        with pytest.raises(ValueError):
+            router.range_of(2)
+
+    def test_more_shards_than_keys_rejected(self):
+        with pytest.raises(ValueError):
+            RangeRouter(shards=9, keys=8)
+
+
+class TestFactory:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            make_router("consistent-hashing", 4, 100)
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ValueError):
+            make_router("hash", 0, 100)
