@@ -74,20 +74,31 @@ SERVICE_TIME = 1.0
 ZIPF_S = 0.9
 
 
-def _workload(smoke: bool) -> WorkloadSpec:
+#: The hot-key ceiling case: at this skew the hottest key carries >10% of
+#: the stream and its per-key lock serialises throughput on whichever
+#: shard owns it — the regime sharding cannot fix and read leases can.
+HOT_ZIPF_S = 1.1
+
+
+def _workload(smoke: bool, zipf_s: float = ZIPF_S) -> WorkloadSpec:
     return WorkloadSpec(
         operations=1200 if smoke else 8000,
         read_fraction=0.7,
         keys=20_000 if smoke else 200_000,
         arrival="poisson",
         rate=RATE,
-        zipf_s=ZIPF_S,
+        zipf_s=zipf_s,
     )
 
 
-def _config(shards: int, smoke: bool) -> ShardedConfig:
+def _config(
+    shards: int,
+    smoke: bool,
+    zipf_s: float = ZIPF_S,
+    leases: bool = False,
+) -> ShardedConfig:
     return ShardedConfig(
-        workload=_workload(smoke),
+        workload=_workload(smoke, zipf_s=zipf_s),
         shards=shards,
         systems=(("tree", "1-3-5"),),
         router="hash",
@@ -95,6 +106,7 @@ def _config(shards: int, smoke: bool) -> ShardedConfig:
         service_time=SERVICE_TIME,
         timeout=400.0,  # queueing delay must not read as failure
         seed=2024,
+        leases=leases,
     )
 
 
@@ -122,6 +134,33 @@ def capacity_point(shards: int, smoke: bool) -> dict:
         "largest_shard_ops": max(per_shard),
         "smallest_shard_ops": min(per_shard),
         "wall_seconds": round(wall, 3),
+    }
+
+
+def hot_key_point(leases: bool, smoke: bool) -> dict:
+    """The Zipf s=1.1 ceiling at 16 shards, with and without read leases.
+
+    With leases off this reproduces the PR 6 ceiling: the hottest key's
+    lock serialises its shard regardless of shard count.  With leases on,
+    hot reads are served from the write-through lease instead of queueing
+    on the lock, so throughput and read tail recover.
+    """
+    result = simulate_sharded(
+        _config(16, smoke, zipf_s=HOT_ZIPF_S, leases=leases)
+    )
+    summary = result.summary()
+    reads = result.monitor.reads
+    return {
+        "case": f"hot_key/zipf={HOT_ZIPF_S}/leases={'on' if leases else 'off'}",
+        "shards": 16,
+        "zipf_s": HOT_ZIPF_S,
+        "leases": leases,
+        "ops_per_sec": round(summary["ops_per_sec"], 4),
+        "duration": round(summary["duration"], 2),
+        "read_p50": round(reads.latency_percentile(0.5), 3),
+        "read_p99": round(reads.latency_percentile(0.99), 3),
+        "read_availability": round(summary["read_availability"], 4),
+        "write_availability": round(summary["write_availability"], 4),
     }
 
 
@@ -170,6 +209,13 @@ def run(smoke: bool, out: str | None = None) -> dict:
             f"rd p50/p99 {point['read_p50']:>6.2f}/{point['read_p99']:>8.2f}  "
             f"wr p50/p99 {point['write_p50']:>6.2f}/{point['write_p99']:>8.2f}"
         )
+    hot_unleased = hot_key_point(leases=False, smoke=smoke)
+    hot_leased = hot_key_point(leases=True, smoke=smoke)
+    for point in (hot_unleased, hot_leased):
+        print(
+            f"{point['case']:<28}  ops/sec {point['ops_per_sec']:>7.4f}  "
+            f"rd p50/p99 {point['read_p50']:>6.2f}/{point['read_p99']:>8.2f}"
+        )
     identity = jobs_bit_identity(smoke)
     print(f"jobs bit-identity: {identity['bit_identical']}")
     by_shards = {point["shards"]: point for point in points}
@@ -183,10 +229,19 @@ def run(smoke: bool, out: str | None = None) -> dict:
         ),
         "p99_read_1": by_shards[1]["read_p99"],
         "p99_read_16": by_shards[16]["read_p99"],
+        "hot_key_ops_per_sec_unleased": hot_unleased["ops_per_sec"],
+        "hot_key_ops_per_sec_leased": hot_leased["ops_per_sec"],
+        "hot_key_lease_lift": round(
+            hot_leased["ops_per_sec"] / hot_unleased["ops_per_sec"], 2
+        ),
+        "hot_key_read_p99_unleased": hot_unleased["read_p99"],
+        "hot_key_read_p99_leased": hot_leased["read_p99"],
         "jobs_bit_identical": identity["bit_identical"],
     }
     bench = "shard_smoke" if smoke and out else "shard"
-    path = write_bench_json(bench, points + [identity], summary, out=out)
+    path = write_bench_json(
+        bench, points + [hot_unleased, hot_leased, identity], summary, out=out
+    )
     print(f"\nwrote {path}")
     print(f"summary: {summary}")
     assert summary["jobs_bit_identical"], (
@@ -200,6 +255,15 @@ def run(smoke: bool, out: str | None = None) -> dict:
     assert summary["p99_read_16"] < summary["p99_read_1"], (
         "sharding did not reduce read tail latency"
     )
+    # The hot-key ceiling must yield to leases where shard count could
+    # not: throughput up, read tail down, at the same s=1.1 skew.
+    assert summary["hot_key_lease_lift"] > 1.0, (
+        "read leases did not lift the Zipf 1.1 hot-key throughput"
+    )
+    assert (
+        summary["hot_key_read_p99_leased"]
+        < summary["hot_key_read_p99_unleased"]
+    ), "read leases did not reduce the hot-key read tail"
     return summary
 
 

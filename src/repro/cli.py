@@ -255,7 +255,8 @@ def _sim_config(spec: str, operations: int, read_fraction: float,
                 p: float, seed: int, protocol: str | None = None,
                 n: int = 0, drop: float = 0.0, max_attempts: int = 1,
                 trace: bool = False, retry_policy=None,
-                detector: bool = False):
+                detector: bool = False, batch_window: float = 0.0,
+                leases: bool = False):
     """Build the (config, label) pair shared by simulate/trace/report.
 
     Delegates to :func:`repro.runner.tasks.build_sim_config` — the single
@@ -269,18 +270,22 @@ def _sim_config(spec: str, operations: int, read_fraction: float,
         p=p, seed=seed, protocol=protocol, n=n, drop=drop,
         max_attempts=max_attempts, trace=trace,
         retry_policy=retry_policy, detector=detector,
+        batch_window=batch_window, leases=leases,
     ))
 
 
 def _print_simulation(spec: str, operations: int, read_fraction: float,
                       p: float, seed: int, protocol: str | None = None,
                       n: int = 0, repeats: int = 1, jobs: int = 1,
-                      retry_policy=None, detector: bool = False) -> None:
+                      retry_policy=None, detector: bool = False,
+                      batch_window: float = 0.0,
+                      leases: bool = False) -> None:
     from repro.sim import simulate
 
     config, label = _sim_config(
         spec, operations, read_fraction, p, seed, protocol=protocol, n=n,
         retry_policy=retry_policy, detector=detector,
+        batch_window=batch_window, leases=leases,
     )
     if repeats > 1:
         from repro.runner import (
@@ -296,6 +301,7 @@ def _print_simulation(spec: str, operations: int, read_fraction: float,
                 read_fraction=read_fraction, p=p, seed=seed,
                 protocol=protocol, n=n,
                 retry_policy=retry_policy, detector=detector,
+                batch_window=batch_window, leases=leases,
             ),
             repeats, jobs=jobs,
             progress=ProgressPrinter("simulate") if jobs > 1 else None,
@@ -384,6 +390,8 @@ def _shard_params(args):
         seed=args.seed,
         retry_policy=_retry_policy_spec(args.retry_policy, args.backoff),
         detector=args.detector,
+        batch_window=args.batch_window,
+        leases=args.leases,
     )
 
 
@@ -460,6 +468,7 @@ def _print_chaos(args) -> None:
         retry_policy=_retry_policy_spec(args.retry_policy, args.backoff),
         detector=args.detector, chaos=args.scenario,
         chaos_horizon=args.horizon, check_invariants=True,
+        batch_window=args.batch_window, leases=args.leases,
     )
     if args.repeats > 1:
         from repro.runner import (
@@ -597,6 +606,21 @@ def _add_fault_arguments(parser) -> None:
         "--detector", action="store_true",
         help="attach the suspicion-based failure detector so quorum "
              "selection avoids suspected sites",
+    )
+    parser.add_argument(
+        "--batch-window", type=float, default=0.0, metavar="W",
+        help="coordinator batching window in simulated time units: "
+             "operations arriving within W of the first are coalesced "
+             "per key — same-key reads share one quorum read, batched "
+             "writes skip redundant version rounds (0 = off, the "
+             "legacy per-operation path)",
+    )
+    parser.add_argument(
+        "--leases", action="store_true",
+        help="cache read results per key as leases: repeat reads of a "
+             "hot key are served without quorum traffic until a "
+             "conflicting write or a liveness-epoch change revokes "
+             "the lease",
     )
 
 
@@ -899,6 +923,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             jobs=args.jobs,
             retry_policy=_retry_policy_spec(args.retry_policy, args.backoff),
             detector=args.detector,
+            batch_window=args.batch_window, leases=args.leases,
         )
     elif args.command == "shard":
         _print_shard(args)

@@ -18,6 +18,7 @@ from __future__ import annotations
 import math
 import random
 from collections.abc import Collection, Iterator
+from itertools import product
 
 from repro.core.tree import ArbitraryTree
 from repro.quorums.base import BiCoterie
@@ -102,6 +103,19 @@ class ArbitraryProtocol(QuorumSystem):
     def write_quorums(self) -> tuple[frozenset[int], ...]:
         """Every write quorum: the full SID set of each physical level."""
         return tuple(frozenset(level) for level in self._level_sids)
+
+    def quorum_masks(self, op: str = "read") -> list[int]:
+        """Mask twin of the enumerations, same level-major product order."""
+        if op not in ("read", "write"):
+            raise ValueError(f"op must be 'read' or 'write', got {op!r}")
+        if op == "write":
+            return [
+                sum(1 << sid for sid in level) for level in self._level_sids
+            ]
+        level_bits = [
+            [1 << sid for sid in level] for level in self._level_sids
+        ]
+        return [sum(pick) for pick in product(*level_bits)]
 
     def read_quorum_at(self, choices: Collection[int]) -> frozenset[int]:
         """Build one read quorum from explicit per-level position choices.

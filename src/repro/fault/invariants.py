@@ -105,7 +105,14 @@ class InvariantChecker:
     def _check_read(
         self, outcome: OperationOutcome, history: _KeyHistory
     ) -> None:
-        if history.write_quorum is not None and not (
+        # Leased reads contacted no quorum at all (their quorum is empty
+        # by design), so there is nothing to intersect — but they are
+        # still held to every freshness property below: a lease is
+        # revoked at a conflicting write's exclusive-lock grant and
+        # re-granted only at its commit, so a leased serve returning a
+        # timestamp behind the latest committed write (or behind an
+        # earlier read) is a genuine safety bug this audit must catch.
+        if not outcome.leased and history.write_quorum is not None and not (
             outcome.quorum & history.write_quorum
         ):
             self._violate(

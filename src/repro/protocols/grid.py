@@ -102,6 +102,27 @@ class GridProtocol(ProtocolModel):
                 )
                 yield self.column(full_col) | cover
 
+    def quorum_masks(self, op: str = "read") -> list[int]:
+        """Mask twin of the cover enumerations, same cartesian order."""
+        if op not in ("read", "write"):
+            raise ValueError(f"op must be 'read' or 'write', got {op!r}")
+        column_bits = [
+            [1 << self.sid(row, col) for row in range(self._rows)]
+            for col in range(self._cols)
+        ]
+        if op == "read":
+            return [sum(pick) for pick in product(*column_bits)]
+        masks: list[int] = []
+        for full_col in range(self._cols):
+            full_mask = sum(column_bits[full_col])
+            others = [
+                column_bits[col]
+                for col in range(self._cols)
+                if col != full_col
+            ]
+            masks.extend(full_mask | sum(pick) for pick in product(*others))
+        return masks
+
     # ------------------------------------------------------------------
     # failure-aware selection
     # ------------------------------------------------------------------

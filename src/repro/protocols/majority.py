@@ -133,3 +133,11 @@ class MajorityProtocol(ProtocolModel):
         """All ``w``-subsets of the replicas."""
         for subset in combinations(range(self.n), self._w):
             yield frozenset(subset)
+
+    def quorum_masks(self, op: str = "read") -> list[int]:
+        """Mask twin of the subset enumerations, same combination order."""
+        if op not in ("read", "write"):
+            raise ValueError(f"op must be 'read' or 'write', got {op!r}")
+        size = self._r if op == "read" else self._w
+        bits = [1 << sid for sid in range(self.n)]
+        return [sum(chosen) for chosen in combinations(bits, size)]

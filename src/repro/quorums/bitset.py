@@ -63,11 +63,14 @@ def mask_of(elements: Iterable[int], index: Mapping[int, int]) -> int:
 
 
 def mask_to_words(mask: int, words: int) -> np.ndarray:
-    """Split a Python int bitmask into little-endian 64-bit words."""
-    out = np.empty(words, dtype=np.uint64)
-    for w in range(words):
-        out[w] = (mask >> (w * WORD_BITS)) & 0xFFFFFFFFFFFFFFFF
-    return out
+    """Split a Python int bitmask into little-endian 64-bit words.
+
+    One C-level conversion (``int.to_bytes`` + ``frombuffer``); the result
+    is a read-only view, which every consumer treats it as.
+    """
+    return np.frombuffer(
+        mask.to_bytes(words * 8, "little"), dtype=np.uint64
+    )
 
 
 def words_to_mask(row: np.ndarray) -> int:
@@ -83,15 +86,32 @@ def pack_rows(
     index: Mapping[int, int],
     words: int,
 ) -> np.ndarray:
-    """Pack a sequence of quorums into an ``(m, words)`` uint64 matrix."""
-    matrix = np.zeros((len(quorums), words), dtype=np.uint64)
+    """Pack a sequence of quorums into an ``(m, words)`` uint64 matrix.
+
+    Per-element shifts and per-row numpy scalar assignments dominate the
+    naive loop, so the masks are built as plain Python ints off a
+    precomputed element -> bit-value table (``sum`` of dict gets beats
+    ``|=`` of fresh shifts) and materialised with one ``np.array`` call —
+    the whole pack is then a single C-level conversion per word column.
+    """
+    bit_value = {element: 1 << bit for element, bit in index.items()}
+    getter = bit_value.__getitem__
+    masks = [sum(map(getter, quorum)) for quorum in quorums]
+    return _masks_to_matrix(masks, words)
+
+
+def _masks_to_matrix(masks: Sequence[int], words: int) -> np.ndarray:
+    """Materialise Python-int bitmasks as an ``(m, words)`` uint64 matrix."""
     if words == 1:
-        for row, quorum in enumerate(quorums):
-            matrix[row, 0] = mask_of(quorum, index)
-    else:
-        for row, quorum in enumerate(quorums):
-            matrix[row] = mask_to_words(mask_of(quorum, index), words)
-    return matrix
+        return np.array(masks, dtype=np.uint64).reshape(-1, 1)
+    word_mask = (1 << WORD_BITS) - 1
+    columns = [
+        np.array(
+            [(mask >> shift) & word_mask for mask in masks], dtype=np.uint64
+        )
+        for shift in range(0, words * WORD_BITS, WORD_BITS)
+    ]
+    return np.column_stack(columns)
 
 
 def pack_bool_matrix(alive: np.ndarray) -> np.ndarray:
@@ -118,7 +138,10 @@ class PackedQuorums:
     and safe to cache (``CachedQuorumSystem`` does).
     """
 
-    __slots__ = ("elements", "index", "words", "matrix", "_frozensets")
+    __slots__ = (
+        "elements", "index", "words", "matrix", "_bit_value",
+        "_int_masks", "_frozensets",
+    )
 
     def __init__(
         self,
@@ -129,6 +152,10 @@ class PackedQuorums:
         self.index = {element: i for i, element in enumerate(elements)}
         self.words = matrix.shape[1] if matrix.ndim == 2 else 1
         self.matrix = matrix
+        self._bit_value = {
+            element: 1 << i for i, element in enumerate(elements)
+        }
+        self._int_masks: list[int] | None = None
         self._frozensets: tuple[frozenset[int], ...] | None = None
 
     # -- construction ------------------------------------------------------
@@ -153,6 +180,32 @@ class PackedQuorums:
         packed._frozensets = tuple(rows)
         return packed
 
+    @classmethod
+    def from_system(cls, system, op: str = "read") -> "PackedQuorums":
+        """Pack one operation's collection of a quorum system, masks first.
+
+        Systems exposing :meth:`~repro.quorums.system.QuorumSystem.quorum_masks`
+        (combinatorial protocols: subsets, cartesian covers) are packed
+        straight from the integer masks — no frozenset is ever built per
+        quorum, which makes packing cheaper than the frozenset enumeration
+        itself.  Row order equals the frozenset enumeration order by the
+        hook's contract, so enumeration-order consumers (RNG-stream
+        agreement in selection) see identical collections.  Systems
+        without the hook — or with a non-contiguous universe, where mask
+        bit positions would not be SIDs — fall back to
+        :meth:`from_quorums` over ``quorums(op)``.
+        """
+        masks = None
+        quorum_masks = getattr(system, "quorum_masks", None)
+        if quorum_masks is not None:
+            masks = quorum_masks(op)
+        if masks is not None:
+            elements = tuple(sorted(system.universe))
+            if elements == tuple(range(len(elements))):
+                words = max(1, -(-len(elements) // WORD_BITS))
+                return cls(_masks_to_matrix(masks, words), elements)
+        return cls.from_quorums(system.quorums(op), universe=system.universe)
+
     # -- basic views -------------------------------------------------------
 
     def __len__(self) -> int:
@@ -164,10 +217,15 @@ class PackedQuorums:
         return len(self.elements)
 
     def masks(self) -> list[int]:
-        """The rows as arbitrary-precision Python int bitmasks."""
-        if self.words == 1:
-            return [int(word) for word in self.matrix[:, 0]]
-        return [words_to_mask(row) for row in self.matrix]
+        """The rows as arbitrary-precision Python int bitmasks (memoised)."""
+        if self._int_masks is None:
+            if self.words == 1:
+                self._int_masks = [int(word) for word in self.matrix[:, 0]]
+            else:
+                self._int_masks = [
+                    words_to_mask(row) for row in self.matrix
+                ]
+        return self._int_masks
 
     def to_frozensets(self) -> tuple[frozenset[int], ...]:
         """Unpack back to frozensets (memoised; the public-API edge)."""
@@ -186,14 +244,14 @@ class PackedQuorums:
 
         Elements outside the universe cannot influence any quorum test and
         are dropped, matching the frozenset reference (which only ever asks
-        whether a *quorum member* is live).
+        whether a *quorum member* is live).  The per-element Python loop
+        this used to be dominated steady-state selection on large
+        universes; ``dict.get`` misses yield ``None`` and every hit is a
+        power of two, so ``filter(None, ...)`` drops exactly the foreign
+        SIDs and the whole pack runs as one C-level pipeline.
         """
-        mask = 0
-        index = self.index
-        for element in live:
-            bit = index.get(element)
-            if bit is not None:
-                mask |= 1 << bit
+        get = self._bit_value.get
+        mask = sum(filter(None, map(get, live)))
         return mask_to_words(mask, self.words)
 
     # -- kernel ops --------------------------------------------------------
@@ -216,16 +274,31 @@ class PackedQuorums:
         Consumes ``rng`` exactly like the frozenset reference scan: one
         ``randrange`` call per viable quorum, in row order — so reference
         and kernel selection agree under identical RNG streams.
+
+        Tiny collections (m <= 64) take a Python-int scan over the
+        memoised row masks: at that size the fixed overhead of the numpy
+        broadcast outweighs the loop, and the int path keeps multi-word
+        universes (n = 256 striped) ahead of the frozenset reference.
         """
-        viable = np.nonzero(self.live_filter(live_words))[0]
-        if not viable.size:
+        if len(self) <= 64:
+            live = int.from_bytes(
+                np.ascontiguousarray(live_words).tobytes(), "little"
+            )
+            viable = [
+                row
+                for row, mask in enumerate(self.masks())
+                if mask & live == mask
+            ]
+        else:
+            viable = np.nonzero(self.live_filter(live_words))[0].tolist()
+        if not viable:
             return None
         if rng is None:
-            return int(viable[0])
-        chosen = int(viable[0])
+            return viable[0]
+        chosen = viable[0]
         for count, row in enumerate(viable, start=1):
             if rng.randrange(count) == 0:
-                chosen = int(row)
+                chosen = row
         return chosen
 
     def popcounts(self) -> np.ndarray:

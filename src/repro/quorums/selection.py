@@ -186,13 +186,62 @@ class SelectionIndex:
             if op == "read":
                 return self._system.select_read_quorum(live, rng)
             return self._system.select_write_quorum(live, rng)
-        self.packed_selects += 1
         mask = 0
         index = packed.index
         for sid in live:
             bit = index.get(sid)
             if bit is not None:
                 mask |= 1 << bit
+        return self._pick(op, packed, mask, rng)
+
+    def live_mask(self, live: Collection[int]) -> int | None:
+        """Pack live SIDs into the kernel's bit positions, or ``None``.
+
+        ``None`` means no operation of this system is packable and
+        :meth:`select_masked` cannot be used.  Both operations' packed
+        tables index the same sorted universe, so one mask serves read
+        and write selections alike — callers caching the live set per
+        liveness epoch (the coordinator) can cache its mask right next
+        to it and skip the per-selection packing loop entirely.
+        """
+        packed = self._tables("read") or self._tables("write")
+        if packed is None:
+            return None
+        mask = 0
+        index = packed.index
+        for sid in live:
+            bit = index.get(sid)
+            if bit is not None:
+                mask |= 1 << bit
+        return mask
+
+    def select_masked(
+        self,
+        op: str,
+        mask: int,
+        rng: random.Random | None = None,
+    ) -> frozenset[int] | None:
+        """Like :meth:`select` with a pre-packed live mask (same RNG draws).
+
+        Only valid when :meth:`supported` is true for ``op`` (there is no
+        live *collection* here to hand a structural fallback).
+        """
+        packed = self._tables(op)
+        if packed is None:
+            raise ValueError(
+                f"{op!r} selections are not packed; check supported() "
+                "before using select_masked()"
+            )
+        return self._pick(op, packed, mask, rng)
+
+    def _pick(
+        self,
+        op: str,
+        packed: PackedQuorums,
+        mask: int,
+        rng: random.Random | None,
+    ) -> frozenset[int] | None:
+        self.packed_selects += 1
         key = (op, mask)
         rows = self._viable.get(key)
         if rows is None:

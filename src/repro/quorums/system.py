@@ -162,6 +162,22 @@ class QuorumSystem(abc.ABC):
         _check_op(op)
         return iter(self.read_quorums() if op == "read" else self.write_quorums())
 
+    def quorum_masks(self, op: str = "read") -> list[int] | None:
+        """The quorum collection as integer bitmasks (bit ``i`` = SID ``i``),
+        or ``None`` when only the frozenset enumeration exists.
+
+        Protocols whose collections come from simple combinatorial
+        structure (subsets, cartesian covers) override this to enumerate
+        masks directly — the *same* collection in the *same* row order as
+        the frozenset enumeration, without materialising a frozenset per
+        quorum.  :meth:`PackedQuorums.from_system
+        <repro.quorums.bitset.PackedQuorums.from_system>` consumes it to
+        build the packed matrix straight from the masks.  Only meaningful
+        for contiguous ``0..n-1`` universes.
+        """
+        _check_op(op)
+        return None
+
     def materialise(
         self, op: str = "read", max_quorums: int = DEFAULT_MAX_QUORUMS
     ) -> tuple[frozenset[int], ...]:
@@ -366,6 +382,10 @@ class CachedQuorumSystem(QuorumSystem):
 
     def write_quorums(self) -> Iterator[frozenset[int]]:
         return iter(self.materialise("write"))
+
+    def quorum_masks(self, op: str = "read") -> list[int] | None:
+        """Delegated: the wrapped system's mask enumeration, if any."""
+        return self._system.quorum_masks(op)
 
     def packed(self, op: str = "read") -> PackedQuorums:
         """One quorum collection on the bitset kernel, packed exactly once.

@@ -214,6 +214,8 @@ class SimParams:
     chaos: str | None = None
     chaos_horizon: float = 1000.0
     check_invariants: bool = False
+    batch_window: float = 0.0
+    leases: bool = False
 
 
 def build_sim_config(params: SimParams):
@@ -272,6 +274,8 @@ def build_sim_config(params: SimParams):
         retry_policy=params.retry_policy,
         detector=params.detector,
         check_invariants=params.check_invariants,
+        batch_window=params.batch_window,
+        leases=params.leases,
     )
     return config, label
 
@@ -347,6 +351,8 @@ class ShardParams:
     seed: int = 0
     retry_policy: "RetryPolicySpec | None" = None
     detector: bool = False
+    batch_window: float = 0.0
+    leases: bool = False
 
 
 def build_sharded_config(params: ShardParams):
@@ -387,6 +393,8 @@ def build_sharded_config(params: ShardParams):
         seed=params.seed,
         retry_policy=params.retry_policy,
         detector=params.detector,
+        batch_window=params.batch_window,
+        leases=params.leases,
     )
     names = ", ".join("/".join(str(part) for part in ref[1:]) for ref in params.systems)
     label = (

@@ -107,6 +107,8 @@ class ShardedConfig:
     detector: bool = False
     probe_interval: float = 30.0
     suspect_threshold: int = 1
+    batch_window: float = 0.0
+    leases: bool = False
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -264,6 +266,8 @@ def build_sharded_simulation(
             detector=config.detector,
             probe_interval=config.probe_interval,
             suspect_threshold=config.suspect_threshold,
+            batch_window=config.batch_window,
+            leases=config.leases,
         )
         groups.append(
             build_replica_group(

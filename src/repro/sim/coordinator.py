@@ -23,6 +23,23 @@ The coordinator is protocol-agnostic: it drives any
 ``select_read_quorum(live, rng)`` / ``select_write_quorum(live, rng)``
 interface — the paper's arbitrary protocol and all six comparison protocols
 alike, with no per-protocol adaptation.
+
+Two optional throughput features sit in front of the legacy pipeline and
+leave its RNG/event streams byte-identical when disabled:
+
+* **read leases** (``leases=LeaseCache(...)``) — reads of a leased key
+  are served from the cache without touching the lock manager or the
+  network; see :mod:`repro.sim.leases` for the invalidation rules;
+* **operation batching** (``batch_window > 0``) — submissions are
+  queued for a window and flushed together: same-key reads coalesce
+  into one quorum round whose result fans out to every waiter, every
+  read group in a flush shares one pre-selected read quorum, and
+  same-key writes after the first skip the version round by deriving
+  their timestamp from the shared version floor (the floor is updated
+  at every commit decision *before* the exclusive lock is released, so
+  it dominates every committed version the skipped round could have
+  observed).  Within one window, coalesced reads order before that
+  window's writes to the same key.
 """
 
 from __future__ import annotations
@@ -30,7 +47,8 @@ from __future__ import annotations
 import enum
 import random
 from collections.abc import Callable
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from operator import attrgetter
 from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:  # annotation-only: repro.fault type-hints this module back
@@ -43,6 +61,7 @@ from repro.quorums.liveness import LivenessOracle
 from repro.quorums.selection import SelectionIndex
 from repro.quorums.system import QuorumSystem
 from repro.sim.events import EventHandle, Scheduler
+from repro.sim.leases import LeaseCache, LeaseEntry
 from repro.sim.locks import LockManager, LockMode
 from repro.sim.messages import (
     AbortMessage,
@@ -87,6 +106,10 @@ class OperationOutcome:
     started_at: float = 0.0
     finished_at: float = 0.0
     reason: FailureReason = FailureReason.NONE
+    #: True when the read was served from the lease cache: no quorum was
+    #: contacted (``quorum`` is empty, ``attempts`` is 0) and the
+    #: invariant checker skips only the quorum-intersection audit.
+    leased: bool = False
 
     @property
     def latency(self) -> float:
@@ -127,12 +150,31 @@ class _OpContext:
     finished: bool = False
     write_system: QuorumSystem | None = None
     lock_granted: bool = False
+    # Batching: a pre-selected read quorum for the first attempt (shared
+    # across a flush), valid only while the liveness epoch is unchanged.
+    preselected: frozenset[int] | None = None
+    preselected_epoch: int | None = None
+    # Batching: derive the write timestamp from the shared version floor
+    # instead of running the version round (safe for every same-key
+    # write after the first in a flush — see the module docstring).
+    skip_version: bool = False
     # Trace span ids (0 = no span; only set when a recorder is enabled).
     trace_id: int = 0
     op_span: int = 0
     lock_span: int = 0
     attempt_span: int = 0
     phase_span: int = 0
+
+
+@dataclass(slots=True)
+class _BatchedOp:
+    """One submission waiting in the coordinator's batching window."""
+
+    op_type: str
+    key: Any
+    value: Any
+    on_done: DoneCallback
+    submitted_at: float
 
 
 class QuorumCoordinator:
@@ -199,6 +241,8 @@ class QuorumCoordinator:
         retry_policy: "RetryPolicy | None" = None,
         suspects: "SuspectList | None" = None,
         selector: SelectionIndex | None = None,
+        batch_window: float = 0.0,
+        leases: LeaseCache | None = None,
     ) -> None:
         if sid >= 0:
             raise ValueError("coordinator SIDs must be negative")
@@ -206,6 +250,8 @@ class QuorumCoordinator:
             raise ValueError("timeout must be positive")
         if max_attempts < 1:
             raise ValueError("need at least one attempt")
+        if batch_window < 0:
+            raise ValueError("batch window cannot be negative")
         self.sid = sid
         self._network = network
         self._system = system
@@ -234,6 +280,33 @@ class QuorumCoordinator:
         self._liveness_epoch = liveness_epoch
         self._retry_policy = retry_policy
         self._suspects = suspects
+        self._batch_window = batch_window
+        self._batch: list[_BatchedOp] = []
+        self._batch_handle: EventHandle | None = None
+        self._leases = leases
+        # receive() dispatch: type -> (context table, message-id getter,
+        # required stage, handler).  One dict probe replaces the
+        # isinstance chain on the hottest coordinator entry point; only a
+        # *timely* match (pending context in the right stage) exonerates
+        # the sender — see receive().
+        self._dispatch: dict = {
+            ReadReply: (
+                self._by_request, attrgetter("request_id"),
+                _Stage.READ, self._on_read_reply,
+            ),
+            VersionReply: (
+                self._by_request, attrgetter("request_id"),
+                _Stage.VERSION, self._on_version_reply,
+            ),
+            VoteMessage: (
+                self._by_txid, attrgetter("txid"),
+                _Stage.PREPARE, self._on_vote,
+            ),
+            AckMessage: (
+                self._by_txid, attrgetter("txid"),
+                _Stage.COMMIT, self._on_ack,
+            ),
+        }
         # A shared SelectionIndex (one per replica group/shard) lets every
         # coordinator of the group reuse the same packed quorum tables and
         # per-(op, live-mask) viable-row cache instead of building private
@@ -244,6 +317,7 @@ class QuorumCoordinator:
         self._universe: tuple[int, ...] = ()
         self._live_cache: tuple[int, ...] | None = None
         self._live_cache_epoch: int | None = None
+        self._live_mask: int | None = None
         self._rebuild_selector()
         network.register(sid, self)
 
@@ -277,6 +351,16 @@ class QuorumCoordinator:
         """The attached retry policy (``None`` = legacy immediate retry)."""
         return self._retry_policy
 
+    @property
+    def leases(self) -> LeaseCache | None:
+        """The attached lease cache (``None`` = every read runs a quorum)."""
+        return self._leases
+
+    @property
+    def batch_window(self) -> float:
+        """The batching window (0 = every submission issues immediately)."""
+        return self._batch_window
+
     # ------------------------------------------------------------------
     # quorum selection fast path
     # ------------------------------------------------------------------
@@ -293,6 +377,7 @@ class QuorumCoordinator:
         self._selector = None
         self._live_cache = None
         self._live_cache_epoch = None
+        self._live_mask = None
         if not getattr(self._system, "uniform_selection", False):
             return
         universe = getattr(self._system, "universe", None)
@@ -327,6 +412,15 @@ class QuorumCoordinator:
                 sid for sid in self._universe if detector(sid)
             )
             self._live_cache_epoch = epoch
+            # Pack the live set once per epoch alongside the tuple, so
+            # packed selections skip the per-call mask-building loop
+            # (None when the active system has no packed tables).
+            selector = self._selector
+            self._live_mask = (
+                selector.live_mask(self._live_cache)
+                if selector is not None
+                else None
+            )
         return self._live_cache
 
     def _select_quorum(
@@ -357,7 +451,13 @@ class QuorumCoordinator:
                 if avoided:
                     suspects.note_avoided()
                 return quorum
-            return selector.select(op, self._live_replicas(), self._rng)
+            live = self._live_replicas()
+            mask = self._live_mask
+            if mask is not None and selector.supported(op):
+                # Same rows, same single randrange as select() — only
+                # the per-call packing loop is skipped.
+                return selector.select_masked(op, mask, self._rng)
+            return selector.select(op, live, self._rng)
         if avoid and any(self._detector(sid) for sid in avoid):
             # Structural selector: run it once over an oracle that also
             # rules out suspected sites; fall back to the plain liveness
@@ -405,7 +505,21 @@ class QuorumCoordinator:
     # ------------------------------------------------------------------
 
     def read(self, key: Any, on_done: DoneCallback) -> None:
-        """Issue a quorum read of ``key``; ``on_done`` fires exactly once."""
+        """Issue a quorum read of ``key``; ``on_done`` fires exactly once.
+
+        A live lease short-circuits everything: no lock, no quorum, no
+        network — the cached value is delivered on the next scheduler
+        tick (still asynchronously, so closed-loop callers never
+        recurse).  Lease misses enter the batching window when one is
+        configured, the legacy immediate pipeline otherwise.
+        """
+        if self._leases is not None and self._serve_leased(key, on_done):
+            return
+        if self._batch_window > 0.0:
+            self._enqueue(
+                _BatchedOp("read", key, None, on_done, self.scheduler.now)
+            )
+            return
         self._in_flight += 1
         ctx = _OpContext(
             op_type="read",
@@ -425,6 +539,11 @@ class QuorumCoordinator:
 
     def write(self, key: Any, value: Any, on_done: DoneCallback) -> None:
         """Issue a quorum write; ``on_done`` fires exactly once."""
+        if self._batch_window > 0.0:
+            self._enqueue(
+                _BatchedOp("write", key, value, on_done, self.scheduler.now)
+            )
+            return
         self._write(key, value, on_done, write_system=None)
 
     def write_with_system(
@@ -465,6 +584,180 @@ class QuorumCoordinator:
         self._locks.acquire(
             ctx.lock_token,
             key,
+            LockMode.EXCLUSIVE,
+            lambda granted: self._lock_decided(ctx, granted),
+        )
+
+    # ------------------------------------------------------------------
+    # read leases
+    # ------------------------------------------------------------------
+
+    def _serve_leased(self, key: Any, on_done: DoneCallback) -> bool:
+        """Serve a read from the lease cache; False on a miss."""
+        entry = self._leases.lookup(key)
+        if entry is None:
+            return False
+        self._in_flight += 1
+        now = self.scheduler.now
+        outcome = OperationOutcome(
+            op_type="read",
+            key=key,
+            success=True,
+            value=entry.value,
+            timestamp=entry.timestamp,
+            quorum=frozenset(),
+            version_quorum=frozenset(),
+            attempts=0,
+            started_at=now,
+            finished_at=now,
+            leased=True,
+        )
+
+        def serve() -> None:
+            self._in_flight -= 1
+            on_done(outcome)
+
+        self.scheduler.schedule(0.0, serve)
+        return True
+
+    # ------------------------------------------------------------------
+    # operation batching
+    # ------------------------------------------------------------------
+
+    def _enqueue(self, op: _BatchedOp) -> None:
+        """Queue a submission; the first one arms the flush timer."""
+        self._in_flight += 1
+        self._batch.append(op)
+        if self._batch_handle is None:
+            self._batch_handle = self.scheduler.schedule(
+                self._batch_window, self._flush_batch
+            )
+
+    def _flush_batch(self) -> None:
+        """Issue everything queued during the window, coalesced per key.
+
+        Per key (insertion order, so flushes are deterministic): all
+        queued reads collapse into **one** quorum read whose outcome
+        fans out to every waiter; writes issue in submission order, the
+        first through the full version-round pipeline and the rest with
+        ``skip_version`` (their timestamps derive from the version floor
+        the predecessors' commits will have advanced — the lock manager
+        serialises them).  All read groups in the flush share a single
+        pre-selected read quorum, amortising quorum selection across the
+        batch; the pre-selection is epoch-stamped and re-validated at
+        lock grant.
+        """
+        self._batch_handle = None
+        batch = self._batch
+        self._batch = []
+        by_key: dict[Any, list[_BatchedOp]] = {}
+        for op in batch:
+            by_key.setdefault(op.key, []).append(op)
+        preselected: frozenset[int] | None = None
+        epoch = (
+            self._liveness_epoch()
+            if self._liveness_epoch is not None
+            else None
+        )
+        for key, ops in by_key.items():
+            reads = [op for op in ops if op.op_type == "read"]
+            writes = [op for op in ops if op.op_type == "write"]
+            if reads:
+                if self._leases is not None and self._serve_group_leased(
+                    key, reads
+                ):
+                    pass
+                else:
+                    if preselected is None:
+                        # One selection for every read group in the
+                        # flush (the batch's shared quorum).
+                        preselected = self._select_quorum("read")
+                    self._issue_read_group(key, reads, preselected, epoch)
+            for index, op in enumerate(writes):
+                self._issue_batched_write(op, skip_version=index > 0)
+
+    def _serve_group_leased(self, key: Any, reads: list[_BatchedOp]) -> bool:
+        """Serve a whole read group from a lease (re-checked at flush).
+
+        A lease granted *during* the window (say, by a write-through
+        commit) can satisfy reads that missed at submission time.
+        """
+        entry = self._leases.lookup(key)
+        if entry is None:
+            return False
+        now = self.scheduler.now
+        self._in_flight -= len(reads)
+        for op in reads:
+            op.on_done(
+                OperationOutcome(
+                    op_type="read",
+                    key=key,
+                    success=True,
+                    value=entry.value,
+                    timestamp=entry.timestamp,
+                    quorum=frozenset(),
+                    version_quorum=frozenset(),
+                    attempts=0,
+                    started_at=op.submitted_at,
+                    finished_at=now,
+                    leased=True,
+                )
+            )
+        return True
+
+    def _issue_read_group(
+        self,
+        key: Any,
+        reads: list[_BatchedOp],
+        quorum: frozenset[int] | None,
+        epoch: int | None,
+    ) -> None:
+        """One quorum read serving every queued read of ``key``."""
+        callbacks = [op.on_done for op in reads]
+        starts = [op.submitted_at for op in reads]
+        extra = len(reads) - 1
+
+        def fan_out(outcome: OperationOutcome) -> None:
+            # The context's _finish decremented in-flight once (for the
+            # first waiter); settle the coalesced remainder here.
+            self._in_flight -= extra
+            for on_done, started_at in zip(callbacks, starts):
+                on_done(replace(outcome, started_at=started_at))
+
+        ctx = _OpContext(
+            op_type="read",
+            key=key,
+            on_done=fan_out,
+            lock_token=self._tx_ids.next_id(),
+            started_at=starts[0],
+            stage=_Stage.READ,
+            preselected=quorum,
+            preselected_epoch=epoch,
+        )
+        self._trace_operation_start(ctx, LockMode.SHARED)
+        self._locks.acquire(
+            ctx.lock_token,
+            key,
+            LockMode.SHARED,
+            lambda granted: self._lock_decided(ctx, granted),
+        )
+
+    def _issue_batched_write(self, op: _BatchedOp, skip_version: bool) -> None:
+        """Issue one queued write (in-flight was counted at enqueue)."""
+        ctx = _OpContext(
+            op_type="write",
+            key=op.key,
+            value=op.value,
+            on_done=op.on_done,
+            lock_token=self._tx_ids.next_id(),
+            started_at=op.submitted_at,
+            stage=_Stage.VERSION,
+            skip_version=skip_version,
+        )
+        self._trace_operation_start(ctx, LockMode.EXCLUSIVE)
+        self._locks.acquire(
+            ctx.lock_token,
+            op.key,
             LockMode.EXCLUSIVE,
             lambda granted: self._lock_decided(ctx, granted),
         )
@@ -534,6 +827,25 @@ class QuorumCoordinator:
         if not granted:
             self._finish(ctx, success=False, reason=FailureReason.LOCK_TIMEOUT)
             return
+        if ctx.op_type == "read" and self._leases is not None:
+            # Re-check the lease now that the shared lock is held: a
+            # writer queued ahead of this reader committed and re-granted
+            # the lease (write-through) while we waited, so the cached
+            # value is proven current *under this very lock*.  Serving it
+            # here converts the hot-key read convoy — every queued reader
+            # re-running a full quorum round after every write — into one
+            # lease lookup per reader.
+            entry = self._leases.lookup(ctx.key)
+            if entry is not None:
+                self._finish_leased(ctx, entry)
+                return
+        if ctx.op_type == "write" and self._leases is not None:
+            # Revoke the key's lease the moment the writer owns the
+            # exclusive lock — before any replica state can change — so
+            # every read from here on queues behind the lock instead of
+            # serving the soon-to-be-stale cached value.  The lease is
+            # re-granted (write-through) only if this write commits.
+            self._leases.invalidate(ctx.key)
         self._start_attempt(ctx)
 
     # ------------------------------------------------------------------
@@ -560,6 +872,15 @@ class QuorumCoordinator:
             )
         if ctx.op_type == "read":
             self._start_read_phase(ctx)
+        elif ctx.skip_version:
+            # Batched same-key successor write: the predecessor's commit
+            # decision advanced the shared version floor before its
+            # exclusive lock was released, and this write's lock grant
+            # happens-after that release — so the floor already dominates
+            # every committed version a version round could observe.
+            floor = self._version_floor.get(ctx.key, ZERO_TIMESTAMP)
+            ctx.write_timestamp = floor.next_version(self._writer_id)
+            self._start_prepare_phase(ctx)
         else:
             ctx.stage = _Stage.VERSION
             self._start_version_phase(ctx)
@@ -687,6 +1008,45 @@ class QuorumCoordinator:
         self._by_request.pop(ctx.request_id, None)
         self._by_txid.pop(ctx.txid, None)
 
+    def _finish_leased(self, ctx: _OpContext, entry: "LeaseEntry") -> None:
+        """Complete a read context from a lease (no quorum was contacted).
+
+        Reached only from the shared-lock grant re-check; the lease was
+        (re)granted while the reader queued, so no attempt ever started —
+        there is no timeout to race and no request to unregister, but both
+        cleanups stay for symmetry with :meth:`_finish`.
+        """
+        if ctx.finished:
+            return
+        ctx.finished = True
+        self._in_flight -= 1
+        self._cancel_timeout(ctx)
+        self._unregister(ctx)
+        if ctx.lock_granted:
+            self._locks.release(ctx.lock_token, ctx.key)
+        recorder = self._recorder
+        if recorder.enabled:
+            self._close_attempt(ctx)
+            recorder.end_span(
+                ctx.op_span, self.scheduler.now, status=STATUS_OK,
+                attempts=ctx.attempts, quorum=0, version_quorum=0,
+            )
+        ctx.on_done(
+            OperationOutcome(
+                op_type="read",
+                key=ctx.key,
+                success=True,
+                value=entry.value,
+                timestamp=entry.timestamp,
+                quorum=frozenset(),
+                version_quorum=frozenset(),
+                attempts=ctx.attempts,
+                started_at=ctx.started_at,
+                finished_at=self.scheduler.now,
+                leased=True,
+            )
+        )
+
     def _finish(
         self,
         ctx: _OpContext,
@@ -715,6 +1075,11 @@ class QuorumCoordinator:
                 attempts=ctx.attempts, quorum=len(ctx.quorum),
                 version_quorum=len(ctx.version_quorum),
             )
+        if success and self._leases is not None:
+            # A completed read quorum proves the dominant value current;
+            # a committed write *is* the current value (write-through).
+            # Either way the key's lease can be (re)granted.
+            self._leases.grant(ctx.key, value, timestamp, ctx.quorum)
         outcome = OperationOutcome(
             op_type=ctx.op_type,
             key=ctx.key,
@@ -735,7 +1100,22 @@ class QuorumCoordinator:
     # ------------------------------------------------------------------
 
     def _start_read_phase(self, ctx: _OpContext) -> None:
-        quorum = self._select_quorum("read")
+        quorum: frozenset[int] | None = None
+        if ctx.preselected is not None:
+            # The flush's shared pre-selected quorum serves the first
+            # attempt — but only while the liveness epoch it was chosen
+            # under still holds (the lock wait may span crashes).
+            # Retries always select fresh.
+            epoch = (
+                self._liveness_epoch()
+                if self._liveness_epoch is not None
+                else None
+            )
+            if epoch == ctx.preselected_epoch:
+                quorum = ctx.preselected
+            ctx.preselected = None
+        if quorum is None:
+            quorum = self._select_quorum("read")
         if quorum is None:
             self._defer_unavailable(ctx)
             return
@@ -745,13 +1125,13 @@ class QuorumCoordinator:
         ctx.request_id = self._tx_ids.next_id()
         self._by_request[ctx.request_id] = ctx
         self._arm_timeout(ctx)
-        for member in sorted(quorum):
-            self._network.send(
-                ReadRequest(
-                    src=self.sid, dst=member,
-                    key=ctx.key, request_id=ctx.request_id,
-                )
-            )
+        sid = self.sid
+        request_id = ctx.request_id
+        key = ctx.key
+        self._network.broadcast([
+            ReadRequest(src=sid, dst=member, key=key, request_id=request_id)
+            for member in sorted(quorum)
+        ])
 
     def _on_read_reply(self, ctx: _OpContext, message: ReadReply) -> None:
         ctx.replies[message.src] = message
@@ -788,13 +1168,13 @@ class QuorumCoordinator:
         ctx.request_id = self._tx_ids.next_id()
         self._by_request[ctx.request_id] = ctx
         self._arm_timeout(ctx)
-        for member in sorted(quorum):
-            self._network.send(
-                VersionRequest(
-                    src=self.sid, dst=member,
-                    key=ctx.key, request_id=ctx.request_id,
-                )
-            )
+        sid = self.sid
+        request_id = ctx.request_id
+        key = ctx.key
+        self._network.broadcast([
+            VersionRequest(src=sid, dst=member, key=key, request_id=request_id)
+            for member in sorted(quorum)
+        ])
 
     def _on_version_reply(self, ctx: _OpContext, message: VersionReply) -> None:
         ctx.versions[message.src] = message.timestamp
@@ -825,14 +1205,15 @@ class QuorumCoordinator:
         ctx.txid = self._tx_ids.next_id()
         self._by_txid[ctx.txid] = ctx
         self._arm_timeout(ctx)
-        for member in sorted(quorum):
-            self._network.send(
-                PrepareMessage(
-                    src=self.sid, dst=member,
-                    txid=ctx.txid, key=ctx.key,
-                    value=ctx.value, timestamp=ctx.write_timestamp,
-                )
+        sid = self.sid
+        self._network.broadcast([
+            PrepareMessage(
+                src=sid, dst=member,
+                txid=ctx.txid, key=ctx.key,
+                value=ctx.value, timestamp=ctx.write_timestamp,
             )
+            for member in sorted(quorum)
+        ])
 
     def _on_vote(self, ctx: _OpContext, message: VoteMessage) -> None:
         ctx.votes[message.src] = message.vote_commit
@@ -886,10 +1267,12 @@ class QuorumCoordinator:
                 "commit_retransmit", self.scheduler.now, op=ctx.op_type,
                 pending=len(pending),
             )
-        for member in sorted(pending):
-            self._network.send(
-                CommitMessage(src=self.sid, dst=member, txid=ctx.txid)
-            )
+        sid = self.sid
+        txid = ctx.txid
+        self._network.broadcast([
+            CommitMessage(src=sid, dst=member, txid=txid)
+            for member in sorted(pending)
+        ])
         self._arm_timeout(ctx)
 
     def _complete_commit(self, ctx: _OpContext) -> None:
@@ -901,15 +1284,13 @@ class QuorumCoordinator:
 
     def _broadcast_decision(self, ctx: _OpContext, commit: bool) -> None:
         self._decisions[ctx.txid] = commit
-        for member in sorted(ctx.quorum):
-            if commit:
-                self._network.send(
-                    CommitMessage(src=self.sid, dst=member, txid=ctx.txid)
-                )
-            else:
-                self._network.send(
-                    AbortMessage(src=self.sid, dst=member, txid=ctx.txid)
-                )
+        sid = self.sid
+        txid = ctx.txid
+        message_type = CommitMessage if commit else AbortMessage
+        self._network.broadcast([
+            message_type(src=sid, dst=member, txid=txid)
+            for member in sorted(ctx.quorum)
+        ])
 
     def _on_decision_request(self, message: DecisionRequest) -> None:
         """2PC termination: answer a recovered participant's in-doubt query.
@@ -942,37 +1323,22 @@ class QuorumCoordinator:
         life would flap the failure detector between suspicion and trust
         on every straggler round-trip.
         """
-        ctx: _OpContext | None = None
-        dispatch = None
-        if isinstance(message, ReadReply):
-            ctx = self._by_request.get(message.request_id)
-            if ctx is not None and ctx.stage is _Stage.READ:
-                dispatch = self._on_read_reply
-        elif isinstance(message, VersionReply):
-            ctx = self._by_request.get(message.request_id)
-            if ctx is not None and ctx.stage is _Stage.VERSION:
-                dispatch = self._on_version_reply
-        elif isinstance(message, VoteMessage):
-            ctx = self._by_txid.get(message.txid)
-            if ctx is not None and ctx.stage is _Stage.PREPARE:
-                dispatch = self._on_vote
-        elif isinstance(message, DecisionRequest):
-            # A replica asking for a past decision is running recovery:
-            # it is certainly alive right now.
-            if self._suspects is not None and message.src >= 0:
-                self._suspects.exonerate(message.src, self.scheduler.now)
-            self._on_decision_request(message)
-            return
-        elif isinstance(message, AckMessage):
-            ctx = self._by_txid.get(message.txid)
-            if ctx is not None and ctx.stage is _Stage.COMMIT:
-                dispatch = self._on_ack
-        else:
+        entry = self._dispatch.get(type(message))
+        if entry is None:
+            if type(message) is DecisionRequest:
+                # A replica asking for a past decision is running
+                # recovery: it is certainly alive right now.
+                if self._suspects is not None and message.src >= 0:
+                    self._suspects.exonerate(message.src, self.scheduler.now)
+                self._on_decision_request(message)
+                return
             raise TypeError(
                 f"coordinator cannot handle {type(message).__name__}"
             )
-        if dispatch is None:
+        table, message_id, stage, handler = entry
+        ctx = table.get(message_id(message))
+        if ctx is None or ctx.stage is not stage:
             return
         if self._suspects is not None and message.src >= 0:
             self._suspects.exonerate(message.src, self.scheduler.now)
-        dispatch(ctx, message)
+        handler(ctx, message)

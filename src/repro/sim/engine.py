@@ -23,6 +23,7 @@ from repro.quorums.system import QuorumSystem
 from repro.sim.coordinator import QuorumCoordinator
 from repro.sim.events import Scheduler
 from repro.sim.failures import FailureInjector, NoFailures
+from repro.sim.leases import LeaseCache
 from repro.sim.locks import LockManager
 from repro.sim.monitor import Monitor
 from repro.sim.network import Network, NetworkStats
@@ -96,6 +97,21 @@ class SimulationConfig:
         intersection + version monotonicity) and raises
         :class:`~repro.fault.invariants.InvariantViolation` on first
         blood.  The chaos CI job runs with this on.
+    batch_window:
+        Coordinator batching window in simulated time units.  0 (the
+        default) keeps the legacy issue-immediately pipeline and its
+        byte-identical RNG/event streams; positive values queue
+        submissions per coordinator and flush them together (same-key
+        reads coalesce into one quorum round, read groups share one
+        selected quorum, same-key successor writes skip the version
+        round).  See :mod:`repro.sim.coordinator`.
+    leases:
+        When True, every coordinator of the group shares one
+        :class:`~repro.sim.leases.LeaseCache`: reads of a leased key are
+        served from the cache without lock or quorum work, leases are
+        revoked at a conflicting write's exclusive-lock grant and by
+        liveness-epoch bumps, and committed writes re-grant them
+        (write-through).  Off by default (legacy streams untouched).
     """
 
     tree: ArbitraryTree | None = None
@@ -116,6 +132,8 @@ class SimulationConfig:
     probe_interval: float = 30.0
     suspect_threshold: int = 1
     check_invariants: bool = False
+    batch_window: float = 0.0
+    leases: bool = False
 
     def resolve(self) -> tuple[QuorumSystem, int]:
         """The (quorum system, replica count) pair this config describes.
@@ -155,6 +173,8 @@ class SimulationResult:
     suspects: SuspectList | None = None
     #: The safety auditor (``None`` unless ``config.check_invariants``).
     invariants: InvariantChecker | None = None
+    #: The shared read-lease cache (``None`` unless ``config.leases``).
+    leases: LeaseCache | None = None
 
     def summary(self) -> dict[str, float]:
         """Monitor headline numbers plus network/message counters."""
@@ -184,6 +204,8 @@ class ReplicaGroup:
     locks: LockManager
     coordinators: list[QuorumCoordinator]
     suspects: SuspectList | None
+    #: The group's shared read-lease cache (``None`` unless configured).
+    leases: LeaseCache | None = None
 
 
 def build_replica_group(
@@ -237,6 +259,14 @@ def build_replica_group(
         if config.detector
         else None
     )
+    # Like the version floor, the lease cache is *group* state: one
+    # client's write must revoke the lease every other client would
+    # otherwise serve reads from.
+    leases = (
+        LeaseCache(epoch=lambda: network.liveness_epoch)
+        if config.leases
+        else None
+    )
     coordinators: list[QuorumCoordinator] = []
     shared_selector = None
     for index in range(config.clients):
@@ -277,6 +307,8 @@ def build_replica_group(
                 retry_policy=retry_policy,
                 suspects=suspects,
                 selector=shared_selector,
+                batch_window=config.batch_window,
+                leases=leases,
             )
         )
         if index == 0:
@@ -290,6 +322,7 @@ def build_replica_group(
         locks=locks,
         coordinators=coordinators,
         suspects=suspects,
+        leases=leases,
     )
 
 
@@ -391,4 +424,5 @@ def simulate(config: SimulationConfig, max_events: int = 5_000_000) -> Simulatio
         recorder=monitor.recorder,
         suspects=workload.coordinators[0].suspects,
         invariants=invariants,
+        leases=workload.coordinators[0].leases,
     )

@@ -4,47 +4,53 @@ A minimal event kernel: callbacks are scheduled at absolute simulation
 times and executed in (time, insertion-order) order, so two events at the
 same instant fire in the order they were scheduled — this makes every
 simulation run bit-for-bit reproducible for a fixed RNG seed.
+
+Queue entries are plain three-slot lists ``[time, sequence, callback]``
+rather than dataclass instances: the scheduler is the simulator's inner
+ring (every message delivery and timeout passes through it), and list
+construction + elementwise comparison is measurably cheaper than object
+allocation with ``__lt__`` dispatch.  The unique, monotonically
+increasing sequence number guarantees heap comparisons never reach the
+(incomparable) callback slot and preserves the insertion-order tie-break.
+Cancellation clears the callback slot in place (``entry[2] = None``) —
+no tombstone flag, no handle bookkeeping beyond the shared list.
 """
 
 from __future__ import annotations
 
 import heapq
 from collections.abc import Callable
-from dataclasses import dataclass, field
 from typing import Any
 
-
-@dataclass(order=True, slots=True)
-class _QueuedEvent:
-    time: float
-    sequence: int
-    callback: Callable[[], Any] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+# Entry slots: [time, sequence, callback-or-None].
+_TIME = 0
+_SEQ = 1
+_CALLBACK = 2
 
 
 class EventHandle:
     """Handle returned by :meth:`Scheduler.schedule`; allows cancellation."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_entry",)
 
-    def __init__(self, event: _QueuedEvent) -> None:
-        self._event = event
+    def __init__(self, entry: list) -> None:
+        self._entry = entry
 
     def cancel(self) -> None:
         """Prevent the event from firing (no-op if it already fired)."""
-        self._event.cancelled = True
+        self._entry[_CALLBACK] = None
 
     @property
     def time(self) -> float:
         """Absolute simulation time the event is scheduled for."""
-        return self._event.time
+        return self._entry[_TIME]
 
 
 class Scheduler:
     """Priority-queue event loop with a virtual clock."""
 
     def __init__(self) -> None:
-        self._queue: list[_QueuedEvent] = []
+        self._queue: list[list] = []
         self._sequence = 0
         self._now = 0.0
         self._processed = 0
@@ -70,12 +76,10 @@ class Scheduler:
         """Run ``callback`` after ``delay`` simulated time units."""
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
-        event = _QueuedEvent(
-            time=self._now + delay, sequence=self._sequence, callback=callback
-        )
+        entry = [self._now + delay, self._sequence, callback]
         self._sequence += 1
-        heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        heapq.heappush(self._queue, entry)
+        return EventHandle(entry)
 
     def schedule_at(
         self, time: float, callback: Callable[[], Any]
@@ -85,13 +89,15 @@ class Scheduler:
 
     def step(self) -> bool:
         """Execute the next event; returns False when the queue is empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
+        queue = self._queue
+        while queue:
+            entry = heapq.heappop(queue)
+            callback = entry[_CALLBACK]
+            if callback is None:
                 continue
-            self._now = event.time
+            self._now = entry[_TIME]
             self._processed += 1
-            event.callback()
+            callback()
             return True
         return False
 
@@ -102,14 +108,15 @@ class Scheduler:
         later stay queued and the clock is advanced to ``until``.
         """
         executed = 0
-        while self._queue:
+        queue = self._queue
+        while queue:
             if max_events is not None and executed >= max_events:
                 return
-            head = self._queue[0]
-            if head.cancelled:
-                heapq.heappop(self._queue)
+            head = queue[0]
+            if head[_CALLBACK] is None:
+                heapq.heappop(queue)
                 continue
-            if until is not None and head.time > until:
+            if until is not None and head[_TIME] > until:
                 self._now = until
                 return
             self.step()

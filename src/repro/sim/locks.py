@@ -32,7 +32,7 @@ class LockMode(enum.Enum):
     EXCLUSIVE = "exclusive"
 
 
-@dataclass
+@dataclass(slots=True)
 class _LockRequest:
     txid: int
     mode: LockMode
@@ -40,7 +40,7 @@ class _LockRequest:
     enqueued_at: float = 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class _KeyLockState:
     holders: dict[int, LockMode] = field(default_factory=dict)
     queue: deque[_LockRequest] = field(default_factory=deque)

@@ -185,10 +185,21 @@ class RegionLatencyMatrix:
 
 
 def fixed_latency(value: float) -> LatencyModel:
-    """Every message takes exactly ``value`` time units."""
+    """Every message takes exactly ``value`` time units.
+
+    The returned model carries its constant as a ``fixed_value``
+    attribute so the network can recognise a deterministic, RNG-free
+    latency and serve quorum fan-outs through the batched multicast
+    fast path (see :meth:`Network.broadcast`).
+    """
     if value < 0:
         raise ValueError("latency cannot be negative")
-    return lambda rng: value
+
+    def model(rng: random.Random) -> float:
+        return value
+
+    model.fixed_value = value
+    return model
 
 
 def uniform_latency(low: float, high: float) -> LatencyModel:
@@ -238,6 +249,10 @@ class Network:
         #: scalar models keep the legacy (rng) call so their RNG draw
         #: pattern — and therefore every existing stream — is unchanged.
         self._per_pair_latency = bool(getattr(self._latency, "per_pair", False))
+        #: Constant link latency, when the model is deterministic and
+        #: RNG-free (``fixed_latency``) — the precondition for collapsing
+        #: a quorum fan-out into one batched delivery event.
+        self._fixed_latency = getattr(self._latency, "fixed_value", None)
         self._drop_probability = drop_probability
         self._duplicate_probability = duplicate_probability
         self._endpoints: dict[int, Endpoint] = {}
@@ -414,9 +429,49 @@ class Network:
         return self._latency(self._rng)
 
     def broadcast(self, messages: Iterable[Message]) -> None:
-        """Send a batch of messages."""
+        """Send a batch of messages (the quorum fan-out entry point).
+
+        When the fabric is in its deterministic regime — fixed RNG-free
+        latency, no loss, no duplication, no chaos degradation, no
+        partition, tracing off — the whole batch collapses into **one**
+        scheduled event that delivers every message in send order.  This
+        is behaviourally identical to per-message events: the messages
+        would all carry the same delivery time and consecutive heap
+        sequence numbers, so no foreign event can interleave between
+        them, and no RNG is drawn on this path by construction.  Only
+        the scheduler's processed-event count differs.  Any condition
+        that could drop, delay or observe individual messages falls back
+        to per-message :meth:`send`.
+        """
+        if not isinstance(messages, list):
+            messages = list(messages)
+        if (
+            self._fixed_latency is None
+            or len(messages) < 2
+            or self._drop_probability
+            or self._duplicate_probability
+            or self._site_drop
+            or self._latency_factors
+            or self._partition.groups
+            or self._recorder.enabled
+        ):
+            for message in messages:
+                self.send(message)
+            return
+        endpoints = self._endpoints
         for message in messages:
-            self.send(message)
+            if message.dst not in endpoints:
+                raise KeyError(
+                    f"no endpoint registered for SID {message.dst}"
+                )
+        self.stats.sent += len(messages)
+        deliver = self._deliver
+
+        def deliver_batch() -> None:
+            for message in messages:
+                deliver(message)
+
+        self._scheduler.schedule(self._fixed_latency, deliver_batch)
 
     def _deliver(self, message: Message) -> None:
         endpoint = self._endpoints.get(message.dst)

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import math
 import random
+from bisect import bisect
 from collections.abc import Callable
 from dataclasses import dataclass
 from itertools import accumulate
@@ -190,12 +191,20 @@ class Workload:
         ))
 
     def _pick_key_index(self) -> int:
-        if self._cum_weights is None:
+        cum_weights = self._cum_weights
+        if cum_weights is None:
             return self._rng.randrange(self._spec.keys)
-        (index,) = self._rng.choices(
-            range(self._spec.keys), cum_weights=self._cum_weights
+        # Inlined ``random.choices(cum_weights=...)`` for a single draw:
+        # choices wraps exactly this one random() + bisect in a k=1 list
+        # comprehension plus argument validation, all per call.  Same
+        # draw, same bisect bounds — the stream stays bit-identical
+        # (guarded by the workload bit-identity regression tests).
+        return bisect(
+            cum_weights,
+            self._rng.random() * cum_weights[-1],
+            0,
+            self._spec.keys - 1,
         )
-        return index
 
     # ------------------------------------------------------------------
     # lifecycle

@@ -162,3 +162,44 @@ class TestDispatch:
     def test_mask_of(self):
         index = {5: 0, 9: 1, 11: 2}
         assert mask_of({5, 11}, index) == 0b101
+
+
+class TestFromSystem:
+    """The quorum_masks fast path must be a mask twin of quorums(op)."""
+
+    @pytest.mark.parametrize(
+        "protocol,n",
+        [("majority", 5), ("majority", 13), ("grid", 9), ("grid", 16),
+         ("arbitrary", 13)],
+    )
+    @pytest.mark.parametrize("op", ["read", "write"])
+    def test_masks_path_matches_frozenset_path(self, protocol, n, op):
+        from repro.protocols.zoo import quorum_system
+
+        system = quorum_system(protocol, n)
+        assert system.quorum_masks(op) is not None
+        via_masks = PackedQuorums.from_system(system, op)
+        via_sets = PackedQuorums.from_quorums(
+            system.quorums(op), universe=system.universe
+        )
+        assert via_masks.elements == via_sets.elements
+        # Same matrix AND same row order: enumeration-order consumers
+        # (selection's RNG-stream agreement) depend on both.
+        assert (via_masks.matrix == via_sets.matrix).all()
+
+    def test_systems_without_the_hook_fall_back(self):
+        from repro.protocols.zoo import quorum_system
+
+        system = quorum_system("hqc", 9)
+        assert system.quorum_masks("read") is None
+        packed = PackedQuorums.from_system(system, "read")
+        reference = PackedQuorums.from_quorums(
+            system.quorums("read"), universe=system.universe
+        )
+        assert (packed.matrix == reference.matrix).all()
+
+    def test_quorum_masks_rejects_unknown_op(self):
+        from repro.protocols.zoo import quorum_system
+
+        with pytest.raises(ValueError, match="op"):
+            quorum_system("majority", 5).quorum_masks("scan")

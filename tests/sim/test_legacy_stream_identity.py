@@ -1,0 +1,294 @@
+"""Golden-fingerprint guard for the legacy (unbatched, unleased) hot path.
+
+The throughput work — coordinator batching, read leases, the slotted event
+ring, multicast scheduling, dispatch-table receive, masked quorum
+selection, and the bisect key picker — is all required to be *invisible*
+when ``batch_window=0`` and ``leases=False`` (the defaults): every RNG
+stream, event ordering and monitor fold must replay exactly as before.
+
+These tests pin ``result.summary()`` of seven configurations spanning the
+protocol zoo and the fault layer to the values the pre-optimisation
+simulator produced (captured on `main` before the hot-path changes).  Any
+float in any summary moving by one ULP means a default-path behaviour
+change and must fail loudly here.  ``events_processed`` is deliberately
+NOT pinned: scheduler-internal event *counts* may shrink (the multicast
+fast path delivers a broadcast as one event), but everything observable —
+message counters, outcome streams, latencies, durations — is exact.
+
+The goldens were captured by running exactly the configs below; regenerate
+only when a PR deliberately changes default-path semantics, and say so in
+its description.
+"""
+
+import math
+
+import pytest
+
+from repro.core.builder import from_spec
+from repro.fault.retry import RetryPolicySpec
+from repro.fault.scenarios import chaos_injector
+from repro.protocols.zoo import quorum_system
+from repro.sim.engine import SimulationConfig, simulate
+from repro.sim.failures import BernoulliFailures
+from repro.sim.workload import WorkloadSpec
+
+NAN = float("nan")
+
+
+def _configs():
+    yield "tree_1-3-5_closed", SimulationConfig(
+        tree=from_spec("1-3-5"),
+        workload=WorkloadSpec(operations=120, read_fraction=0.5),
+        seed=7,
+    )
+    yield "tree_1-2-4_poisson_zipf_bernoulli", SimulationConfig(
+        tree=from_spec("1-2-4"),
+        workload=WorkloadSpec(
+            operations=150, read_fraction=0.5, keys=16,
+            arrival="poisson", rate=0.3, zipf_s=1.2,
+        ),
+        failures=BernoulliFailures(p=0.8, seed=11, resample_every=25.0),
+        timeout=6.0,
+        seed=11,
+    )
+    yield "majority_7_two_clients_service_time", SimulationConfig(
+        system=quorum_system("majority", 7),
+        workload=WorkloadSpec(operations=100, read_fraction=0.7, keys=8),
+        clients=2,
+        service_time=0.5,
+        seed=3,
+    )
+    yield "grid_9_structural_poisson", SimulationConfig(
+        system=quorum_system("grid", 9),
+        workload=WorkloadSpec(
+            operations=100, read_fraction=0.5, keys=8,
+            arrival="poisson", rate=0.4,
+        ),
+        seed=5,
+    )
+    yield "tree_quorum_7_lossy", SimulationConfig(
+        system=quorum_system("tree-quorum", 7),
+        workload=WorkloadSpec(operations=120, read_fraction=0.5, keys=8),
+        drop_probability=0.05,
+        duplicate_probability=0.02,
+        timeout=6.0,
+        max_attempts=5,
+        seed=13,
+    )
+    yield "chaos_mass_crash_detector_retry", SimulationConfig(
+        tree=from_spec("1-3-5"),
+        workload=WorkloadSpec(
+            operations=150, read_fraction=0.5, keys=16,
+            arrival="poisson", rate=0.3,
+        ),
+        failures=chaos_injector("mass-crash", 8, seed=21, horizon=500.0),
+        timeout=8.0,
+        max_attempts=3,
+        detector=True,
+        retry_policy=RetryPolicySpec(kind="exponential", base=0.5, jitter=0.2),
+        check_invariants=True,
+        seed=21,
+    )
+    yield "chaos_flapping_invariants", SimulationConfig(
+        tree=from_spec("1-3-5"),
+        workload=WorkloadSpec(
+            operations=150, read_fraction=0.5, keys=16,
+            arrival="poisson", rate=0.3,
+        ),
+        failures=chaos_injector("flapping", 8, seed=9, horizon=500.0),
+        timeout=8.0,
+        max_attempts=3,
+        check_invariants=True,
+        seed=9,
+    )
+
+
+CONFIGS = dict(_configs())
+
+GOLDEN_SUMMARIES = {
+    "tree_1-3-5_closed": {
+        "duration": 492.0,
+        "failure_latency_mean": NAN,
+        "messages_delivered": 1460.0,
+        "messages_dropped": 0.0,
+        "messages_sent": 1460.0,
+        "read_availability": 1.0,
+        "read_cost": 2.0,
+        "read_failure_latency_mean": NAN,
+        "read_latency_mean": 2.0,
+        "read_load": 0.43859649122807015,
+        "reads": 57,
+        "write_availability": 1.0,
+        "write_cost": 3.888888888888889,
+        "write_cost_total": 5.888888888888889,
+        "write_failure_latency_mean": NAN,
+        "write_latency_mean": 6.0,
+        "write_load": 0.5555555555555556,
+        "write_version_cost": 2.0,
+        "writes": 63,
+    },
+    "tree_1-2-4_poisson_zipf_bernoulli": {
+        "duration": 543.3622303023353,
+        "failure_latency_mean": 25.585766618316903,
+        "messages_delivered": 1221.0,
+        "messages_dropped": 11.0,
+        "messages_sent": 1232.0,
+        "read_availability": 0.9102564102564102,
+        "read_cost": 2.0,
+        "read_failure_latency_mean": 18.083376357489367,
+        "read_latency_mean": 8.206076766267623,
+        "read_load": 0.5070422535211268,
+        "reads": 78,
+        "write_availability": 0.7083333333333334,
+        "write_cost": 2.7058823529411766,
+        "write_cost_total": 4.705882352941177,
+        "write_failure_latency_mean": 28.086563371926076,
+        "write_latency_mean": 10.891728082627937,
+        "write_load": 0.6470588235294118,
+        "write_version_cost": 2.0,
+        "writes": 72,
+    },
+    "majority_7_two_clients_service_time": {
+        "duration": 370.0,
+        "failure_latency_mean": NAN,
+        "messages_delivered": 1184.0,
+        "messages_dropped": 0.0,
+        "messages_sent": 1184.0,
+        "read_availability": 1.0,
+        "read_cost": 4.0,
+        "read_failure_latency_mean": NAN,
+        "read_latency_mean": 2.5,
+        "read_load": 0.6578947368421053,
+        "reads": 76,
+        "write_availability": 1.0,
+        "write_cost": 4.0,
+        "write_cost_total": 8.0,
+        "write_failure_latency_mean": NAN,
+        "write_latency_mean": 7.5,
+        "write_load": 0.875,
+        "write_version_cost": 4.0,
+        "writes": 24,
+    },
+    "grid_9_structural_poisson": {
+        "duration": 284.39094643000817,
+        "failure_latency_mean": NAN,
+        "messages_delivered": 1500.0,
+        "messages_dropped": 0.0,
+        "messages_sent": 1500.0,
+        "read_availability": 1.0,
+        "read_cost": 3.0,
+        "read_failure_latency_mean": NAN,
+        "read_latency_mean": 2.475942323871401,
+        "read_load": 0.43636363636363634,
+        "reads": 55,
+        "write_availability": 1.0,
+        "write_cost": 5.0,
+        "write_cost_total": 8.0,
+        "write_failure_latency_mean": NAN,
+        "write_latency_mean": 6.485790446608687,
+        "write_load": 0.6666666666666666,
+        "write_version_cost": 3.0,
+        "writes": 45,
+    },
+    "tree_quorum_7_lossy": {
+        "duration": 1183.0,
+        "failure_latency_mean": 31.25,
+        "messages_delivered": 2111.0,
+        "messages_dropped": 107.0,
+        "messages_sent": 2174.0,
+        "read_availability": 0.921875,
+        "read_cost": 3.0,
+        "read_failure_latency_mean": 30.0,
+        "read_latency_mean": 4.033898305084746,
+        "read_load": 1.0,
+        "reads": 64,
+        "write_availability": 0.9464285714285714,
+        "write_cost": 3.0,
+        "write_cost_total": 6.0,
+        "write_failure_latency_mean": 33.333333333333336,
+        "write_latency_mean": 13.11320754716981,
+        "write_load": 1.0,
+        "write_version_cost": 3.0,
+        "writes": 56,
+    },
+    "chaos_mass_crash_detector_retry": {
+        "duration": 529.8633887386293,
+        "failure_latency_mean": 9.430997768760884,
+        "messages_delivered": 1852.0,
+        "messages_dropped": 0.0,
+        "messages_sent": 1852.0,
+        "read_availability": 1.0,
+        "read_cost": 2.0,
+        "read_failure_latency_mean": NAN,
+        "read_latency_mean": 2.2374851628533765,
+        "read_load": 0.4461538461538462,
+        "reads": 65,
+        "write_availability": 0.8352941176470589,
+        "write_cost": 3.9859154929577465,
+        "write_cost_total": 5.985915492957746,
+        "write_failure_latency_mean": 9.430997768760884,
+        "write_latency_mean": 6.210960244431989,
+        "write_load": 0.5070422535211268,
+        "write_version_cost": 2.0,
+        "writes": 85,
+    },
+    "chaos_flapping_invariants": {
+        "duration": 522.9804330542281,
+        "failure_latency_mean": 24.236987779518604,
+        "messages_delivered": 1481.0,
+        "messages_dropped": 10.0,
+        "messages_sent": 1491.0,
+        "read_availability": 0.8536585365853658,
+        "read_cost": 2.0,
+        "read_failure_latency_mean": 24.307308892370543,
+        "read_latency_mean": 4.942057143504568,
+        "read_load": 0.4142857142857143,
+        "reads": 82,
+        "write_availability": 0.8235294117647058,
+        "write_cost": 4.142857142857143,
+        "write_cost_total": 6.142857142857143,
+        "write_failure_latency_mean": 24.166666666666668,
+        "write_latency_mean": 9.185066352524997,
+        "write_load": 0.5714285714285714,
+        "write_version_cost": 2.0,
+        "writes": 68,
+    },
+}
+
+
+def assert_summary_exact(actual: dict, golden: dict, name: str) -> None:
+    """Exact equality (NaN matches NaN) with a readable per-key diff."""
+    assert actual.keys() == golden.keys(), (
+        f"{name}: summary keys changed: "
+        f"+{sorted(actual.keys() - golden.keys())} "
+        f"-{sorted(golden.keys() - actual.keys())}"
+    )
+    for key, expected in golden.items():
+        value = actual[key]
+        if isinstance(expected, float) and math.isnan(expected):
+            assert isinstance(value, float) and math.isnan(value), (
+                f"{name}.{key}: expected NaN, got {value!r}"
+            )
+        else:
+            assert value == expected, (
+                f"{name}.{key}: expected {expected!r}, got {value!r}"
+            )
+
+
+@pytest.mark.parametrize("name", list(CONFIGS))
+def test_default_path_reproduces_golden_stream(name):
+    config = CONFIGS[name]
+    assert config.batch_window == 0.0 and config.leases is False
+    result = simulate(config)
+    assert_summary_exact(result.summary(), GOLDEN_SUMMARIES[name], name)
+    if config.check_invariants:
+        assert result.invariants is not None and result.invariants.ok
+
+
+def test_goldens_cover_chaos_and_structural_paths():
+    """The fixture zoo spans every legacy code path the hot path rewrote."""
+    names = set(CONFIGS)
+    assert any("chaos" in name for name in names)
+    assert any("lossy" in name for name in names)
+    assert any("structural" in name for name in names)
+    assert any("service_time" in name for name in names)
