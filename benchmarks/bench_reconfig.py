@@ -1,0 +1,223 @@
+"""Online vs stop-the-world reconfiguration: availability through the epoch.
+
+The quiescent migration pauses every coordinator in the group, drains the
+in-flight traffic, copies each key and only then swaps trees — every
+operation that arrives during the window is deferred past its end, so the
+group's availability *during* the reconfiguration is exactly zero.  The
+epoch-based online transition instead moves the group onto dual quorums
+(old ∪ new read and write quorums) and migrates under normal locking, so
+client traffic keeps completing while the shape changes.
+
+This bench runs the same 1-3-5 → 1-4-4 reshape both ways under an open
+Poisson client stream with the safety invariant checker armed across the
+epoch boundary, plus the survivability case: the online transition
+launched in the middle of a ``flapping`` partition chaos scenario.
+Recorded per case: read availability *inside the transition window*
+(operations submitted during the window that completed by its end), whole
+run availability, read/write latency percentiles and the invariant
+counters.  Acceptance (the CI smoke gate):
+
+* online window read availability **>= 0.95** — the epoch boundary is
+  (nearly) invisible to clients;
+* stop-the-world window read availability **<= 0.05** — the honest cost
+  of quiescence the online path removes;
+* **zero invariant violations** in every case, including the
+  reconfigure-during-flapping run (which may legitimately commit *or*
+  roll back — both must leave the audit clean).
+
+Every number is simulated time from a seeded run — bit-stable across
+hosts, so the recorded JSON is a regression baseline, not a noisy timing.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_reconfig.py [--smoke] [--out P]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+try:
+    from benchmarks.perf_harness import write_bench_json
+except ImportError:  # direct `python benchmarks/bench_reconfig.py`
+    sys.path.insert(0, str(Path(__file__).parent))
+    from perf_harness import write_bench_json
+
+from repro.core.builder import from_spec
+from repro.runner.tasks import SimParams, build_sim_config
+from repro.sim.engine import SimulationConfig, simulate
+from repro.sim.workload import WorkloadSpec
+
+SPEC = "1-3-5"
+TARGET = "1-4-4"
+RESHAPE_AT = 200.0
+READ_FRACTION = 0.5
+RATE = 0.25
+KEYS = 32
+SEED = 3
+
+#: Seed for the chaos composition case (picked so the flapping schedule
+#: overlaps the transition window).
+CHAOS_SEED = 5
+
+
+def _config(operations: int, online: bool) -> SimulationConfig:
+    return SimulationConfig(
+        tree=from_spec(SPEC),
+        workload=WorkloadSpec(
+            operations=operations,
+            read_fraction=READ_FRACTION,
+            keys=KEYS,
+            arrival="poisson",
+            rate=RATE,
+        ),
+        clients=2,
+        seed=SEED,
+        check_invariants=True,
+        reshape_at=RESHAPE_AT,
+        reshape_spec=TARGET,
+        reshape_online=online,
+    )
+
+
+def _chaos_config(operations: int) -> SimulationConfig:
+    config, _label = build_sim_config(SimParams(
+        spec=SPEC, operations=operations, read_fraction=READ_FRACTION,
+        seed=CHAOS_SEED, max_attempts=4, detector=True, chaos="flapping",
+        check_invariants=True, reshape_at=RESHAPE_AT,
+    ))
+    return config
+
+
+def _point(case: str, config: SimulationConfig) -> dict:
+    started = time.perf_counter()
+    result = simulate(config)
+    wall = time.perf_counter() - started
+    summary = result.summary()
+    outcome = result.reconfiguration
+    checker = result.invariants
+    assert outcome is not None and checker is not None
+    window = result.window_read_availability(
+        outcome.started_at, outcome.finished_at
+    )
+    point = {
+        "case": case,
+        "mode": outcome.mode,
+        "status": outcome.status.value,
+        "rolled_back": outcome.rolled_back,
+        "epoch": outcome.epoch,
+        "target": outcome.new_tree.spec(),
+        "keys_migrated": outcome.keys_migrated,
+        "keys_total": outcome.keys_total,
+        "window_start": round(outcome.started_at, 2),
+        "window_end": round(outcome.finished_at, 2),
+        "window_duration": round(outcome.duration, 2),
+        "window_read_availability": (
+            None if window is None else round(window, 4)
+        ),
+        "read_availability": round(summary["read_availability"], 4),
+        "write_availability": round(summary["write_availability"], 4),
+        "read_p50": round(result.monitor.reads.latency_percentile(0.5), 3),
+        "read_p99": round(result.monitor.reads.latency_percentile(0.99), 3),
+        "write_p99": round(result.monitor.writes.latency_percentile(0.99), 3),
+        "invariants_checked": checker.checked,
+        "invariant_violations": len(checker.violations),
+        "wall_seconds": round(wall, 3),
+    }
+    window_text = "-" if window is None else f"{window:.4f}"
+    print(
+        f"{case:>22}  window avail {window_text:>7}  "
+        f"rd p99 {point['read_p99']:>7.2f}  "
+        f"wr p99 {point['write_p99']:>7.2f}  "
+        f"violations {point['invariant_violations']}"
+    )
+    return point
+
+
+def run(smoke: bool, out: str | None = None) -> dict:
+    operations = 500 if smoke else 2000
+    points = [
+        _point("reconfig/online", _config(operations, online=True)),
+        _point("reconfig/stop-the-world", _config(operations, online=False)),
+        _point("reconfig/online+flapping", _chaos_config(operations)),
+    ]
+    by_case = {point["case"]: point for point in points}
+    online = by_case["reconfig/online"]
+    quiescent = by_case["reconfig/stop-the-world"]
+    chaotic = by_case["reconfig/online+flapping"]
+    summary = {
+        "online_window_read_availability": online[
+            "window_read_availability"
+        ],
+        "stw_window_read_availability": quiescent[
+            "window_read_availability"
+        ],
+        "online_read_p99": online["read_p99"],
+        "stw_read_p99": quiescent["read_p99"],
+        "online_write_p99": online["write_p99"],
+        "stw_write_p99": quiescent["write_p99"],
+        "flapping_status": chaotic["status"],
+        "flapping_rolled_back": chaotic["rolled_back"],
+        "total_invariant_violations": sum(
+            point["invariant_violations"] for point in points
+        ),
+    }
+    bench = "reconfig_smoke" if smoke and out else "reconfig"
+    path = write_bench_json(bench, points, summary, out=out)
+    print(f"\nwrote {path}")
+    print(f"summary: {summary}")
+    # The ISSUE's acceptance gates.
+    assert summary["online_window_read_availability"] >= 0.95, (
+        "online transition starved reads: window availability "
+        f"{summary['online_window_read_availability']}"
+    )
+    assert summary["stw_window_read_availability"] <= 0.05, (
+        "stop-the-world unexpectedly served reads inside its window "
+        "(the quiescence pause is broken)"
+    )
+    assert chaotic["status"] == "success" or chaotic["rolled_back"], (
+        f"flapping reconfiguration ended non-terminally: {chaotic['status']}"
+    )
+    assert summary["total_invariant_violations"] == 0, (
+        "reconfiguration violated a safety invariant"
+    )
+    return summary
+
+
+def test_reconfig_perf_smoke(emit):
+    """CI smoke: both migration modes + the chaos case on a short stream.
+
+    Writes to a ``_smoke`` JSON so a local pytest run never clobbers the
+    recorded full-run baseline in ``BENCH_reconfig.json``.
+    """
+    from benchmarks.perf_harness import RESULTS_DIR
+
+    summary = run(
+        smoke=True, out=str(RESULTS_DIR / "BENCH_reconfig_smoke.json")
+    )
+    emit(
+        "reconfig_smoke",
+        "reconfig smoke: window read availability "
+        f"{summary['online_window_read_availability']:.2f} online vs "
+        f"{summary['stw_window_read_availability']:.2f} stop-the-world, "
+        f"flapping -> {summary['flapping_status']}, "
+        f"{summary['total_invariant_violations']} violations",
+    )
+    assert summary["total_invariant_violations"] == 0
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="short stream only (CI reconfiguration-job tier)",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="output JSON path (default benchmarks/results/BENCH_reconfig.json)",
+    )
+    args = parser.parse_args()
+    run(smoke=args.smoke, out=args.out)

@@ -2,17 +2,21 @@
 
 The conclusion's "no need to implement a new protocol" claim implies
 reconfiguration is cheap.  This bench measures the state-transfer migration
-(read via old tree + write via new tree per key) across system sizes and
-key counts, and asserts:
+(one atomic copy per key: read via the old tree and re-write via the new
+tree under a single exclusive lock) across system sizes and key counts,
+and asserts:
 
-* migration cost in quorum accesses is exactly 2 ops per written key;
+* migration cost in quorum accesses is exactly 1 copy op per written key
+  (the copy derives its version from its own read phase, so the separate
+  version-discovery round a client write pays is skipped);
 * the per-key message cost is about (old read cost + new write cost);
 * values survive round trips between extreme shapes.
+
+(Availability *during* the migration — online dual-quorum epochs vs this
+quiescent path — is measured separately by ``bench_reconfig.py``.)
 """
 
 from __future__ import annotations
-
-import pytest
 
 from repro.analysis.tables import format_table
 from repro.core import analyse, mostly_read, mostly_write, recommended_tree
@@ -79,9 +83,9 @@ def test_reconfiguration_cost_table(emit, benchmark):
     benchmark(_migrate, 9, 4)
 
 
-def test_two_ops_per_key(benchmark):
+def test_one_copy_op_per_key(benchmark):
     _driver, result, _messages, _old = _migrate(16, 8)
-    assert result.operations_used == 2 * 8  # one read + one write per key
+    assert result.operations_used == 8  # one atomic copy per key
     benchmark(lambda: result)
 
 

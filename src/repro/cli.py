@@ -28,6 +28,11 @@
   stragglers, partition flapping, mass crash) with the safety invariant
   checker armed, and report availability, recovery behaviour and
   failure-detector counters;
+* ``reconfigure`` — change the tree shape mid-run: epoch-based online
+  reconfiguration serves reads and writes on dual quorums throughout the
+  transition (``--stop-the-world`` selects the legacy quiescent
+  migration), optionally under a chaos scenario, with the invariant
+  checker armed across the epoch boundary;
 * ``trace``     — run the simulator with tracing on and export the span
   stream (one JSON object per line) plus message counters;
 * ``report``    — per-phase latency breakdown + flame summary, either for
@@ -256,7 +261,9 @@ def _sim_config(spec: str, operations: int, read_fraction: float,
                 n: int = 0, drop: float = 0.0, max_attempts: int = 1,
                 trace: bool = False, retry_policy=None,
                 detector: bool = False, batch_window: float = 0.0,
-                leases: bool = False):
+                leases: bool = False, reshape_at: float = 0.0,
+                reshape_spec: str | None = None,
+                reshape_online: bool = True):
     """Build the (config, label) pair shared by simulate/trace/report.
 
     Delegates to :func:`repro.runner.tasks.build_sim_config` — the single
@@ -271,6 +278,8 @@ def _sim_config(spec: str, operations: int, read_fraction: float,
         max_attempts=max_attempts, trace=trace,
         retry_policy=retry_policy, detector=detector,
         batch_window=batch_window, leases=leases,
+        reshape_at=reshape_at, reshape_spec=reshape_spec,
+        reshape_online=reshape_online,
     ))
 
 
@@ -279,14 +288,19 @@ def _print_simulation(spec: str, operations: int, read_fraction: float,
                       n: int = 0, repeats: int = 1, jobs: int = 1,
                       retry_policy=None, detector: bool = False,
                       batch_window: float = 0.0,
-                      leases: bool = False) -> None:
+                      leases: bool = False, reshape_at: float = 0.0,
+                      reshape_spec: str | None = None,
+                      reshape_online: bool = True) -> None:
     from repro.sim import simulate
 
     config, label = _sim_config(
         spec, operations, read_fraction, p, seed, protocol=protocol, n=n,
         retry_policy=retry_policy, detector=detector,
         batch_window=batch_window, leases=leases,
+        reshape_at=reshape_at, reshape_spec=reshape_spec,
+        reshape_online=reshape_online,
     )
+    reconfiguration = None
     if repeats > 1:
         from repro.runner import (
             ProgressPrinter,
@@ -302,6 +316,8 @@ def _print_simulation(spec: str, operations: int, read_fraction: float,
                 protocol=protocol, n=n,
                 retry_policy=retry_policy, detector=detector,
                 batch_window=batch_window, leases=leases,
+                reshape_at=reshape_at, reshape_spec=reshape_spec,
+                reshape_online=reshape_online,
             ),
             repeats, jobs=jobs,
             progress=ProgressPrinter("simulate") if jobs > 1 else None,
@@ -315,6 +331,12 @@ def _print_simulation(spec: str, operations: int, read_fraction: float,
         summary = result.summary()
         messages = int(summary["messages_sent"])
         run_title = f"{label}: {operations} ops, p = {p}, seed {seed}"
+        if result.reconfiguration is not None:
+            availability = result.window_read_availability(
+                result.reconfiguration.started_at,
+                result.reconfiguration.finished_at,
+            )
+            reconfiguration = (result.reconfiguration, availability)
     rows: list[list] = []
     if protocol is None or protocol == "arbitrary-spec":
         metrics = analyse(config.tree, p=min(p, 1.0))
@@ -359,6 +381,18 @@ def _print_simulation(spec: str, operations: int, read_fraction: float,
         rows,
         title=run_title,
     ))
+    if reconfiguration is not None:
+        outcome, availability = reconfiguration
+        window = "-" if availability is None else f"{availability:.4f}"
+        print()
+        print(
+            f"reconfiguration ({outcome.mode}) -> "
+            f"{outcome.new_tree.spec()}: {outcome.status.value}, "
+            f"epoch {outcome.epoch}, "
+            f"{outcome.keys_migrated}/{outcome.keys_total} keys in "
+            f"{outcome.duration:g} time units, "
+            f"window read availability {window}"
+        )
 
 
 def _shard_params(args):
@@ -513,6 +547,55 @@ def _print_chaos(args) -> None:
     print(format_table(["quantity", "value"], rows, title=title))
 
 
+def _print_reconfigure(args) -> None:
+    """``repro reconfigure``: a mid-run tree change with invariants armed."""
+    from repro.runner.tasks import SimParams, build_sim_config
+    from repro.sim import simulate
+
+    params = SimParams(
+        spec=args.spec, operations=args.operations,
+        read_fraction=args.read_fraction, p=args.p, seed=args.seed,
+        max_attempts=args.max_attempts,
+        retry_policy=_retry_policy_spec(args.retry_policy, args.backoff),
+        detector=args.detector, chaos=args.scenario,
+        chaos_horizon=args.horizon, check_invariants=True,
+        batch_window=args.batch_window, leases=args.leases,
+        reshape_at=args.at, reshape_spec=args.target,
+        reshape_online=not args.stop_the_world,
+    )
+    config, label = build_sim_config(params)
+    result = simulate(config)
+    outcome = result.reconfiguration
+    checker = result.invariants
+    assert outcome is not None and checker is not None
+    summary = result.summary()
+    availability = result.window_read_availability(
+        outcome.started_at, outcome.finished_at
+    )
+    rows: list[list] = [
+        ["status", outcome.status.value],
+        ["mode", outcome.mode],
+        ["target tree", outcome.new_tree.spec()],
+        ["epoch", outcome.epoch],
+        ["rolled back", "yes" if outcome.rolled_back else "no"],
+        ["keys migrated", f"{outcome.keys_migrated}/{outcome.keys_total}"],
+        ["transition window",
+         f"t = {outcome.started_at:g} .. {outcome.finished_at:g}"],
+        ["window read availability",
+         "-" if availability is None else round(availability, 4)],
+        ["read availability (run)", round(summary["read_availability"], 4)],
+        ["write availability (run)", round(summary["write_availability"], 4)],
+        ["invariants checked", checker.checked],
+        ["invariant violations", len(checker.violations)],
+    ]
+    print(format_table(
+        ["quantity", "value"], rows,
+        title=f"{label}: reconfigure at t = {args.at:g}, seed {args.seed}",
+    ))
+    for violation in checker.violations[:5]:
+        print(f"  VIOLATION: {violation}")
+
+
 def _run_traced(args) -> tuple:
     """Run one traced simulation from trace/report CLI arguments."""
     from repro.sim import simulate
@@ -621,6 +704,25 @@ def _add_fault_arguments(parser) -> None:
              "hot key are served without quorum traffic until a "
              "conflicting write or a liveness-epoch change revokes "
              "the lease",
+    )
+
+
+def _add_reshape_arguments(parser) -> None:
+    """Mid-run reconfiguration options for ``simulate``."""
+    parser.add_argument(
+        "--reshape-at", type=float, default=0.0, metavar="T",
+        help="launch a tree reconfiguration at simulated time T "
+             "(0 = off, the legacy fixed-tree path)",
+    )
+    parser.add_argument(
+        "--reshape-spec", default=None, metavar="SPEC",
+        help="target tree spec for --reshape-at (default: a fault-aware "
+             "plan from the tuning advisor and detector evidence)",
+    )
+    parser.add_argument(
+        "--reshape-stop-the-world", action="store_true",
+        help="use the quiescent stop-the-world migration instead of the "
+             "epoch-based online transition",
     )
 
 
@@ -748,6 +850,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes to fan repeats across",
     )
     _add_fault_arguments(sim_parser)
+    _add_reshape_arguments(sim_parser)
 
     from repro.shard import BALANCER_POLICIES, ROUTER_KINDS
 
@@ -866,6 +969,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_fault_arguments(chaos_parser)
 
+    reconf_parser = sub.add_parser(
+        "reconfigure",
+        help="change the tree shape mid-run (online dual-quorum epoch "
+             "transition, or --stop-the-world) with invariants armed",
+    )
+    reconf_parser.add_argument("spec", nargs="?", default="1-3-5",
+                               help="initial tree spec")
+    reconf_parser.add_argument(
+        "--target", default=None, metavar="SPEC",
+        help="target tree spec (default: a fault-aware plan from the "
+             "tuning advisor and detector evidence)",
+    )
+    reconf_parser.add_argument(
+        "--at", type=float, default=200.0, metavar="T",
+        help="simulated time at which the reconfiguration launches",
+    )
+    reconf_parser.add_argument(
+        "--stop-the-world", action="store_true",
+        help="use the legacy quiescent migration (pauses all "
+             "coordinators) instead of the online epoch transition",
+    )
+    reconf_parser.add_argument("--operations", type=int, default=1000)
+    reconf_parser.add_argument("--read-fraction", type=float, default=0.5)
+    reconf_parser.add_argument(
+        "--p", type=float, default=1.0,
+        help="per-replica availability (1.0 = no failures)",
+    )
+    reconf_parser.add_argument("--seed", type=int, default=0)
+    reconf_parser.add_argument("--max-attempts", type=int, default=4)
+    reconf_parser.add_argument(
+        "--scenario", choices=CHAOS_SCENARIOS + ("all",), default=None,
+        help="compose a chaos scenario under the reconfiguration",
+    )
+    reconf_parser.add_argument(
+        "--horizon", type=float, default=1000.0,
+        help="simulated time the chaos scenario keeps injecting for",
+    )
+    _add_fault_arguments(reconf_parser)
+
     trace_parser = sub.add_parser(
         "trace", help="run a traced simulation and export JSONL spans"
     )
@@ -924,11 +1066,15 @@ def main(argv: Sequence[str] | None = None) -> int:
             retry_policy=_retry_policy_spec(args.retry_policy, args.backoff),
             detector=args.detector,
             batch_window=args.batch_window, leases=args.leases,
+            reshape_at=args.reshape_at, reshape_spec=args.reshape_spec,
+            reshape_online=not args.reshape_stop_the_world,
         )
     elif args.command == "shard":
         _print_shard(args)
     elif args.command == "chaos":
         _print_chaos(args)
+    elif args.command == "reconfigure":
+        _print_reconfigure(args)
     elif args.command == "trace":
         _print_trace(args)
     elif args.command == "report":

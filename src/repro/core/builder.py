@@ -42,13 +42,16 @@ def from_spec(spec: str) -> ArbitraryTree:
 def from_physical_level_sizes(
     sizes: list[int] | tuple[int, ...],
     logical_root: bool = True,
+    sid_order: list[int] | tuple[int, ...] | None = None,
 ) -> ArbitraryTree:
     """Build a tree from explicit physical-level sizes.
 
     With ``logical_root=True`` a single logical node is placed at level 0
     and ``sizes[u]`` physical nodes at level ``u + 1``.  With
     ``logical_root=False`` the first size must be 1 (the physical root) and
-    the remaining sizes occupy levels 1, 2, ...
+    the remaining sizes occupy levels 1, 2, ...  ``sid_order`` optionally
+    permutes which SID lands on which slot (see
+    :meth:`ArbitraryTree.from_level_counts`).
     """
     if not sizes:
         raise ValueError("at least one physical level is required")
@@ -62,7 +65,9 @@ def from_physical_level_sizes(
             raise ValueError("a physical root level must have exactly 1 node")
         physical = list(sizes)
         logical = [0] * len(sizes)
-    return ArbitraryTree.from_level_counts(physical, logical)
+    return ArbitraryTree.from_level_counts(
+        physical, logical, sid_order=sid_order
+    )
 
 
 def _spread(total: int, buckets: int, minimum: int = 1) -> list[int]:

@@ -128,12 +128,20 @@ class ArbitraryTree:
         Parent/child links must already be consistent.
     validate_assumption:
         When True (default), reject trees violating Assumption 3.1.
+    sid_order:
+        Optional permutation of ``range(n)`` assigning SIDs to physical
+        nodes in level order (``sid_order[i]`` is the SID of the i-th
+        physical node).  The default is the identity — SIDs 0..n-1 in
+        level order, the paper's orientation.  Reconfiguration planning
+        uses a permutation to *demote* chronically suspected replicas to
+        the deepest (widest) level without changing the fleet.
     """
 
     def __init__(
         self,
         levels: Sequence[Sequence[TreeNode]],
         validate_assumption: bool = True,
+        sid_order: Sequence[int] | None = None,
     ) -> None:
         if not levels or not levels[0]:
             raise ValueError("a tree needs at least a root level")
@@ -143,7 +151,7 @@ class ArbitraryTree:
             tuple(level) for level in levels
         )
         self._check_structure()
-        self._assign_replica_ids()
+        self._assign_replica_ids(sid_order)
         if validate_assumption:
             self.check_assumption()
 
@@ -157,6 +165,7 @@ class ArbitraryTree:
         physical_counts: Sequence[int],
         logical_counts: Sequence[int] | None = None,
         validate_assumption: bool = True,
+        sid_order: Sequence[int] | None = None,
     ) -> "ArbitraryTree":
         """Build a tree from per-level physical (and logical) node counts.
 
@@ -189,7 +198,11 @@ class ArbitraryTree:
                     node.parent = parent
                     parent.children.append(node)
             levels.append(nodes)
-        return cls(levels, validate_assumption=validate_assumption)
+        return cls(
+            levels,
+            validate_assumption=validate_assumption,
+            sid_order=sid_order,
+        )
 
     def _check_structure(self) -> None:
         for k, level in enumerate(self._levels):
@@ -212,16 +225,29 @@ class ArbitraryTree:
                             f"parent of {node!r} is not on the previous level"
                         )
 
-    def _assign_replica_ids(self) -> None:
-        sid = 0
+    def _assign_replica_ids(
+        self, sid_order: Sequence[int] | None = None
+    ) -> None:
+        physical = [
+            node for level in self._levels for node in level if node.is_physical
+        ]
+        count = len(physical)
+        if sid_order is None:
+            order: Sequence[int] = range(count)
+        else:
+            order = tuple(sid_order)
+            if sorted(order) != list(range(count)):
+                raise ValueError(
+                    f"sid_order must be a permutation of 0..{count - 1}, "
+                    f"got {order}"
+                )
+        for node, sid in zip(physical, order):
+            node.replica_id = sid
         for level in self._levels:
             for node in level:
-                if node.is_physical:
-                    node.replica_id = sid
-                    sid += 1
-                else:
+                if node.is_logical:
                     node.replica_id = None
-        self._n = sid
+        self._n = count
 
     # ------------------------------------------------------------------
     # paper notation accessors

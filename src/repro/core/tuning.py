@@ -166,3 +166,71 @@ def recommend(
         read_fraction=read_fraction,
         p=p,
     )
+
+
+@dataclass(frozen=True)
+class ReshapePlan:
+    """A fault-aware reconfiguration target.
+
+    Attributes
+    ----------
+    tree:
+        The recommended tree with suspicion-aware SID placement applied.
+    result:
+        The underlying :func:`recommend` search (shape choice rationale).
+    evicted:
+        SIDs demoted to the deepest slots because they were chronically
+        suspected.
+    sid_order:
+        The full SID permutation installed on ``tree``.
+    """
+
+    tree: ArbitraryTree
+    result: TuningResult
+    evicted: tuple[int, ...]
+    sid_order: tuple[int, ...]
+
+
+def plan_reshape(
+    n: int,
+    suspected: frozenset[int] | set[int] = frozenset(),
+    p: float = 0.9,
+    read_fraction: float = 0.5,
+    objective: str = "expected_load",
+    max_levels: int | None = None,
+) -> ReshapePlan:
+    """Plan a reconfiguration target from workload mix *and* fault evidence.
+
+    The shape comes from :func:`recommend` (hot levels widen as the write
+    fraction grows, since wider levels spread write load).  On top of the
+    shape, chronically suspected SIDs (a
+    :meth:`~repro.fault.detector.SuspectList.chronic` snapshot) are
+    *evicted* from the narrow upper levels: healthy SIDs fill the
+    level-order slots first and suspects land on the deepest slots — by
+    Assumption 3.1 the deepest physical level is the widest, where one
+    flaky replica vetoes the fewest read quorums and the level's write
+    quorum has the most substitutes.  The fleet itself never changes:
+    eviction is demotion, every SID keeps hosting data.
+    """
+    result = recommend(
+        n,
+        p=p,
+        read_fraction=read_fraction,
+        objective=objective,
+        max_levels=max_levels,
+    )
+    shape = result.tree
+    suspects = sorted(sid for sid in suspected if 0 <= sid < n)
+    healthy = [sid for sid in range(n) if sid not in set(suspects)]
+    order = tuple(healthy + suspects)
+    tree = builder.from_physical_level_sizes(
+        shape.physical_level_sizes,
+        logical_root=0 not in shape.physical_levels,
+        sid_order=order,
+    )
+    return ReshapePlan(
+        tree=tree,
+        result=result,
+        evicted=tuple(suspects),
+        sid_order=order,
+    )

@@ -172,6 +172,21 @@ class SuspectList:
         self._sweep(now)
         return frozenset(self._suspected_until)
 
+    def chronic(self, now: float, min_evidence: int = 1) -> frozenset[int]:
+        """Currently suspected sites with at least ``min_evidence`` strikes.
+
+        Reconfiguration planning consumes this: a site that is not just
+        momentarily suspected but has accumulated repeat evidence is a
+        candidate for demotion to a deep/wide tree level (where a single
+        unavailable replica hurts the fewest quorums).
+        """
+        self._sweep(now)
+        return frozenset(
+            sid
+            for sid in self._suspected_until
+            if self._evidence.get(sid, 0) >= min_evidence
+        )
+
     def preferred(
         self, live: Iterable[int], now: float
     ) -> tuple[tuple[int, ...], bool]:

@@ -43,6 +43,9 @@ class _KeyHistory:
     write_quorum: frozenset[int] | None = None
     write_timestamp: Timestamp | None = None
     highest_read: Timestamp | None = None
+    #: Reconfiguration epoch the latest committed write landed in, for
+    #: epoch-annotated violation messages (straddle diagnosis).
+    write_epoch: int | None = None
 
 
 class InvariantChecker:
@@ -64,8 +67,31 @@ class InvariantChecker:
         self.violations: list[str] = []
         #: Operations audited (successful reads + writes).
         self.checked = 0
+        #: Reconfiguration epoch annotations: current epoch number, its
+        #: state ("stable"/"transition"), and the audit counts per state —
+        #: outcomes straddling an epoch boundary are where reconfiguration
+        #: bugs live, so violations name the epoch they were observed in.
+        self.epoch = 0
+        self.epoch_state = "stable"
+        self.checked_by_state: dict[str, int] = {}
+        #: ``(epoch, state, simulated-time)`` transition log.
+        self.epoch_log: list[tuple[int, str, float]] = []
+
+    def note_epoch(self, epoch: int, state: str, at: float = 0.0) -> None:
+        """Record a reconfiguration epoch edge the audited stream crossed.
+
+        Called by the reconfigurer at every state-machine transition
+        (stable -> transition -> stable).  Subsequent outcomes are audited
+        under — and any violation is attributed to — this epoch.
+        """
+        self.epoch = epoch
+        self.epoch_state = state
+        self.epoch_log.append((epoch, state, at))
 
     def _violate(self, description: str) -> None:
+        description = (
+            f"[epoch {self.epoch}/{self.epoch_state}] {description}"
+        )
         self.violations.append(description)
         if self._strict:
             raise InvariantViolation(description)
@@ -79,6 +105,8 @@ class InvariantChecker:
         if not outcome.success:
             return
         self.checked += 1
+        state = self.epoch_state
+        self.checked_by_state[state] = self.checked_by_state.get(state, 0) + 1
         history = self._keys.get(outcome.key)
         if history is None:
             history = self._keys[outcome.key] = _KeyHistory()
@@ -101,6 +129,7 @@ class InvariantChecker:
             )
         history.write_quorum = outcome.quorum
         history.write_timestamp = outcome.timestamp
+        history.write_epoch = self.epoch
 
     def _check_read(
         self, outcome: OperationOutcome, history: _KeyHistory
@@ -118,7 +147,8 @@ class InvariantChecker:
             self._violate(
                 f"read quorum {sorted(outcome.quorum)} of key "
                 f"{outcome.key!r} does not intersect the latest committed "
-                f"write quorum {sorted(history.write_quorum)}"
+                f"write quorum {sorted(history.write_quorum)} "
+                f"(written in epoch {history.write_epoch})"
             )
         if outcome.timestamp is None:
             return

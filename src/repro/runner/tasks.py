@@ -216,6 +216,9 @@ class SimParams:
     check_invariants: bool = False
     batch_window: float = 0.0
     leases: bool = False
+    reshape_at: float = 0.0
+    reshape_spec: str | None = None
+    reshape_online: bool = True
 
 
 def build_sim_config(params: SimParams):
@@ -276,6 +279,9 @@ def build_sim_config(params: SimParams):
         check_invariants=params.check_invariants,
         batch_window=params.batch_window,
         leases=params.leases,
+        reshape_at=params.reshape_at,
+        reshape_spec=params.reshape_spec,
+        reshape_online=params.reshape_online,
     )
     return config, label
 

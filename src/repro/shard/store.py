@@ -197,6 +197,48 @@ class ShardedStore:
 
         return coordinator, sink
 
+    def shard_keys(self, shard: int, keyspace: int) -> list[str]:
+        """Key names of a ``keyspace``-key workload that route to ``shard``.
+
+        The workload names key index ``i`` as ``f"k{i}"``; a shard's
+        migration key list is exactly the indices the router sends to it.
+        """
+        return [
+            f"k{index}" for index in range(keyspace)
+            if self.router.shard_of(index) == shard
+        ]
+
+    def reconfigure_shard(
+        self,
+        shard: int,
+        new_tree,
+        keys: list[str],
+        on_done,
+        online: bool = True,
+        invariants=None,
+    ):
+        """Launch a tree change on one shard's replica group.
+
+        Reconfiguration is naturally shard-local: only the chosen shard's
+        coordinator pool transitions (online dual-quorum epochs by
+        default, quiescent stop-the-world with ``online=False``) while
+        every other shard keeps serving untouched.  ``keys`` is the
+        shard's own key list (see :meth:`shard_keys`).  Returns the
+        :class:`~repro.sim.reconfigure.TreeReconfigurer` so callers can
+        watch its epoch state.
+        """
+        from repro.sim.reconfigure import TreeReconfigurer
+
+        group = self.groups[shard]
+        reconfigurer = TreeReconfigurer(
+            group.coordinators[0], invariants=invariants
+        )
+        if online:
+            reconfigurer.reconfigure_online(new_tree, keys, on_done)
+        else:
+            reconfigurer.reconfigure(new_tree, keys, on_done, wait=True)
+        return reconfigurer
+
     def network_stats(self) -> NetworkStats:
         """Message counters summed across every shard's network."""
         total = NetworkStats()

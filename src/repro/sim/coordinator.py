@@ -110,6 +110,11 @@ class OperationOutcome:
     #: contacted (``quorum`` is empty, ``attempts`` is 0) and the
     #: invariant checker skips only the quorum-intersection audit.
     leased: bool = False
+    #: Protocol stage the operation died in ("" on success): "read",
+    #: "version", "prepare" or "commit".  Reconfiguration uses this to
+    #: distinguish a copy that could not read the old tree from one that
+    #: could not write the new one.
+    failed_stage: str = ""
 
     @property
     def latency(self) -> float:
@@ -158,6 +163,9 @@ class _OpContext:
     # instead of running the version round (safe for every same-key
     # write after the first in a flush — see the module docstring).
     skip_version: bool = False
+    # Reconfiguration copy: run a read phase under the exclusive lock
+    # and re-write the dominant value, as ONE atomic operation.
+    copy_read: bool = False
     # Trace span ids (0 = no span; only set when a recorder is enabled).
     trace_id: int = 0
     op_span: int = 0
@@ -284,6 +292,12 @@ class QuorumCoordinator:
         self._batch: list[_BatchedOp] = []
         self._batch_handle: EventHandle | None = None
         self._leases = leases
+        # Reconfiguration pause gate: while paused, public submissions are
+        # deferred (with their original submission time) and replayed in
+        # order at resume().  Deferred operations are NOT in flight — they
+        # have touched nothing — so quiescence polling only sees real ones.
+        self._paused = False
+        self._deferred: list[_BatchedOp] = []
         # receive() dispatch: type -> (context table, message-id getter,
         # required stage, handler).  One dict probe replaces the
         # isinstance chain on the hottest coordinator entry point; only a
@@ -331,8 +345,28 @@ class QuorumCoordinator:
         """The active quorum system."""
         return self._system
 
-    def set_system(self, system: QuorumSystem) -> None:
-        """Swap the quorum system (used by tree reconfiguration)."""
+    @property
+    def network(self) -> Network:
+        """The message fabric this coordinator is registered on."""
+        return self._network
+
+    @property
+    def locks(self) -> LockManager:
+        """The (shared) lock manager — the pool-membership identity: two
+        coordinators belong to one replica group iff they share it."""
+        return self._locks
+
+    def set_system(
+        self, system: QuorumSystem, selector: SelectionIndex | None = None
+    ) -> None:
+        """Swap the quorum system (used by tree reconfiguration).
+
+        ``selector`` lets a reconfigurer share one freshly built
+        :class:`SelectionIndex` across a coordinator pool instead of every
+        peer rebuilding identical packed tables; it must index ``system``.
+        """
+        if selector is not None:
+            self._shared_selector = selector
         self._system = system
         self._rebuild_selector()
 
@@ -511,22 +545,53 @@ class QuorumCoordinator:
         network — the cached value is delivered on the next scheduler
         tick (still asynchronously, so closed-loop callers never
         recurse).  Lease misses enter the batching window when one is
-        configured, the legacy immediate pipeline otherwise.
+        configured, the legacy immediate pipeline otherwise.  While the
+        coordinator is paused (a quiescent migration window), the
+        submission is deferred whole and replayed at :meth:`resume`.
         """
-        if self._leases is not None and self._serve_leased(key, on_done):
+        self._submit_read(key, on_done, self.scheduler.now)
+
+    def _submit_read(
+        self, key: Any, on_done: DoneCallback, submitted_at: float
+    ) -> None:
+        if self._paused:
+            self._deferred.append(
+                _BatchedOp("read", key, None, on_done, submitted_at)
+            )
+            return
+        if self._leases is not None and self._serve_leased(
+            key, on_done, submitted_at
+        ):
             return
         if self._batch_window > 0.0:
             self._enqueue(
-                _BatchedOp("read", key, None, on_done, self.scheduler.now)
+                _BatchedOp("read", key, None, on_done, submitted_at)
             )
             return
+        self.read_now(key, on_done, started_at=submitted_at)
+
+    def read_now(
+        self,
+        key: Any,
+        on_done: DoneCallback,
+        started_at: float | None = None,
+    ) -> None:
+        """The immediate read pipeline: no pause gate, no lease, no batch.
+
+        Reconfiguration state transfer uses this directly so migration
+        reads run during the pause (legacy mode) and never sit in a
+        batching window; ``started_at`` preserves a deferred submission's
+        original time so latency/availability stay honestly measured.
+        """
         self._in_flight += 1
         ctx = _OpContext(
             op_type="read",
             key=key,
             on_done=on_done,
             lock_token=self._tx_ids.next_id(),
-            started_at=self.scheduler.now,
+            started_at=(
+                self.scheduler.now if started_at is None else started_at
+            ),
             stage=_Stage.READ,
         )
         self._trace_operation_start(ctx, LockMode.SHARED)
@@ -539,12 +604,111 @@ class QuorumCoordinator:
 
     def write(self, key: Any, value: Any, on_done: DoneCallback) -> None:
         """Issue a quorum write; ``on_done`` fires exactly once."""
-        if self._batch_window > 0.0:
-            self._enqueue(
-                _BatchedOp("write", key, value, on_done, self.scheduler.now)
+        self._submit_write(key, value, on_done, self.scheduler.now)
+
+    def _submit_write(
+        self, key: Any, value: Any, on_done: DoneCallback, submitted_at: float
+    ) -> None:
+        if self._paused:
+            self._deferred.append(
+                _BatchedOp("write", key, value, on_done, submitted_at)
             )
             return
-        self._write(key, value, on_done, write_system=None)
+        if self._batch_window > 0.0:
+            self._enqueue(
+                _BatchedOp("write", key, value, on_done, submitted_at)
+            )
+            return
+        self._write(
+            key, value, on_done, write_system=None, started_at=submitted_at
+        )
+
+    def write_now(
+        self,
+        key: Any,
+        value: Any,
+        on_done: DoneCallback,
+        started_at: float | None = None,
+    ) -> None:
+        """The immediate write pipeline (see :meth:`read_now`)."""
+        self._write(
+            key, value, on_done, write_system=None, started_at=started_at
+        )
+
+    # ------------------------------------------------------------------
+    # reconfiguration pause gate
+    # ------------------------------------------------------------------
+
+    @property
+    def paused(self) -> bool:
+        """True while public submissions are being deferred."""
+        return self._paused
+
+    def pause(self) -> None:
+        """Defer public submissions until :meth:`resume` (idempotent).
+
+        This is the enforcement the quiescent migration's one-shot
+        ``is_quiescent()`` check lacked: traffic submitted *during* the
+        migration window is parked here instead of racing the per-key
+        state transfer on the old tree.
+        """
+        self._paused = True
+
+    def resume(self) -> None:
+        """Reopen the gate and replay deferred submissions in order.
+
+        Replays re-enter the full public pipeline (lease lookup, batching
+        window) under whatever quorum system is active *now* — after a
+        migration that is the new tree — keeping their original
+        submission times so the pause shows up in measured latency.
+        """
+        self._paused = False
+        while self._deferred and not self._paused:
+            op = self._deferred.pop(0)
+            if op.op_type == "read":
+                self._submit_read(op.key, op.on_done, op.submitted_at)
+            else:
+                self._submit_write(
+                    op.key, op.value, op.on_done, op.submitted_at
+                )
+
+    def copy_key(
+        self,
+        key: Any,
+        on_done: DoneCallback,
+        write_system: QuorumSystem | None = None,
+    ) -> None:
+        """Atomically re-write ``key``'s current value at a fresh version.
+
+        The reconfiguration state-transfer primitive: one EXCLUSIVE lock
+        covers both halves, so no client write can interleave between the
+        read and the re-write (the split read-then-write pipeline let a
+        concurrent write land in the gap and be resurrected-over at a
+        higher version).  The read phase runs through the *current*
+        system's read quorums; the 2PC write lands on ``write_system``'s
+        write quorums when given (quiescent migration writes the new
+        tree), on the current system's otherwise (online migration under
+        the dual system).  A never-written key (dominant value ``None``)
+        completes successfully without writing anything.
+        """
+        self._in_flight += 1
+        ctx = _OpContext(
+            op_type="write",
+            key=key,
+            on_done=on_done,
+            lock_token=self._tx_ids.next_id(),
+            started_at=self.scheduler.now,
+            stage=_Stage.READ,
+            write_system=write_system,
+            copy_read=True,
+        )
+        self._trace_operation_start(ctx, LockMode.EXCLUSIVE)
+        self._locks.acquire(
+            ctx.lock_token,
+            key,
+            LockMode.EXCLUSIVE,
+            lambda granted: self._lock_decided(ctx, granted),
+        )
 
     def write_with_system(
         self,
@@ -568,6 +732,7 @@ class QuorumCoordinator:
         value: Any,
         on_done: DoneCallback,
         write_system: QuorumSystem | None,
+        started_at: float | None = None,
     ) -> None:
         self._in_flight += 1
         ctx = _OpContext(
@@ -576,7 +741,9 @@ class QuorumCoordinator:
             value=value,
             on_done=on_done,
             lock_token=self._tx_ids.next_id(),
-            started_at=self.scheduler.now,
+            started_at=(
+                self.scheduler.now if started_at is None else started_at
+            ),
             stage=_Stage.VERSION,
             write_system=write_system,
         )
@@ -592,7 +759,9 @@ class QuorumCoordinator:
     # read leases
     # ------------------------------------------------------------------
 
-    def _serve_leased(self, key: Any, on_done: DoneCallback) -> bool:
+    def _serve_leased(
+        self, key: Any, on_done: DoneCallback, started_at: float | None = None
+    ) -> bool:
         """Serve a read from the lease cache; False on a miss."""
         entry = self._leases.lookup(key)
         if entry is None:
@@ -608,7 +777,7 @@ class QuorumCoordinator:
             quorum=frozenset(),
             version_quorum=frozenset(),
             attempts=0,
-            started_at=now,
+            started_at=now if started_at is None else started_at,
             finished_at=now,
             leased=True,
         )
@@ -870,7 +1039,9 @@ class QuorumCoordinator:
                 ctx.trace_id, ctx.op_span, "attempt", SpanKind.ATTEMPT,
                 self.scheduler.now, op=ctx.op_type, number=ctx.attempts,
             )
-        if ctx.op_type == "read":
+        if ctx.op_type == "read" or ctx.copy_read:
+            # Copy operations restart from their read phase on every
+            # retry: the previous attempt's dominant value may be stale.
             self._start_read_phase(ctx)
         elif ctx.skip_version:
             # Batched same-key successor write: the predecessor's commit
@@ -1092,6 +1263,7 @@ class QuorumCoordinator:
             started_at=ctx.started_at,
             finished_at=self.scheduler.now,
             reason=reason if not success else FailureReason.NONE,
+            failed_stage="" if success else ctx.stage.value,
         )
         ctx.on_done(outcome)
 
@@ -1140,9 +1312,43 @@ class QuorumCoordinator:
         best = max(
             ctx.replies.values(), key=lambda reply: reply.timestamp.sort_key()
         )
+        if ctx.copy_read:
+            self._copy_read_complete(ctx, best)
+            return
         self._finish(
             ctx, success=True, value=best.value, timestamp=best.timestamp
         )
+
+    def _copy_read_complete(self, ctx: _OpContext, best: ReadReply) -> None:
+        """A copy operation's read half finished: re-write the value.
+
+        The exclusive lock is still held, so the dominant value read here
+        is the current value at the instant the write lands — nothing can
+        commit in between.
+        """
+        self._cancel_timeout(ctx)
+        self._end_phase(ctx)
+        self._by_request.pop(ctx.request_id, None)
+        if best.value is None:
+            # Never written: nothing to transfer (and nothing a lease or
+            # the invariant audit could usefully record).
+            self._finish(
+                ctx, success=True, value=None, timestamp=best.timestamp
+            )
+            return
+        ctx.value = best.value
+        ctx.version_quorum = ctx.quorum
+        floor = self._version_floor.get(ctx.key, ZERO_TIMESTAMP)
+        current = (
+            best.timestamp
+            if best.timestamp.version >= floor.version
+            else floor
+        )
+        ctx.write_timestamp = current.next_version(self._writer_id)
+        # Pre-stage so an unavailable write-quorum selection is reported
+        # against the write half, not the already-complete read half.
+        ctx.stage = _Stage.PREPARE
+        self._start_prepare_phase(ctx)
 
     # ------------------------------------------------------------------
     # write: version phase

@@ -13,8 +13,10 @@ import random
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.core.builder import from_spec
 from repro.core.protocol import ArbitraryProtocol
 from repro.core.tree import ArbitraryTree
+from repro.core.tuning import plan_reshape
 from repro.fault.detector import SuspectList
 from repro.fault.invariants import InvariantChecker
 from repro.fault.retry import RetryPolicySpec
@@ -27,6 +29,7 @@ from repro.sim.leases import LeaseCache
 from repro.sim.locks import LockManager
 from repro.sim.monitor import Monitor
 from repro.sim.network import Network, NetworkStats
+from repro.sim.reconfigure import ReconfigOutcome, TreeReconfigurer
 from repro.sim.site import Site
 from repro.sim.workload import Workload, WorkloadSpec
 
@@ -112,6 +115,19 @@ class SimulationConfig:
         revoked at a conflicting write's exclusive-lock grant and by
         liveness-epoch bumps, and committed writes re-grant them
         (write-through).  Off by default (legacy streams untouched).
+    reshape_at:
+        Simulated time at which to reconfigure the tree mid-run.  0 (the
+        default) disables reconfiguration entirely and keeps the legacy
+        event/RNG streams byte-identical.
+    reshape_spec:
+        Target tree spec (e.g. ``"1-4-4"``).  ``None`` plans the target
+        from the live system instead: :func:`repro.core.tuning.plan_reshape`
+        picks the shape for the workload's read fraction and demotes the
+        failure detector's chronic suspects to the deepest level.
+    reshape_online:
+        True (default) runs the epoch-based online transition (dual
+        quorums, traffic flowing); False runs the stop-the-world baseline
+        (the pool pauses, drains, migrates, resumes).
     """
 
     tree: ArbitraryTree | None = None
@@ -134,6 +150,9 @@ class SimulationConfig:
     check_invariants: bool = False
     batch_window: float = 0.0
     leases: bool = False
+    reshape_at: float = 0.0
+    reshape_spec: str | None = None
+    reshape_online: bool = True
 
     def resolve(self) -> tuple[QuorumSystem, int]:
         """The (quorum system, replica count) pair this config describes.
@@ -175,6 +194,32 @@ class SimulationResult:
     invariants: InvariantChecker | None = None
     #: The shared read-lease cache (``None`` unless ``config.leases``).
     leases: LeaseCache | None = None
+    #: The mid-run reconfiguration's outcome (``None`` unless
+    #: ``config.reshape_at`` scheduled one).
+    reconfiguration: ReconfigOutcome | None = None
+
+    def window_read_availability(self, start: float, end: float) -> float | None:
+        """Fraction of reads *submitted* in ``[start, end]`` that completed
+        successfully within the window (``None`` if none were submitted).
+
+        The honest transition metric: a read deferred by a stop-the-world
+        pause keeps its original submission time, so it counts as started
+        inside the window and as unavailable if it only completed after
+        the window closed.
+        """
+        started = [
+            outcome
+            for outcome in self.monitor.outcomes
+            if outcome.op_type == "read" and start <= outcome.started_at <= end
+        ]
+        if not started:
+            return None
+        served = sum(
+            1
+            for outcome in started
+            if outcome.success and outcome.finished_at <= end
+        )
+        return served / len(started)
 
     def summary(self) -> dict[str, float]:
         """Monitor headline numbers plus network/message counters."""
@@ -401,19 +446,90 @@ def run_workload(
     return executed
 
 
+def _reshape_target(
+    config: SimulationConfig, coordinator: QuorumCoordinator
+) -> ArbitraryTree:
+    """The reconfiguration target, resolved at trigger time.
+
+    An explicit ``reshape_spec`` wins; otherwise the plan comes from the
+    live system — the tuning advisor picks the shape for the workload's
+    read fraction, and the failure detector's *chronic* suspects (if a
+    detector is attached) are demoted to the deepest, widest level.
+    """
+    if config.reshape_spec is not None:
+        return from_spec(config.reshape_spec)
+    n = len(coordinator.system_universe())
+    suspects = coordinator.suspects
+    suspected = (
+        suspects.chronic(coordinator.scheduler.now)
+        if suspects is not None
+        else frozenset()
+    )
+    plan = plan_reshape(
+        n, suspected, read_fraction=config.workload.read_fraction
+    )
+    return plan.tree
+
+
+def install_reshape(
+    config: SimulationConfig,
+    scheduler: Scheduler,
+    coordinator: QuorumCoordinator,
+    invariants: InvariantChecker | None,
+) -> list[ReconfigOutcome]:
+    """Schedule the configured mid-run reconfiguration; returns its outbox.
+
+    The returned list receives the :class:`ReconfigOutcome` when the
+    transition finishes — drain the scheduler past the workload if it is
+    still empty (see :func:`simulate`).
+    """
+    reconfigurer = TreeReconfigurer(coordinator, invariants=invariants)
+    keys = [f"k{index}" for index in range(config.workload.keys)]
+    outbox: list[ReconfigOutcome] = []
+
+    def launch() -> None:
+        target = _reshape_target(config, coordinator)
+        if config.reshape_online:
+            reconfigurer.reconfigure_online(target, keys, outbox.append)
+        else:
+            reconfigurer.reconfigure(target, keys, outbox.append, wait=True)
+
+    scheduler.schedule_at(config.reshape_at, launch)
+    return outbox
+
+
 def simulate(config: SimulationConfig, max_events: int = 5_000_000) -> SimulationResult:
     """Run one configured simulation until the workload completes.
 
     A thin wrapper: :func:`build_simulation` wires the single replica
     group (the one-shard degenerate case of the
     :mod:`repro.shard` multi-shard build) and :func:`run_workload`
-    drains the event loop.
+    drains the event loop.  With ``reshape_at`` set, the scheduled
+    reconfiguration runs concurrently with the workload and the loop is
+    drained until its outcome lands as ``result.reconfiguration``.
     """
     invariants = InvariantChecker() if config.check_invariants else None
     scheduler, workload, monitor, network, sites = build_simulation(
         config, invariants=invariants
     )
+    reconfig_outbox: list[ReconfigOutcome] | None = None
+    if config.reshape_at > 0.0:
+        reconfig_outbox = install_reshape(
+            config, scheduler, workload.coordinators[0], invariants
+        )
     run_workload(scheduler, workload, max_events)
+    if reconfig_outbox is not None:
+        # The workload can complete while the migration (or a paused
+        # pool's drain poll) is still in flight; keep stepping until the
+        # reconfiguration reports — it always terminates (attempts are
+        # bounded, drain polls end when in-flight operations do).
+        drained = 0
+        while not reconfig_outbox and scheduler.step():
+            drained += 1
+            if drained > max_events:
+                raise RuntimeError(
+                    "reconfiguration did not complete within the event cap"
+                )
     return SimulationResult(
         config=config,
         monitor=monitor,
@@ -425,4 +541,7 @@ def simulate(config: SimulationConfig, max_events: int = 5_000_000) -> Simulatio
         suspects=workload.coordinators[0].suspects,
         invariants=invariants,
         leases=workload.coordinators[0].leases,
+        reconfiguration=(
+            reconfig_outbox[0] if reconfig_outbox else None
+        ),
     )

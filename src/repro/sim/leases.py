@@ -80,6 +80,7 @@ class LeaseCache:
         "grants",
         "invalidations",
         "epoch_invalidations",
+        "flushes",
     )
 
     def __init__(self, epoch: Callable[[], int]) -> None:
@@ -90,6 +91,7 @@ class LeaseCache:
         self.grants = 0
         self.invalidations = 0
         self.epoch_invalidations = 0
+        self.flushes = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -133,6 +135,20 @@ class LeaseCache:
         if self._entries.pop(key, None) is not None:
             self.invalidations += 1
 
+    def flush(self) -> int:
+        """Drop every entry (reconfiguration epoch edges; returns count).
+
+        The epoch stamp already makes stale entries unservable once the
+        liveness epoch moves, so this is belt-and-braces: no lease
+        granted against one tree may ever answer under another, even if
+        an epoch counter is wired differently in a future composition.
+        """
+        dropped = len(self._entries)
+        if dropped:
+            self._entries.clear()
+        self.flushes += 1
+        return dropped
+
     @property
     def hit_rate(self) -> float:
         """Fraction of lookups served from the cache."""
@@ -148,6 +164,7 @@ class LeaseCache:
             "grants": float(self.grants),
             "invalidations": float(self.invalidations),
             "epoch_invalidations": float(self.epoch_invalidations),
+            "flushes": float(self.flushes),
             "hit_rate": self.hit_rate,
         }
 

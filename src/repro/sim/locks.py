@@ -234,3 +234,16 @@ class LockManager:
         """Number of requests waiting on a key."""
         state = self._keys.get(key)
         return len(state.queue) if state else 0
+
+    @property
+    def idle(self) -> bool:
+        """True iff no key has holders or queued requests.
+
+        Group-wide quiescence belt-and-braces: a coordinator pool is
+        drained only when every member is quiescent *and* the shared
+        lock table is empty (a granted-but-not-yet-delivered callback
+        still counts as held).
+        """
+        return not any(
+            state.holders or state.queue for state in self._keys.values()
+        )

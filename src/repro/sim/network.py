@@ -276,6 +276,20 @@ class Network:
         """Look up a registered endpoint."""
         return self._endpoints[sid]
 
+    def coordinators(self) -> list[Endpoint]:
+        """Every registered coordinator endpoint, in pool order.
+
+        Coordinators are the negative-SID endpoints (``-1, -2, ...``);
+        reconfiguration uses this to reach the whole pool so a quorum-
+        system swap is group-scoped, never per-coordinator.
+        """
+        return [
+            self._endpoints[sid]
+            for sid in sorted(
+                (s for s in self._endpoints if s < 0), reverse=True
+            )
+        ]
+
     @property
     def scheduler(self) -> Scheduler:
         """The simulation's event scheduler."""

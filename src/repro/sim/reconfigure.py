@@ -1,30 +1,48 @@
-"""Online tree reconfiguration: the paper's "spectrum shifting" claim.
+"""Tree reconfiguration: the paper's "spectrum shifting" claim, online.
 
 "Our protocol enables the shifting from one configuration into another by
 just modifying the structure of the tree.  There is no need to implement a
 new protocol whenever the frequencies of read and write operations change."
 (Conclusion.)  The paper does not define a transition protocol, so this
-module supplies the missing piece: a state-transfer migration that moves a
-running system from one tree shape to another.
+module supplies the missing piece — in two modes sharing one state-transfer
+core.
 
 The subtlety is that quorums of *different* trees need not intersect: a
 value written through an old-tree write quorum may be invisible to every
-new-tree read quorum.  :class:`TreeReconfigurer` therefore re-writes every
-key through the *new* tree's quorums before the switch:
+new-tree read quorum.  Both modes therefore re-write every key through
+write quorums the *new* tree recognises before the switch, using an atomic
+per-key **copy** operation (:meth:`QuorumCoordinator.copy_key`: one
+exclusive lock covering the read and the re-write, so no client write can
+interleave and be resurrected-over).
 
-1. verify the coordinator is quiescent (no in-flight operations) — client
-   traffic must be paused for the duration, exactly like a schema change
-   behind the paper's centralised concurrency control;
-2. for every key: read through the current (old) tree, then write the value
-   back through the **new** tree (with a bumped version, so the migrated
-   copy dominates everywhere);
-3. swap the coordinator's quorum system to the new tree.
+**Quiescent mode** (:meth:`TreeReconfigurer.reconfigure`) is the legacy
+stop-the-world path, now actually enforced: the whole coordinator *pool*
+(every coordinator sharing the driver's lock manager) is paused for the
+migration window — submissions arriving mid-migration are deferred whole
+and replayed, in order and against the new tree, at resume.  Quiescence is
+checked group-wide; ``wait=True`` pauses first and lets in-flight traffic
+drain instead of refusing.
 
-Both steps use the ordinary quorum operations, so the migration inherits
-their fault tolerance (per-key retries, 2PC, termination protocol).  A key
-whose read or write cannot complete fails the reconfiguration, leaving the
-system safely on the old tree — migrated keys were *added* to new-tree
-levels, which never invalidates old-tree reads.
+**Online mode** (:meth:`TreeReconfigurer.reconfigure_online`) never stops
+traffic.  It drives a per-group epoch state machine::
+
+    STABLE ──start──▶ TRANSITION ──commit──▶ STABLE (new tree)
+                          │
+                          └────rollback────▶ STABLE (old tree)
+
+Entering TRANSITION swaps every pool coordinator onto a
+:class:`~repro.quorums.dual.DualQuorumSystem`: reads select quorums
+intersecting *both* trees' write quorums, writes land on *both* trees'
+write quorums, so the bi-coterie intersection invariant holds across the
+boundary while clients keep reading and writing.  Keys are then copied
+under the dual system; on success the group swaps to the new tree, on any
+per-key failure it swaps back to the old one (``rolled_back=True``) — safe
+in both directions because every transition-epoch write is visible to both
+trees' read quorums.  Every epoch edge bumps the network liveness epoch
+and flushes the lease cache, so no :class:`LeaseCache` entry or
+:class:`SelectionIndex` live-set cache can leak across trees, and the
+:class:`~repro.fault.invariants.InvariantChecker` (when attached) is told
+about each edge so audited outcomes are attributed to their epoch.
 """
 
 from __future__ import annotations
@@ -32,11 +50,19 @@ from __future__ import annotations
 import enum
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.core.protocol import ArbitraryProtocol
 from repro.core.tree import ArbitraryTree
+from repro.quorums.dual import DualQuorumSystem
+from repro.quorums.system import QuorumSystem
 from repro.sim.coordinator import OperationOutcome, QuorumCoordinator
+
+if TYPE_CHECKING:
+    from repro.fault.invariants import InvariantChecker
+
+#: Simulated-time interval between group-drain polls (``wait=True``).
+DRAIN_POLL = 1.0
 
 
 class ReconfigStatus(enum.Enum):
@@ -46,6 +72,15 @@ class ReconfigStatus(enum.Enum):
     NOT_QUIESCENT = "coordinator-not-quiescent"
     READ_FAILED = "key-read-failed"
     WRITE_FAILED = "key-write-failed"
+    BAD_TREE = "tree-replica-mismatch"
+    IN_PROGRESS = "reconfiguration-already-running"
+
+
+class EpochState(enum.Enum):
+    """Where the group's epoch state machine currently stands."""
+
+    STABLE = "stable"
+    TRANSITION = "transition"
 
 
 @dataclass
@@ -60,6 +95,13 @@ class ReconfigOutcome:
     started_at: float = 0.0
     finished_at: float = 0.0
     operations_used: int = 0
+    #: ``"quiescent"`` (stop-the-world) or ``"online"`` (dual-quorum).
+    mode: str = "quiescent"
+    #: The reconfiguration epoch this run drove (0 = never transitioned).
+    epoch: int = 0
+    #: True when an online transition failed and the group was cleanly
+    #: returned to the old tree.
+    rolled_back: bool = False
 
     @property
     def success(self) -> bool:
@@ -78,42 +120,144 @@ DoneCallback = Callable[[ReconfigOutcome], None]
 @dataclass
 class _MigrationState:
     new_tree: ArbitraryTree
-    new_system: ArbitraryProtocol
+    new_system: QuorumSystem
     keys: list
     on_done: DoneCallback
     outcome: ReconfigOutcome
+    online: bool
+    old_system: QuorumSystem | None = None
     index: int = 0
-    values: dict = field(default_factory=dict)
+    #: Quiescent-mode migration outcomes awaiting the commit decision:
+    #: fed to the invariant checker only if the migration succeeds (an
+    #: aborted quiescent migration leaves version-bumped copies on
+    #: new-tree levels that old-tree audits must not be judged against).
+    audited: list[OperationOutcome] = field(default_factory=list)
 
 
 class TreeReconfigurer:
-    """Drives tree-shape migrations for one coordinator.
+    """Drives tree-shape migrations for one coordinator *pool*.
 
     Parameters
     ----------
     coordinator:
-        The coordinator whose quorum system will be migrated.  It must
-        currently be an :class:`~repro.core.protocol.ArbitraryProtocol`
-        (reconfiguration between arbitrary-protocol trees is what the paper
-        promises; migrating *to* the protocol from a baseline would need
-        write-all state transfer instead).
+        The driving coordinator.  The swap applies to every coordinator
+        registered on the same network that shares this coordinator's
+        lock manager — the whole pool, never one member (a pool peer left
+        on the old tree keeps issuing old-tree writes whose quorums need
+        not intersect new-tree reads).
+    invariants:
+        Optional :class:`~repro.fault.invariants.InvariantChecker`.  When
+        attached it is notified of every epoch edge, and migration
+        outcomes are audited exactly like client traffic (buffered until
+        commit in quiescent mode).
     """
 
-    def __init__(self, coordinator: QuorumCoordinator) -> None:
+    def __init__(
+        self,
+        coordinator: QuorumCoordinator,
+        invariants: "InvariantChecker | None" = None,
+    ) -> None:
         self._coordinator = coordinator
+        self._invariants = invariants
+        self._active = False
+        self._epoch = 0
+        self._state = EpochState.STABLE
+
+    @property
+    def epoch(self) -> int:
+        """Completed-or-attempted transitions so far."""
+        return self._epoch
+
+    @property
+    def state(self) -> EpochState:
+        """The group's current epoch state."""
+        return self._state
+
+    # ------------------------------------------------------------------
+    # group plumbing
+    # ------------------------------------------------------------------
+
+    def group(self) -> list[QuorumCoordinator]:
+        """Every pool member: coordinators sharing the driver's locks."""
+        driver = self._coordinator
+        return [
+            peer
+            for peer in driver.network.coordinators()
+            if peer.locks is driver.locks
+        ]
+
+    def _group_quiescent(self, group: list[QuorumCoordinator]) -> bool:
+        return (
+            all(peer.is_quiescent() for peer in group)
+            and self._coordinator.locks.idle
+        )
+
+    def _swap_group(self, system: QuorumSystem) -> None:
+        """Install ``system`` on every pool member and fence the caches.
+
+        The driver builds the (possibly shared) selection index once and
+        peers adopt it; the liveness-epoch bump drops every epoch-stamped
+        lease, batched pre-selected quorum and cached live set, and the
+        lease flush is belt-and-braces on top (no lease granted against
+        one tree may ever answer under another).
+        """
+        driver = self._coordinator
+        driver.set_system(system)
+        group = self.group()
+        for peer in group:
+            if peer is not driver:
+                peer.set_system(system, selector=driver.selector)
+        driver.network.bump_liveness_epoch()
+        flushed: set[int] = set()
+        for peer in group:
+            cache = peer.leases
+            if cache is not None and id(cache) not in flushed:
+                flushed.add(id(cache))
+                cache.flush()
+
+    def _note_epoch(self, state: EpochState) -> None:
+        self._state = state
+        if self._invariants is not None:
+            self._invariants.note_epoch(
+                self._epoch, state.value, at=self._coordinator.scheduler.now
+            )
+
+    def _precheck(
+        self, new_tree: ArbitraryTree, outcome: ReconfigOutcome
+    ) -> ReconfigStatus | None:
+        """Synchronous refusals, reported through ``on_done`` by callers."""
+        if self._active:
+            return ReconfigStatus.IN_PROGRESS
+        if new_tree.n != len(self._coordinator.system_universe()):
+            return ReconfigStatus.BAD_TREE
+        return None
+
+    # ------------------------------------------------------------------
+    # quiescent (stop-the-world) mode
+    # ------------------------------------------------------------------
 
     def reconfigure(
         self,
         new_tree: ArbitraryTree,
         keys: Sequence,
         on_done: DoneCallback,
+        wait: bool = False,
     ) -> None:
-        """Migrate to ``new_tree``; ``on_done`` fires exactly once.
+        """Stop-the-world migration to ``new_tree``; ``on_done`` fires once.
 
         ``keys`` must cover every key whose latest value matters (the
-        engine's workload uses a known key space; a production system would
-        scan the keyspace).  The new tree must host the same replica SIDs
-        ``0..n-1`` — reconfiguration changes the *shape*, not the fleet.
+        engine's workload uses a known key space; a production system
+        would scan the keyspace).  The new tree must host the same
+        replica SIDs ``0..n-1`` — reconfiguration changes the *shape*,
+        not the fleet (a mismatch reports ``BAD_TREE``).
+
+        The pool is paused for the whole window: submissions arriving
+        mid-migration are deferred and replayed at completion, so the
+        one-shot quiescence check can no longer be raced.  With the
+        default ``wait=False`` a non-quiescent group is refused
+        synchronously (``NOT_QUIESCENT``); with ``wait=True`` the pool is
+        paused immediately and the migration starts once in-flight
+        traffic has drained.
         """
         now = self._coordinator.scheduler.now
         outcome = ReconfigOutcome(
@@ -122,27 +266,106 @@ class TreeReconfigurer:
             keys_total=len(keys),
             started_at=now,
             finished_at=now,
+            mode="quiescent",
+            epoch=self._epoch,
         )
-        if new_tree.n != len(self._coordinator.system_universe()):
-            raise ValueError(
-                f"new tree hosts {new_tree.n} replicas, the system has "
-                f"{len(self._coordinator.system_universe())}"
-            )
-        if not self._coordinator.is_quiescent():
+        refusal = self._precheck(new_tree, outcome)
+        if refusal is not None:
+            outcome.status = refusal
+            on_done(outcome)
+            return
+        group = self.group()
+        if not wait and not self._group_quiescent(group):
             outcome.status = ReconfigStatus.NOT_QUIESCENT
             on_done(outcome)
             return
+        self._active = True
+        for peer in group:
+            peer.pause()
         state = _MigrationState(
             new_tree=new_tree,
             new_system=ArbitraryProtocol(new_tree),
             keys=list(keys),
             on_done=on_done,
             outcome=outcome,
+            online=False,
+        )
+        if self._group_quiescent(group):
+            self._migrate_next(state)
+        else:
+            self._await_drain(state)
+
+    def _await_drain(self, state: _MigrationState) -> None:
+        """``wait=True``: poll until the paused pool has drained.
+
+        New submissions are already deferred by the pause, so the
+        in-flight count is strictly non-increasing and the poll always
+        terminates (lock waits time out, operations finish or fail).
+        """
+        if self._group_quiescent(self.group()):
+            self._migrate_next(state)
+            return
+        self._coordinator.scheduler.schedule(
+            DRAIN_POLL, lambda: self._await_drain(state)
+        )
+
+    # ------------------------------------------------------------------
+    # online (dual-quorum) mode
+    # ------------------------------------------------------------------
+
+    def reconfigure_online(
+        self,
+        new_tree: ArbitraryTree,
+        keys: Sequence,
+        on_done: DoneCallback,
+    ) -> None:
+        """Migrate to ``new_tree`` with client traffic still flowing.
+
+        The group enters the TRANSITION epoch on a
+        :class:`DualQuorumSystem` over (current, new): every client read
+        intersects both trees' write quorums and every client write lands
+        on both trees' write quorums, so no interleaving can violate the
+        bi-coterie invariant in either the commit or the rollback
+        direction.  Keys are copied under the dual system (atomic per-key
+        read/re-write), then the group commits to the new tree — or rolls
+        back to the old one on a per-key failure, reporting
+        ``rolled_back=True`` with the failing stage's status.
+        """
+        now = self._coordinator.scheduler.now
+        outcome = ReconfigOutcome(
+            status=ReconfigStatus.SUCCESS,
+            new_tree=new_tree,
+            keys_total=len(keys),
+            started_at=now,
+            finished_at=now,
+            mode="online",
+            epoch=self._epoch,
+        )
+        refusal = self._precheck(new_tree, outcome)
+        if refusal is not None:
+            outcome.status = refusal
+            on_done(outcome)
+            return
+        self._active = True
+        old_system = self._coordinator.system
+        new_system: QuorumSystem = ArbitraryProtocol(new_tree)
+        self._epoch += 1
+        outcome.epoch = self._epoch
+        self._swap_group(DualQuorumSystem(old_system, new_system))
+        self._note_epoch(EpochState.TRANSITION)
+        state = _MigrationState(
+            new_tree=new_tree,
+            new_system=new_system,
+            keys=list(keys),
+            on_done=on_done,
+            outcome=outcome,
+            online=True,
+            old_system=old_system,
         )
         self._migrate_next(state)
 
     # ------------------------------------------------------------------
-    # per-key pipeline: read (old tree) -> write (new tree)
+    # per-key state transfer (shared by both modes)
     # ------------------------------------------------------------------
 
     def _migrate_next(self, state: _MigrationState) -> None:
@@ -151,45 +374,60 @@ class TreeReconfigurer:
             return
         key = state.keys[state.index]
         state.outcome.operations_used += 1
-        self._coordinator.read(
-            key, lambda result: self._read_done(state, key, result)
-        )
-
-    def _read_done(
-        self, state: _MigrationState, key: Any, result: OperationOutcome
-    ) -> None:
-        if not result.success:
-            state.outcome.status = ReconfigStatus.READ_FAILED
-            state.outcome.failed_key = key
-            self._finish(state)
-            return
-        if result.value is None:
-            # never written: nothing to transfer
-            state.index += 1
-            self._migrate_next(state)
-            return
-        state.outcome.operations_used += 1
-        self._coordinator.write_with_system(
+        # Online mode copies under the active (dual) system; quiescent
+        # mode reads through the old tree and re-writes through the new
+        # tree's write quorums — both as ONE exclusive-locked operation.
+        self._coordinator.copy_key(
             key,
-            result.value,
-            state.new_system,
-            lambda write_result: self._write_done(state, key, write_result),
+            lambda result: self._copy_done(state, key, result),
+            write_system=None if state.online else state.new_system,
         )
 
-    def _write_done(
+    def _copy_done(
         self, state: _MigrationState, key: Any, result: OperationOutcome
     ) -> None:
         if not result.success:
-            state.outcome.status = ReconfigStatus.WRITE_FAILED
+            state.outcome.status = (
+                ReconfigStatus.READ_FAILED
+                if result.failed_stage == "read"
+                else ReconfigStatus.WRITE_FAILED
+            )
             state.outcome.failed_key = key
             self._finish(state)
             return
-        state.outcome.keys_migrated += 1
+        if result.value is not None:
+            # (A None value means the key was never written: nothing was
+            # transferred and nothing is auditable.)
+            state.outcome.keys_migrated += 1
+            if self._invariants is not None:
+                if state.online:
+                    self._invariants.check(result)
+                else:
+                    state.audited.append(result)
         state.index += 1
         self._migrate_next(state)
 
     def _finish(self, state: _MigrationState) -> None:
-        if state.outcome.status is ReconfigStatus.SUCCESS:
-            self._coordinator.set_system(state.new_system)
+        success = state.outcome.status is ReconfigStatus.SUCCESS
+        if state.online:
+            if success:
+                self._swap_group(state.new_system)
+            else:
+                assert state.old_system is not None
+                self._swap_group(state.old_system)
+                state.outcome.rolled_back = True
+            self._note_epoch(EpochState.STABLE)
+        else:
+            if success:
+                self._swap_group(state.new_system)
+                if self._invariants is not None:
+                    for audited in state.audited:
+                        self._invariants.check(audited)
+            # A failed quiescent migration leaves the old tree active:
+            # migrated keys were *added* to new-tree levels, which never
+            # invalidates old-tree reads.
+            for peer in self.group():
+                peer.resume()
+        self._active = False
         state.outcome.finished_at = self._coordinator.scheduler.now
         state.on_done(state.outcome)

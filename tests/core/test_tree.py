@@ -213,3 +213,41 @@ class TestTreeNode:
     def test_kind_predicates(self):
         physical = TreeNode(level=0, index=1, kind=NodeKind.PHYSICAL)
         assert physical.is_physical and not physical.is_logical
+
+
+class TestSidOrder:
+    """``sid_order`` permutes which SID lands on which level slot."""
+
+    def test_default_is_level_order(self):
+        tree = ArbitraryTree.from_level_counts([0, 3, 5], [1, 0, 0])
+        assert tree.replica_ids() == tuple(range(8))
+
+    def test_permutation_places_sids_in_level_order(self):
+        order = (7, 6, 5, 4, 3, 2, 1, 0)
+        tree = ArbitraryTree.from_level_counts(
+            [0, 3, 5], [1, 0, 0], sid_order=order
+        )
+        level1 = [node.replica_id for node in tree.physical_nodes_at(1)]
+        level2 = [node.replica_id for node in tree.physical_nodes_at(2)]
+        assert level1 == [7, 6, 5]
+        assert level2 == [4, 3, 2, 1, 0]
+        # the universe is unchanged — only placement moved
+        assert sorted(tree.replica_ids()) == list(range(8))
+
+    def test_non_permutation_rejected(self):
+        with pytest.raises(ValueError, match="permutation"):
+            ArbitraryTree.from_level_counts(
+                [0, 3, 5], [1, 0, 0], sid_order=(0, 1, 2, 3, 4, 5, 6, 6)
+            )
+        with pytest.raises(ValueError, match="permutation"):
+            ArbitraryTree.from_level_counts(
+                [0, 3, 5], [1, 0, 0], sid_order=(1, 2, 3)
+            )
+
+    def test_spec_round_trip_ignores_placement(self):
+        """The compressed spec describes shape only, not SID placement."""
+        plain = from_spec("1-3-5")
+        shuffled = ArbitraryTree.from_level_counts(
+            [0, 3, 5], [1, 0, 0], sid_order=(3, 4, 5, 0, 1, 2, 6, 7)
+        )
+        assert shuffled.spec() == plain.spec()

@@ -95,3 +95,41 @@ class TestRecommend:
         assert result.p == 0.8
         assert result.read_fraction == 0.3
         assert result.tree is result.best.tree
+
+
+class TestReshapePlanning:
+    def test_plan_uses_recommended_shape(self):
+        from repro.core.tuning import plan_reshape
+
+        plan = plan_reshape(8, read_fraction=0.5)
+        assert plan.tree.spec() == recommend(8, read_fraction=0.5).tree.spec()
+        assert plan.evicted == ()
+        assert plan.sid_order == tuple(range(8))
+
+    def test_suspects_demoted_to_the_deepest_level(self):
+        from repro.core.tuning import plan_reshape
+
+        plan = plan_reshape(8, suspected={1, 4}, read_fraction=0.5)
+        assert plan.evicted == (1, 4)
+        deepest = max(plan.tree.physical_levels)
+        deepest_sids = {
+            node.replica_id
+            for node in plan.tree.physical_nodes_at(deepest)
+        }
+        assert {1, 4} <= deepest_sids
+        # demotion, not removal: the fleet is unchanged
+        assert sorted(plan.tree.replica_ids()) == list(range(8))
+
+    def test_out_of_range_suspects_ignored(self):
+        from repro.core.tuning import plan_reshape
+
+        plan = plan_reshape(8, suspected={5, 99, -1})
+        assert plan.evicted == (5,)
+
+    def test_planned_tree_satisfies_assumption(self):
+        from repro.core.tuning import plan_reshape
+
+        for suspects in (set(), {0}, {0, 1, 2, 3}):
+            plan = plan_reshape(12, suspected=suspects, read_fraction=0.8)
+            assert plan.tree.satisfies_assumption()
+            assert plan.tree.n == 12

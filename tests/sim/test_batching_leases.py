@@ -126,6 +126,7 @@ class TestLeaseCache:
             "grants": 1.0,
             "invalidations": 0.0,
             "epoch_invalidations": 0.0,
+            "flushes": 0.0,
             "hit_rate": 0.5,
         }
 

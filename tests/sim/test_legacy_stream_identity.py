@@ -279,7 +279,11 @@ def assert_summary_exact(actual: dict, golden: dict, name: str) -> None:
 def test_default_path_reproduces_golden_stream(name):
     config = CONFIGS[name]
     assert config.batch_window == 0.0 and config.leases is False
+    # reconfiguration must be fully disarmed on the legacy path: no
+    # reshape is ever scheduled, so the streams cannot have moved
+    assert config.reshape_at == 0.0 and config.reshape_spec is None
     result = simulate(config)
+    assert result.reconfiguration is None
     assert_summary_exact(result.summary(), GOLDEN_SUMMARIES[name], name)
     if config.check_invariants:
         assert result.invariants is not None and result.invariants.ok

@@ -1,23 +1,19 @@
 """Unit and integration tests for online tree reconfiguration."""
 
-import random
-
-import pytest
-
 from repro.core.builder import from_spec, mostly_read, mostly_write
-from repro.core.protocol import ArbitraryProtocol
 from repro.sim.coordinator import QuorumCoordinator
 from repro.sim.engine import SimulationConfig, build_simulation
 from repro.sim.reconfigure import ReconfigStatus, TreeReconfigurer
-from repro.sim.workload import WorkloadSpec
 
 
 class Rig:
     """A running system with a driver loop and a reconfigurer."""
 
-    def __init__(self, spec="1-3-5", seed=0):
+    def __init__(self, spec="1-3-5", seed=0, clients=1, **config_kwargs):
         self.tree = from_spec(spec)
-        config = SimulationConfig(tree=self.tree, seed=seed)
+        config = SimulationConfig(
+            tree=self.tree, seed=seed, clients=clients, **config_kwargs
+        )
         (self.scheduler, _workload, self.monitor,
          self.network, self.sites) = build_simulation(config)
         self.coordinator: QuorumCoordinator = self.network.endpoint(-1)
@@ -83,9 +79,50 @@ class TestReconfiguration:
         assert outcome.keys_migrated == 1  # 'absent' had nothing to move
 
     def test_replica_count_must_match(self):
+        """A shape for the wrong fleet reports BAD_TREE through on_done.
+
+        Regression: this used to raise ``ValueError`` out of the
+        ``reconfigure`` call itself — one synchronous exception among
+        otherwise callback-reported failures, which event-driven callers
+        (the engine's scheduled reshape) would never catch.
+        """
         rig = Rig()
-        with pytest.raises(ValueError, match="hosts"):
-            rig.reconfigurer.reconfigure(mostly_read(9), [], lambda _: None)
+        box = []
+        rig.reconfigurer.reconfigure(mostly_read(9), [], box.append)
+        assert box and box[0].status is ReconfigStatus.BAD_TREE
+        assert not box[0].success
+        # the online path reports it the same way
+        online = []
+        rig.reconfigurer.reconfigure_online(mostly_read(9), [], online.append)
+        assert online and online[0].status is ReconfigStatus.BAD_TREE
+
+    def test_concurrent_reconfigurations_refused(self):
+        """A second reconfiguration while one runs reports IN_PROGRESS."""
+        rig = Rig()
+        rig.write("k", "v")
+        first, second = [], []
+        rig.reconfigurer.reconfigure(mostly_write(8), ["k"], first.append)
+        rig.reconfigurer.reconfigure(mostly_read(8), ["k"], second.append)
+        assert second and second[0].status is ReconfigStatus.IN_PROGRESS
+        while not first:
+            assert rig.scheduler.step(), "stalled"
+        assert first[0].success
+
+    def test_wait_for_quiescence(self):
+        """``wait=True`` pauses the pool and migrates once traffic drains."""
+        rig = Rig()
+        rig.write("k", "v0")
+        wbox, box = [], []
+        rig.coordinator.write("k", "v1", wbox.append)  # in flight
+        rig.reconfigurer.reconfigure(
+            mostly_write(8), ["k"], box.append, wait=True
+        )
+        while not box:
+            assert rig.scheduler.step(), "stalled"
+        assert wbox and wbox[0].success
+        assert box[0].success
+        result = rig.read("k")
+        assert result.success and result.value == "v1"
 
     def test_not_quiescent_refused(self):
         rig = Rig()
@@ -146,6 +183,49 @@ class TestReconfiguration:
         outcome = rig.write("k", "v")
         assert outcome.success
         assert len(outcome.quorum) == 2  # a MOSTLY-WRITE level
+
+    def test_pool_peers_switch_trees_with_the_group(self):
+        """Regression (pool-peer stale tree): the swap must be group-scoped.
+
+        Two coordinators share one lock manager / version floor (a shard
+        pool).  Migrating through coordinator A alone used to leave B on
+        the old tree: B's old-tree write quorums need not intersect A's
+        new-tree read quorums, so A serves stale reads.
+        """
+        rig = Rig(clients=2)
+        a = rig.coordinator
+        b: QuorumCoordinator = rig.network.endpoint(-2)
+        assert rig.run(lambda cb: a.write("k", "v0", cb)).success
+        assert rig.reconfigure(mostly_read(8), ["k"]).success
+        # the peer writes after the swap; pre-fix it still uses 1-3-5
+        assert rig.run(lambda cb: b.write("k", "v1", cb)).success
+        for _ in range(8):
+            result = rig.run(lambda cb: a.read("k", cb))
+            assert result.success
+            assert result.value == "v1", "stale read from a pool peer's write"
+
+    def test_client_write_during_migration_not_lost(self):
+        """Regression (quiescence TOCTOU): traffic must stay paused.
+
+        ``reconfigure()`` checks ``is_quiescent()`` once at the start.  A
+        client write submitted mid-migration used to race the per-key
+        re-write: it version-rounds on the old tree, then the migration
+        re-writes the *old* value at a higher version through the new
+        tree, and the client's update is lost after the swap.
+        """
+        rig = Rig()
+        assert rig.write("k", "v0").success
+        box, wbox = [], []
+        rig.reconfigurer.reconfigure(mostly_write(8), ["k"], box.append)
+        # the quiescence check has passed; this write sneaks into the window
+        rig.coordinator.write("k", "v1", wbox.append)
+        while not (box and wbox):
+            assert rig.scheduler.step(), "stalled"
+        assert box[0].success
+        assert wbox[0].success
+        result = rig.read("k")
+        assert result.success
+        assert result.value == "v1", "migration reinstated the old value"
 
     def test_migrated_version_dominates_everywhere(self):
         """The re-written copy must supersede stale old-level copies."""
