@@ -1,0 +1,485 @@
+"""Simulator inner-ring performance: event core + end-to-end ops/sec.
+
+The allocation-lean inner ring (compacting event core, closure-free
+delivery, cached link tables — DESIGN.md §2.15) is a *wall-clock*
+optimisation: simulated results are bit-identical to the previous
+implementation, only the host time per simulated event changes.  That
+makes the usual seeded-regression benches blind to it, so this bench
+measures wall time directly, at two levels:
+
+* **scheduler ring** — the event core alone, against an embedded copy of
+  the pre-optimisation scheduler (three-slot entries, closure-only
+  callbacks, no cancelled-entry compaction).  Two cases: a pure
+  schedule/fire ring, and a schedule/cancel churn mix where the old core
+  let dead entries pile up in the heap.  Values agree on processed-event
+  counts, so the comparison also re-checks behavioural equivalence.
+* **end-to-end** — the three saturated workloads used to record the
+  pre-PR baseline (a 1-3-5 group legacy-path, the same group with
+  batching + leases, and a 16-shard keyspace), reported as ops per
+  wall-clock second next to the recorded pre-PR numbers.
+
+Wall-clock numbers are machine-dependent: :data:`PRE_PR_BASELINE` is
+only meaningful on the host that recorded it (stamped in the JSON).  The
+CI smoke gate therefore never compares against the recorded baseline —
+it reruns the embedded reference scheduler on the *same* machine in the
+*same* process and requires the current core to be at least as fast,
+which is noise-robust because both sides move with the host.
+
+Two tiers:
+
+* ``--smoke`` (and the pytest test, used by the CI simcore job): small
+  rings and short streams, finishes in seconds;
+* the default full run records the trajectory cited in EXPERIMENTS.md
+  and asserts the tentpole acceptance floor: >= 1.5x end-to-end ops/sec
+  on the saturated single-group legacy case vs the recorded pre-PR
+  baseline.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_simcore.py [--smoke] [--out P]
+"""
+
+from __future__ import annotations
+
+import argparse
+import heapq
+import sys
+import time
+from pathlib import Path
+
+try:
+    from benchmarks.perf_harness import write_bench_json
+except ImportError:  # direct `python benchmarks/bench_simcore.py`
+    sys.path.insert(0, str(Path(__file__).parent))
+    from perf_harness import write_bench_json
+
+from repro.core.builder import from_spec
+from repro.shard import ShardedConfig, simulate_sharded
+from repro.sim.engine import SimulationConfig, simulate
+from repro.sim.events import Scheduler
+from repro.sim.workload import WorkloadSpec
+
+#: End-to-end ops/wall-sec recorded immediately before the inner-ring
+#: work (commit 85df2e7, best of 3 on the recording host).  Comparable
+#: only on that host — see the module docstring; the JSON stamps both
+#: this table and the fresh measurements so the trajectory is auditable.
+PRE_PR_BASELINE = {
+    "single_group_legacy": 12908.0,
+    "single_group_batched_leased": 26925.0,
+    "shard16": 8651.0,
+}
+PRE_PR_BASELINE_COMMIT = "85df2e7"
+
+#: Tentpole acceptance floor: saturated single-group legacy-path ops/sec
+#: must reach this multiple of the recorded pre-PR baseline.
+ACCEPTANCE_SPEEDUP = 1.5
+
+
+# ---------------------------------------------------------------------------
+# embedded pre-PR scheduler (the reference side of the ring cases)
+# ---------------------------------------------------------------------------
+
+
+class _ReferenceHandle:
+    """Pre-PR cancel handle: clears the callback slot, no accounting."""
+
+    __slots__ = ("_entry",)
+
+    def __init__(self, entry: list) -> None:
+        self._entry = entry
+
+    def cancel(self) -> None:
+        self._entry[2] = None
+
+
+class ReferenceScheduler:
+    """The scheduler as it stood before the inner-ring PR.
+
+    Three-slot entries ``[time, sequence, callback]``, closure-only
+    callbacks (no ``arg`` slot), ``run()`` delegating to ``step()`` per
+    event, and no cancelled-entry compaction — dead entries stay heaped
+    until their time comes up.  Kept verbatim (minus docstrings) so the
+    ring cases compare against the real predecessor, not a strawman.
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[list] = []
+        self._sequence = 0
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def processed_events(self) -> int:
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+    def schedule(self, delay: float, callback) -> _ReferenceHandle:
+        entry = [self._now + delay, self._sequence, callback]
+        self._sequence += 1
+        heapq.heappush(self._queue, entry)
+        return _ReferenceHandle(entry)
+
+    def step(self) -> bool:
+        queue = self._queue
+        while queue:
+            entry = heapq.heappop(queue)
+            callback = entry[2]
+            if callback is None:
+                continue
+            self._now = entry[0]
+            self._processed += 1
+            callback()
+            return True
+        return False
+
+    def run(self, max_events: int | None = None) -> None:
+        executed = 0
+        queue = self._queue
+        while queue:
+            if max_events is not None and executed >= max_events:
+                return
+            if queue[0][2] is None:
+                heapq.heappop(queue)
+                continue
+            self.step()
+            executed += 1
+
+
+# ---------------------------------------------------------------------------
+# scheduler-ring cases
+# ---------------------------------------------------------------------------
+
+
+def _ring_reference(events: int) -> int:
+    """Message-delivery ring on the pre-PR core.
+
+    The pre-PR network scheduled every delivery as ``schedule(delay,
+    lambda: deliver(message))`` — one closure allocation per message.
+    This ring reproduces that pattern exactly.
+    """
+    scheduler = ReferenceScheduler()
+    consumed = [0]
+
+    def deliver(message: tuple) -> None:
+        consumed[0] += 1
+        if message[0] > 0:
+            nxt = (message[0] - 1,)
+            scheduler.schedule(1.0, lambda: deliver(nxt))
+
+    first = (events - 1,)
+    scheduler.schedule(1.0, lambda: deliver(first))
+    scheduler.run()
+    return consumed[0]
+
+
+def _ring_current(events: int) -> int:
+    """The same delivery ring via closure-free ``(callback, arg)`` entries."""
+    scheduler = Scheduler()
+    consumed = [0]
+
+    def deliver(message: tuple) -> None:
+        consumed[0] += 1
+        if message[0] > 0:
+            scheduler.call_later(1.0, deliver, (message[0] - 1,))
+
+    scheduler.call_later(1.0, deliver, (events - 1,))
+    scheduler.run()
+    return consumed[0]
+
+
+def _never() -> None:  # pragma: no cover - cancelled before it can fire
+    raise AssertionError("cancelled timeout fired")
+
+
+def _churn_reference(rounds: int) -> tuple[int, int]:
+    """Timeout churn on the pre-PR core.
+
+    Each round arms a far-future timeout and cancels it when the
+    operation completes — the coordinator's ``_arm_timeout``/``_finish``
+    pattern.  The pre-PR core never reclaims the dead far-future
+    entries, so the heap grows by one per round; the returned peak
+    pending count makes that visible.
+    """
+    scheduler = ReferenceScheduler()
+    state = [rounds, 0]  # remaining, peak-pending
+
+    def fire() -> None:
+        state[0] -= 1
+        timeout = scheduler.schedule(1_000_000.0, _never)
+        if state[0] > 0:
+            scheduler.schedule(1.0, fire)
+        timeout.cancel()
+        pending = scheduler.pending_events
+        if pending > state[1]:
+            state[1] = pending
+
+    scheduler.schedule(1.0, fire)
+    scheduler.run()
+    return scheduler.processed_events, state[1]
+
+
+def _churn_current(rounds: int) -> tuple[int, int]:
+    """The same timeout churn on the current core (compaction bounds it)."""
+    scheduler = Scheduler()
+    state = [rounds, 0]
+
+    def fire(state: list) -> None:
+        state[0] -= 1
+        timeout = scheduler.schedule(1_000_000.0, _never)
+        if state[0] > 0:
+            scheduler.call_later(1.0, fire, state)
+        timeout.cancel()
+        pending = scheduler.pending_events
+        if pending > state[1]:
+            state[1] = pending
+
+    scheduler.call_later(1.0, fire, state)
+    scheduler.run()
+    return scheduler.processed_events, state[1]
+
+
+def _timed(fn, *args, repeat: int = 3) -> tuple[float, object]:
+    """Best (minimum) wall time over ``repeat`` runs + the last value.
+
+    Min is the right statistic for a same-process A/B gate: both sides
+    only ever get *slower* from scheduler noise, so the minimum is the
+    least-contaminated estimate of each side's true cost.
+    """
+    best = float("inf")
+    value: object = None
+    for _ in range(repeat):
+        started = time.perf_counter()
+        value = fn(*args)
+        elapsed = time.perf_counter() - started
+        if elapsed < best:
+            best = elapsed
+    return best, value
+
+
+def scheduler_ring_cases(events: int, churn_rounds: int) -> list[dict]:
+    """Time the embedded reference core against the current core."""
+    points = []
+
+    ref_wall, ref_value = _timed(_ring_reference, events)
+    cur_wall, cur_value = _timed(_ring_current, events)
+    points.append({
+        "case": f"scheduler/ring/{events}",
+        "reference_events_per_sec": round(events / ref_wall),
+        "current_events_per_sec": round(events / cur_wall),
+        "speedup": round(ref_wall / cur_wall, 2),
+        "values_agree": ref_value == cur_value == events,
+    })
+
+    ref_wall, (ref_processed, ref_peak) = _timed(
+        _churn_reference, churn_rounds
+    )
+    cur_wall, (cur_processed, cur_peak) = _timed(
+        _churn_current, churn_rounds
+    )
+    points.append({
+        "case": f"scheduler/churn/{churn_rounds}",
+        "reference_events_per_sec": round(ref_processed / ref_wall),
+        "current_events_per_sec": round(cur_processed / cur_wall),
+        "speedup": round(ref_wall / cur_wall, 2),
+        "reference_peak_pending": ref_peak,
+        "current_peak_pending": cur_peak,
+        "values_agree": ref_processed == cur_processed,
+    })
+
+    for point in points:
+        print(
+            f"{point['case']:<28}  "
+            f"ref {point['reference_events_per_sec']:>9,} ev/s  "
+            f"now {point['current_events_per_sec']:>9,} ev/s  "
+            f"{point['speedup']:>5.2f}x  "
+            f"{'ok' if point['values_agree'] else 'MISMATCH'}"
+        )
+    return points
+
+
+# ---------------------------------------------------------------------------
+# end-to-end cases (the pre-PR baseline's exact workloads)
+# ---------------------------------------------------------------------------
+
+
+def single_group_config(
+    operations: int, batch_window: float, leases: bool
+) -> SimulationConfig:
+    """The saturated 1-3-5 group the pre-PR baseline was recorded on."""
+    return SimulationConfig(
+        tree=from_spec("1-3-5"),
+        workload=WorkloadSpec(
+            operations=operations, read_fraction=0.9, keys=128,
+            arrival="poisson", rate=4.0, zipf_s=1.1,
+        ),
+        clients=4, service_time=1.0, timeout=800.0, seed=2026,
+        batch_window=batch_window, leases=leases,
+    )
+
+
+def shard16_config(operations: int) -> ShardedConfig:
+    """The 16-shard keyspace the pre-PR baseline was recorded on."""
+    return ShardedConfig(
+        workload=WorkloadSpec(
+            operations=operations, read_fraction=0.7, keys=20_000,
+            arrival="poisson", rate=4.0, zipf_s=0.9,
+        ),
+        shards=16, systems=(("tree", "1-3-5"),), router="hash",
+        clients_per_shard=2, service_time=1.0, timeout=400.0, seed=2024,
+    )
+
+
+def end_to_end_cases(
+    single_ops: int, shard_ops: int, repeats: int
+) -> list[dict]:
+    """Ops per wall-second on the three baseline workloads (best of N)."""
+    runs = [
+        ("single_group_legacy",
+         lambda: simulate(single_group_config(single_ops, 0.0, False))),
+        ("single_group_batched_leased",
+         lambda: simulate(single_group_config(single_ops, 2.0, True))),
+        ("shard16",
+         lambda: simulate_sharded(shard16_config(shard_ops))),
+    ]
+    points = []
+    for name, fn in runs:
+        best = 0.0
+        events_per_sec = 0
+        for _ in range(repeats):
+            started = time.perf_counter()
+            result = fn()
+            wall = time.perf_counter() - started
+            summary = result.summary()
+            ops = (
+                summary["reads"] + summary["writes"]
+                if "reads" in summary else summary["operations"]
+            )
+            if ops / wall > best:
+                best = ops / wall
+                events_per_sec = round(
+                    getattr(result, "events_processed", 0) / wall
+                )
+        baseline = PRE_PR_BASELINE[name]
+        point = {
+            "case": f"end_to_end/{name}",
+            "operations": ops,
+            "ops_per_wall_sec": round(best),
+            "sim_events_per_sec": events_per_sec,
+            "pre_pr_ops_per_wall_sec": baseline,
+            "speedup_vs_pre_pr": round(best / baseline, 2),
+            "repeats": repeats,
+        }
+        points.append(point)
+        print(
+            f"{name:<28}  {point['ops_per_wall_sec']:>7,} ops/wall-sec  "
+            f"(pre-PR {baseline:>7,.0f}, "
+            f"{point['speedup_vs_pre_pr']:.2f}x)"
+        )
+    return points
+
+
+def run(smoke: bool, out: str | None = None) -> dict:
+    ring_events = 100_000 if smoke else 1_000_000
+    churn_rounds = 20_000 if smoke else 200_000
+    single_ops = 2_000 if smoke else 20_000
+    shard_ops = 1_600 if smoke else 16_000
+    repeats = 1 if smoke else 3
+
+    print("scheduler ring (embedded pre-PR reference vs current core)")
+    ring = scheduler_ring_cases(ring_events, churn_rounds)
+    print("\nend to end (recorded pre-PR baseline workloads)")
+    end_to_end = end_to_end_cases(single_ops, shard_ops, repeats)
+
+    by_case = {point["case"]: point for point in ring + end_to_end}
+    legacy = by_case["end_to_end/single_group_legacy"]
+    summary = {
+        "scheduler_ring_speedup":
+            by_case[f"scheduler/ring/{ring_events}"]["speedup"],
+        "scheduler_churn_speedup":
+            by_case[f"scheduler/churn/{churn_rounds}"]["speedup"],
+        "churn_peak_pending_reference":
+            by_case[f"scheduler/churn/{churn_rounds}"][
+                "reference_peak_pending"
+            ],
+        "churn_peak_pending_current":
+            by_case[f"scheduler/churn/{churn_rounds}"][
+                "current_peak_pending"
+            ],
+        "single_group_legacy_ops_per_sec": legacy["ops_per_wall_sec"],
+        "single_group_legacy_speedup_vs_pre_pr":
+            legacy["speedup_vs_pre_pr"],
+        "pre_pr_baseline": PRE_PR_BASELINE,
+        "pre_pr_baseline_commit": PRE_PR_BASELINE_COMMIT,
+        "acceptance_floor": ACCEPTANCE_SPEEDUP,
+    }
+    bench = "simcore_smoke" if smoke and out else "simcore"
+    path = write_bench_json(bench, ring + end_to_end, summary, out=out)
+    print(f"\nwrote {path}")
+    print(f"summary: {summary}")
+    # Same-machine gate (CI-safe): the current core must not lose to the
+    # embedded pre-PR reference run in the same process.
+    assert summary["scheduler_ring_speedup"] >= 1.0, (
+        "current scheduler slower than the embedded pre-PR reference"
+    )
+    for point in ring:
+        assert point["values_agree"], f"{point['case']}: value mismatch"
+    # Deterministic (timing-free) compaction gate: the pre-PR heap grows
+    # with every cancelled far-future timeout; the current core stays
+    # bounded regardless of churn volume.
+    assert summary["churn_peak_pending_reference"] >= churn_rounds
+    assert summary["churn_peak_pending_current"] <= 2 * 64 + 4, (
+        f"compaction failed to bound the heap "
+        f"(peak {summary['churn_peak_pending_current']})"
+    )
+    if not smoke:
+        # The tentpole acceptance floor — recording-host-only, like the
+        # baseline itself.
+        assert (
+            summary["single_group_legacy_speedup_vs_pre_pr"]
+            >= ACCEPTANCE_SPEEDUP
+        ), (
+            f"single-group legacy path reached only "
+            f"{summary['single_group_legacy_speedup_vs_pre_pr']}x "
+            f"the pre-PR baseline (floor {ACCEPTANCE_SPEEDUP}x)"
+        )
+    return summary
+
+
+def test_simcore_perf_smoke(emit):
+    """CI smoke: ring + churn + short end-to-end streams.
+
+    Gates only on the same-process reference comparison (machine-
+    independent); writes to a ``_smoke`` JSON so a local pytest run
+    never clobbers the recorded full-run trajectory.
+    """
+    from benchmarks.perf_harness import RESULTS_DIR
+
+    summary = run(
+        smoke=True, out=str(RESULTS_DIR / "BENCH_simcore_smoke.json")
+    )
+    emit(
+        "simcore_smoke",
+        "simcore smoke: scheduler ring "
+        f"{summary['scheduler_ring_speedup']:.2f}x, churn "
+        f"{summary['scheduler_churn_speedup']:.2f}x vs embedded pre-PR "
+        f"reference; single-group legacy "
+        f"{summary['single_group_legacy_ops_per_sec']:,} ops/wall-sec",
+    )
+    assert summary["scheduler_ring_speedup"] >= 1.0
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small rings and short streams (CI simcore-job tier)",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="output JSON path (default benchmarks/results/BENCH_simcore.json)",
+    )
+    args = parser.parse_args()
+    run(smoke=args.smoke, out=args.out)

@@ -115,12 +115,40 @@ def _git_sha() -> str:
         return "unknown"
 
 
+def scheduler_events_per_sec(events: int = 50_000) -> int:
+    """Calibrate the host: raw event-core throughput (events per second).
+
+    A self-rescheduling ring on the simulator's scheduler — no protocol
+    on top — so the number is a single-figure speed index for the host
+    *as the simulator sees it* (interpreter + heap + dispatch), which
+    platform strings and CPU counts cannot express.  Stamped into every
+    fingerprint, it lets two BENCH_*.json files be compared with the
+    hosts' relative speed known rather than guessed.
+    """
+    from repro.sim.events import Scheduler
+
+    scheduler = Scheduler()
+    state = [events - 1]
+
+    def fire(state: list) -> None:
+        if state[0] > 0:
+            state[0] -= 1
+            scheduler.call_later(1.0, fire, state)
+
+    scheduler.call_later(1.0, fire, state)
+    start = time.perf_counter()
+    scheduler.run()
+    elapsed = time.perf_counter() - start
+    return round(events / elapsed) if elapsed else 0
+
+
 def host_fingerprint() -> dict:
     """Everything needed to compare BENCH_*.json files across runs.
 
     Timings from different machines, interpreter versions or commits are
-    not comparable; stamping platform, CPU count and the git SHA into every
-    result file makes the perf trajectory interpretable after the fact.
+    not comparable; stamping platform, CPU count, the git SHA and a
+    measured event-core throughput into every result file makes the perf
+    trajectory interpretable after the fact.
     """
     import numpy
     import scipy
@@ -133,6 +161,7 @@ def host_fingerprint() -> dict:
         "platform": platform.platform(),
         "cpu_count": os.cpu_count(),
         "git_sha": _git_sha(),
+        "scheduler_events_per_sec": scheduler_events_per_sec(),
     }
 
 

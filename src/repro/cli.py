@@ -672,6 +672,57 @@ def _print_report(args) -> None:
             )
 
 
+def _print_profile(args) -> None:
+    """``repro profile``: cProfile hotspots + obs phase attribution.
+
+    Profiles a saturated single-group run (the inner-ring acceptance
+    workload by default) so the top of the table is the simulator's hot
+    path, not warm-up.  See :mod:`repro.sim.profiling` for why the
+    phase attribution comes from a second, traced run.
+    """
+    from repro.core.builder import from_spec
+    from repro.sim.engine import SimulationConfig
+    from repro.sim.profiling import profile_simulation
+    from repro.sim.workload import WorkloadSpec
+
+    config = SimulationConfig(
+        tree=from_spec(args.spec),
+        workload=WorkloadSpec(
+            operations=args.operations,
+            read_fraction=args.read_fraction,
+            keys=args.keys,
+            arrival="poisson",
+            rate=args.rate,
+            zipf_s=args.zipf,
+        ),
+        clients=args.clients,
+        service_time=args.service_time,
+        timeout=args.timeout,
+        seed=args.seed,
+        batch_window=args.batch_window,
+        leases=args.leases,
+    )
+    report = profile_simulation(
+        config, sort=args.sort, limit=args.limit,
+        phases=not args.no_phases,
+    )
+    print(
+        f"{args.spec}: {args.operations} ops, seed {args.seed}, "
+        f"service time {args.service_time:g}, rate {args.rate:g}"
+    )
+    print(
+        f"wall {report.wall_seconds:.2f}s under cProfile — "
+        f"{report.events_per_sec:,.0f} events/sec, "
+        f"{report.ops_per_sec:,.0f} ops/sec "
+        f"(profiler overhead included; see BENCH_simcore.json for "
+        f"uninstrumented rates)"
+    )
+    print(report.hotspots)
+    if report.phase_breakdown is not None:
+        print("per-phase latency breakdown (traced re-run, simulated time)")
+        print(report.phase_breakdown)
+
+
 def _add_fault_arguments(parser) -> None:
     """Fault-layer options shared by ``simulate`` and ``chaos``."""
     parser.add_argument(
@@ -1017,6 +1068,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="output path for the JSON Lines trace",
     )
 
+    profile_parser = sub.add_parser(
+        "profile",
+        help="cProfile hotspots + per-phase attribution of a saturated "
+             "simulation (the inner-ring tuning loop)",
+    )
+    profile_parser.add_argument(
+        "spec", nargs="?", default="1-3-5",
+        help="tree spec to profile against",
+    )
+    profile_parser.add_argument("--operations", type=int, default=5000)
+    profile_parser.add_argument("--read-fraction", type=float, default=0.9)
+    profile_parser.add_argument("--keys", type=int, default=128)
+    profile_parser.add_argument(
+        "--rate", type=float, default=4.0,
+        help="aggregate Poisson arrival rate (defaults saturate the group)",
+    )
+    profile_parser.add_argument("--zipf", type=float, default=1.1)
+    profile_parser.add_argument("--clients", type=int, default=4)
+    profile_parser.add_argument(
+        "--service-time", type=float, default=1.0,
+        help="per-message replica processing time (> 0 keeps the group "
+             "saturated so the profile shows the steady-state hot path)",
+    )
+    profile_parser.add_argument("--timeout", type=float, default=800.0)
+    profile_parser.add_argument("--seed", type=int, default=2026)
+    profile_parser.add_argument("--batch-window", type=float, default=0.0)
+    profile_parser.add_argument("--leases", action="store_true")
+    profile_parser.add_argument(
+        "--sort", choices=("tottime", "cumtime", "ncalls"),
+        default="tottime",
+        help="pstats sort key (tottime = the inner ring itself)",
+    )
+    profile_parser.add_argument(
+        "--limit", type=int, default=25,
+        help="profile rows to print",
+    )
+    profile_parser.add_argument(
+        "--no-phases", action="store_true",
+        help="skip the traced re-run and its per-phase attribution",
+    )
+
     report_parser = sub.add_parser(
         "report",
         help="per-phase latency breakdown + flame summary of a traced run",
@@ -1077,6 +1169,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         _print_reconfigure(args)
     elif args.command == "trace":
         _print_trace(args)
+    elif args.command == "profile":
+        _print_profile(args)
     elif args.command == "report":
         _print_report(args)
     elif args.command == "all":

@@ -133,8 +133,11 @@ class SelectionIndex:
         self._packed: dict[str, PackedQuorums | None] = {}
         #: op -> materialised quorums, aligned with the packed row order.
         self._quorums: dict[str, tuple[frozenset[int], ...]] = {}
-        #: (op, live-mask) -> indices of viable rows.
-        self._viable: dict[tuple[str, int], np.ndarray] = {}
+        #: (op, live-mask) -> indices of viable rows, as a plain list:
+        #: picks index it once per selection, and list indexing returns
+        #: a Python int directly where an ndarray would hand back a
+        #: numpy scalar needing an ``int()`` round-trip every time.
+        self._viable: dict[tuple[str, int], list[int]] = {}
         self.packed_selects = 0
         self.fallback_selects = 0
         self.cache_hits = 0
@@ -250,16 +253,18 @@ class SelectionIndex:
                 self._viable.clear()
             rows = np.nonzero(
                 packed.live_filter(mask_to_words(mask, packed.words))
-            )[0]
+            )[0].tolist()
             self._viable[key] = rows
         else:
             self.cache_hits += 1
-        if not rows.size:
+        if not rows:
             return None
         quorums = self._quorums[op]
         if rng is None:
-            return quorums[int(rows[0])]
-        return quorums[int(rows[rng.randrange(rows.size)])]
+            return quorums[rows[0]]
+        # randrange(len) draws exactly what randrange(rows.size) drew —
+        # same integer, same underlying getrandbits stream.
+        return quorums[rows[rng.randrange(len(rows))]]
 
     def select_avoiding(
         self,

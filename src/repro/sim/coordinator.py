@@ -47,7 +47,8 @@ from __future__ import annotations
 import enum
 import random
 from collections.abc import Callable
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
+from functools import partial
 from operator import attrgetter
 from typing import TYPE_CHECKING, Any
 
@@ -91,35 +92,85 @@ class FailureReason(enum.Enum):
     VOTE_REFUSED = "participant-refused"
 
 
-@dataclass
 class OperationOutcome:
-    """The result of one read or write operation."""
+    """The result of one read or write operation.
 
-    op_type: str
-    key: Any
-    success: bool
-    value: Any = None
-    timestamp: Timestamp | None = None
-    quorum: frozenset[int] = frozenset()
-    version_quorum: frozenset[int] = frozenset()
-    attempts: int = 1
-    started_at: float = 0.0
-    finished_at: float = 0.0
-    reason: FailureReason = FailureReason.NONE
-    #: True when the read was served from the lease cache: no quorum was
-    #: contacted (``quorum`` is empty, ``attempts`` is 0) and the
-    #: invariant checker skips only the quorum-intersection audit.
-    leased: bool = False
-    #: Protocol stage the operation died in ("" on success): "read",
-    #: "version", "prepare" or "commit".  Reconfiguration uses this to
-    #: distinguish a copy that could not read the old tree from one that
-    #: could not write the new one.
-    failed_stage: str = ""
+    A hand-rolled slotted class, not a dataclass: one is allocated per
+    finished operation and retained by the monitor, so the flat
+    ``__init__`` and ``__slots__`` matter at throughput-bench scale.
+    Value equality is field-wise, matching the old dataclass semantics
+    (and, like a dataclass with ``eq=True``, instances are unhashable).
+    """
+
+    __slots__ = (
+        "op_type", "key", "success", "value", "timestamp", "quorum",
+        "version_quorum", "attempts", "started_at", "finished_at",
+        "reason", "leased", "failed_stage",
+    )
+
+    def __init__(
+        self,
+        op_type: str,
+        key: Any,
+        success: bool,
+        value: Any = None,
+        timestamp: Timestamp | None = None,
+        quorum: frozenset[int] = frozenset(),
+        version_quorum: frozenset[int] = frozenset(),
+        attempts: int = 1,
+        started_at: float = 0.0,
+        finished_at: float = 0.0,
+        reason: FailureReason = FailureReason.NONE,
+        leased: bool = False,
+        failed_stage: str = "",
+    ) -> None:
+        self.op_type = op_type
+        self.key = key
+        self.success = success
+        self.value = value
+        self.timestamp = timestamp
+        self.quorum = quorum
+        self.version_quorum = version_quorum
+        self.attempts = attempts
+        self.started_at = started_at
+        self.finished_at = finished_at
+        self.reason = reason
+        #: True when the read was served from the lease cache: no quorum
+        #: was contacted (``quorum`` is empty, ``attempts`` is 0) and the
+        #: invariant checker skips only the quorum-intersection audit.
+        self.leased = leased
+        #: Protocol stage the operation died in ("" on success): "read",
+        #: "version", "prepare" or "commit".  Reconfiguration uses this to
+        #: distinguish a copy that could not read the old tree from one
+        #: that could not write the new one.
+        self.failed_stage = failed_stage
 
     @property
     def latency(self) -> float:
         """Wall-clock (simulated) duration of the operation."""
         return self.finished_at - self.started_at
+
+    def _astuple(self) -> tuple:
+        return tuple(getattr(self, name) for name in self.__slots__)
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not OperationOutcome:
+            return NotImplemented
+        return self._astuple() == other._astuple()
+
+    def __repr__(self) -> str:
+        fields = ", ".join(
+            f"{name}={getattr(self, name)!r}" for name in self.__slots__
+        )
+        return f"OperationOutcome({fields})"
+
+    def with_started_at(self, started_at: float) -> "OperationOutcome":
+        """A copy differing only in ``started_at`` (coalesced-read fan-out)."""
+        copy = OperationOutcome.__new__(OperationOutcome)
+        for name in self.__slots__:
+            setattr(copy, name, getattr(self, name))
+        copy.started_at = started_at
+        return copy
 
 
 DoneCallback = Callable[[OperationOutcome], None]
@@ -132,46 +183,98 @@ class _Stage(enum.Enum):
     COMMIT = "commit"
 
 
-@dataclass(slots=True)
 class _OpContext:
-    op_type: str
-    key: Any
-    on_done: DoneCallback
-    lock_token: int
-    started_at: float
-    value: Any = None
-    stage: _Stage = _Stage.READ
-    attempts: int = 0
-    request_id: int = 0
-    txid: int = 0
-    quorum: frozenset[int] = frozenset()
-    version_quorum: frozenset[int] = frozenset()
-    replies: dict[int, ReadReply] = field(default_factory=dict)
-    versions: dict[int, Timestamp] = field(default_factory=dict)
-    votes: dict[int, bool] = field(default_factory=dict)
-    acks: set[int] = field(default_factory=set)
-    write_timestamp: Timestamp | None = None
-    timeout_handle: EventHandle | None = None
-    finished: bool = False
-    write_system: QuorumSystem | None = None
-    lock_granted: bool = False
-    # Batching: a pre-selected read quorum for the first attempt (shared
-    # across a flush), valid only while the liveness epoch is unchanged.
-    preselected: frozenset[int] | None = None
-    preselected_epoch: int | None = None
-    # Batching: derive the write timestamp from the shared version floor
-    # instead of running the version round (safe for every same-key
-    # write after the first in a flush — see the module docstring).
-    skip_version: bool = False
-    # Reconfiguration copy: run a read phase under the exclusive lock
-    # and re-write the dominant value, as ONE atomic operation.
-    copy_read: bool = False
-    # Trace span ids (0 = no span; only set when a recorder is enabled).
-    trace_id: int = 0
-    op_span: int = 0
-    lock_span: int = 0
-    attempt_span: int = 0
-    phase_span: int = 0
+    """Per-operation protocol state.
+
+    A hand-rolled slotted class rather than a slotted dataclass: one is
+    constructed per operation (per submission, even), and a flat
+    ``__init__`` assigning its slots directly is several times cheaper
+    than the generated 30-parameter dataclass one.  Read contexts skip
+    the write-side scratch collections entirely (``versions``/``votes``/
+    ``acks`` stay ``None``) — the write pipeline never runs for them.
+    The collections a context does own are *reused* across attempts:
+    :meth:`QuorumCoordinator._start_attempt` clears them in place instead
+    of reallocating.
+    """
+
+    __slots__ = (
+        "op_type", "key", "on_done", "lock_token", "started_at", "value",
+        "stage", "attempts", "request_id", "txid", "quorum",
+        "version_quorum", "replies", "versions", "votes", "acks",
+        "write_timestamp", "timeout_handle", "finished", "write_system",
+        "lock_granted", "preselected", "preselected_epoch", "skip_version",
+        "copy_read", "trace_id", "op_span", "lock_span", "attempt_span",
+        "phase_span",
+    )
+
+    def __init__(
+        self,
+        op_type: str,
+        key: Any,
+        on_done: DoneCallback,
+        lock_token: int,
+        started_at: float,
+        value: Any = None,
+        stage: _Stage = _Stage.READ,
+        write_system: QuorumSystem | None = None,
+        copy_read: bool = False,
+        skip_version: bool = False,
+        # Batching: a pre-selected read quorum for the first attempt
+        # (shared across a flush), valid only while the liveness epoch is
+        # unchanged.
+        preselected: frozenset[int] | None = None,
+        preselected_epoch: int | None = None,
+        finished: bool = False,
+    ) -> None:
+        self.op_type = op_type
+        self.key = key
+        self.on_done = on_done
+        self.lock_token = lock_token
+        self.started_at = started_at
+        self.value = value
+        self.stage = stage
+        self.attempts = 0
+        self.request_id = 0
+        self.txid = 0
+        self.quorum = frozenset()
+        self.version_quorum = frozenset()
+        self.replies: dict[int, ReadReply] = {}
+        if op_type == "read":
+            self.versions = None
+            self.votes = None
+            self.acks = None
+        else:
+            self.versions: dict[int, Timestamp] = {}
+            self.votes: dict[int, bool] = {}
+            self.acks: set[int] = set()
+        self.write_timestamp: Timestamp | None = None
+        self.timeout_handle: EventHandle | None = None
+        self.finished = finished
+        self.write_system = write_system
+        self.lock_granted = False
+        self.preselected = preselected
+        self.preselected_epoch = preselected_epoch
+        # Batching: derive the write timestamp from the shared version
+        # floor instead of running the version round (safe for every
+        # same-key write after the first in a flush — see the module
+        # docstring).
+        self.skip_version = skip_version
+        # Reconfiguration copy: run a read phase under the exclusive lock
+        # and re-write the dominant value, as ONE atomic operation.
+        self.copy_read = copy_read
+        # Trace span ids (0 = no span; only set when a recorder is enabled).
+        self.trace_id = 0
+        self.op_span = 0
+        self.lock_span = 0
+        self.attempt_span = 0
+        self.phase_span = 0
+
+
+def _reply_sort_key(reply: ReadReply) -> tuple[int, int]:
+    """Dominance order for read replies (module-level: ``max`` over a
+    quorum's replies runs once per completed read, and a named function
+    beats allocating the equivalent lambda each time)."""
+    return reply.timestamp.sort_key()
 
 
 @dataclass(slots=True)
@@ -262,6 +365,10 @@ class QuorumCoordinator:
             raise ValueError("batch window cannot be negative")
         self.sid = sid
         self._network = network
+        #: The simulation scheduler, resolved once: internal hot paths read
+        #: ``self._scheduler.now`` directly instead of chaining through two
+        #: properties (coordinator.scheduler -> network.scheduler) per probe.
+        self._scheduler = network.scheduler
         self._system = system
         self._locks = locks
         self._detector = detector
@@ -273,6 +380,11 @@ class QuorumCoordinator:
         self._max_attempts = max_attempts
         self._writer_id = writer_id
         self._recorder = recorder
+        # Hoisted recorder guard: the per-run recorder never flips
+        # enabled mid-run, so every span/count call site branches on one
+        # cached bool instead of paying a method call + attribute chain
+        # to discover the no-op recorder.
+        self._trace_enabled = recorder.enabled
         self._tx_ids = tx_ids or TransactionIdSource()
         self._by_request: dict[int, _OpContext] = {}
         self._by_txid: dict[int, _OpContext] = {}
@@ -332,8 +444,18 @@ class QuorumCoordinator:
         self._live_cache: tuple[int, ...] | None = None
         self._live_cache_epoch: int | None = None
         self._live_mask: int | None = None
+        # Quorum -> sorted members.  Selected quorums are flyweights (the
+        # selection index materialises each one once), so fan-outs hit
+        # this cache instead of re-sorting the same frozenset on every
+        # phase of every operation.  Bounded by the number of distinct
+        # quorums ever selected; sorted order never changes, so entries
+        # survive reconfiguration unharmed.
+        self._sorted_members: dict[frozenset[int], list[int]] = {}
         self._rebuild_selector()
         network.register(sid, self)
+
+    #: Endpoint-protocol liveness: coordinators do not fail in this model.
+    up = True
 
     @property
     def is_up(self) -> bool:
@@ -472,7 +594,7 @@ class QuorumCoordinator:
             return system.select_write_quorum(self._detector, self._rng)
         suspects = self._suspects
         avoid: frozenset[int] = (
-            suspects.suspected(self.scheduler.now)
+            suspects.suspected(self._scheduler.now)
             if suspects is not None
             else frozenset()
         )
@@ -549,7 +671,7 @@ class QuorumCoordinator:
         coordinator is paused (a quiescent migration window), the
         submission is deferred whole and replayed at :meth:`resume`.
         """
-        self._submit_read(key, on_done, self.scheduler.now)
+        self._submit_read(key, on_done, self._scheduler.now)
 
     def _submit_read(
         self, key: Any, on_done: DoneCallback, submitted_at: float
@@ -590,21 +712,22 @@ class QuorumCoordinator:
             on_done=on_done,
             lock_token=self._tx_ids.next_id(),
             started_at=(
-                self.scheduler.now if started_at is None else started_at
+                self._scheduler.now if started_at is None else started_at
             ),
             stage=_Stage.READ,
         )
-        self._trace_operation_start(ctx, LockMode.SHARED)
+        if self._trace_enabled:
+            self._trace_operation_start(ctx, LockMode.SHARED)
         self._locks.acquire(
             ctx.lock_token,
             key,
             LockMode.SHARED,
-            lambda granted: self._lock_decided(ctx, granted),
+            partial(self._lock_decided, ctx),
         )
 
     def write(self, key: Any, value: Any, on_done: DoneCallback) -> None:
         """Issue a quorum write; ``on_done`` fires exactly once."""
-        self._submit_write(key, value, on_done, self.scheduler.now)
+        self._submit_write(key, value, on_done, self._scheduler.now)
 
     def _submit_write(
         self, key: Any, value: Any, on_done: DoneCallback, submitted_at: float
@@ -697,17 +820,18 @@ class QuorumCoordinator:
             key=key,
             on_done=on_done,
             lock_token=self._tx_ids.next_id(),
-            started_at=self.scheduler.now,
+            started_at=self._scheduler.now,
             stage=_Stage.READ,
             write_system=write_system,
             copy_read=True,
         )
-        self._trace_operation_start(ctx, LockMode.EXCLUSIVE)
+        if self._trace_enabled:
+            self._trace_operation_start(ctx, LockMode.EXCLUSIVE)
         self._locks.acquire(
             ctx.lock_token,
             key,
             LockMode.EXCLUSIVE,
-            lambda granted: self._lock_decided(ctx, granted),
+            partial(self._lock_decided, ctx),
         )
 
     def write_with_system(
@@ -742,17 +866,18 @@ class QuorumCoordinator:
             on_done=on_done,
             lock_token=self._tx_ids.next_id(),
             started_at=(
-                self.scheduler.now if started_at is None else started_at
+                self._scheduler.now if started_at is None else started_at
             ),
             stage=_Stage.VERSION,
             write_system=write_system,
         )
-        self._trace_operation_start(ctx, LockMode.EXCLUSIVE)
+        if self._trace_enabled:
+            self._trace_operation_start(ctx, LockMode.EXCLUSIVE)
         self._locks.acquire(
             ctx.lock_token,
             key,
             LockMode.EXCLUSIVE,
-            lambda granted: self._lock_decided(ctx, granted),
+            partial(self._lock_decided, ctx),
         )
 
     # ------------------------------------------------------------------
@@ -767,7 +892,7 @@ class QuorumCoordinator:
         if entry is None:
             return False
         self._in_flight += 1
-        now = self.scheduler.now
+        now = self._scheduler.now
         outcome = OperationOutcome(
             op_type="read",
             key=key,
@@ -782,12 +907,15 @@ class QuorumCoordinator:
             leased=True,
         )
 
-        def serve() -> None:
-            self._in_flight -= 1
-            on_done(outcome)
-
-        self.scheduler.schedule(0.0, serve)
+        self._scheduler.call_later(0.0, self._deliver_leased, (on_done, outcome))
         return True
+
+    def _deliver_leased(
+        self, pending: tuple[DoneCallback, OperationOutcome]
+    ) -> None:
+        on_done, outcome = pending
+        self._in_flight -= 1
+        on_done(outcome)
 
     # ------------------------------------------------------------------
     # operation batching
@@ -798,7 +926,7 @@ class QuorumCoordinator:
         self._in_flight += 1
         self._batch.append(op)
         if self._batch_handle is None:
-            self._batch_handle = self.scheduler.schedule(
+            self._batch_handle = self._scheduler.schedule(
                 self._batch_window, self._flush_batch
             )
 
@@ -854,7 +982,7 @@ class QuorumCoordinator:
         entry = self._leases.lookup(key)
         if entry is None:
             return False
-        now = self.scheduler.now
+        now = self._scheduler.now
         self._in_flight -= len(reads)
         for op in reads:
             op.on_done(
@@ -891,7 +1019,7 @@ class QuorumCoordinator:
             # first waiter); settle the coalesced remainder here.
             self._in_flight -= extra
             for on_done, started_at in zip(callbacks, starts):
-                on_done(replace(outcome, started_at=started_at))
+                on_done(outcome.with_started_at(started_at))
 
         ctx = _OpContext(
             op_type="read",
@@ -903,12 +1031,13 @@ class QuorumCoordinator:
             preselected=quorum,
             preselected_epoch=epoch,
         )
-        self._trace_operation_start(ctx, LockMode.SHARED)
+        if self._trace_enabled:
+            self._trace_operation_start(ctx, LockMode.SHARED)
         self._locks.acquire(
             ctx.lock_token,
             key,
             LockMode.SHARED,
-            lambda granted: self._lock_decided(ctx, granted),
+            partial(self._lock_decided, ctx),
         )
 
     def _issue_batched_write(self, op: _BatchedOp, skip_version: bool) -> None:
@@ -923,12 +1052,13 @@ class QuorumCoordinator:
             stage=_Stage.VERSION,
             skip_version=skip_version,
         )
-        self._trace_operation_start(ctx, LockMode.EXCLUSIVE)
+        if self._trace_enabled:
+            self._trace_operation_start(ctx, LockMode.EXCLUSIVE)
         self._locks.acquire(
             ctx.lock_token,
             op.key,
             LockMode.EXCLUSIVE,
-            lambda granted: self._lock_decided(ctx, granted),
+            partial(self._lock_decided, ctx),
         )
 
     # ------------------------------------------------------------------
@@ -939,7 +1069,7 @@ class QuorumCoordinator:
         recorder = self._recorder
         if not recorder.enabled:
             return
-        now = self.scheduler.now
+        now = self._scheduler.now
         ctx.trace_id = ctx.op_span = recorder.start_trace(
             ctx.op_type, now, key=str(ctx.key), coordinator=self.sid
         )
@@ -952,7 +1082,7 @@ class QuorumCoordinator:
         recorder = self._recorder
         if not recorder.enabled:
             return
-        now = self.scheduler.now
+        now = self._scheduler.now
         if ctx.phase_span:
             recorder.end_span(ctx.phase_span, now)
             ctx.phase_span = 0
@@ -968,7 +1098,7 @@ class QuorumCoordinator:
     def _end_phase(self, ctx: _OpContext, status: str = STATUS_OK) -> None:
         if ctx.phase_span:
             self._recorder.end_span(
-                ctx.phase_span, self.scheduler.now, status=status
+                ctx.phase_span, self._scheduler.now, status=status
             )
             ctx.phase_span = 0
 
@@ -978,7 +1108,7 @@ class QuorumCoordinator:
             return
         self._end_phase(ctx, status=status)
         if ctx.attempt_span:
-            recorder.end_span(ctx.attempt_span, self.scheduler.now, status=status)
+            recorder.end_span(ctx.attempt_span, self._scheduler.now, status=status)
             ctx.attempt_span = 0
 
     # ------------------------------------------------------------------
@@ -989,7 +1119,7 @@ class QuorumCoordinator:
         ctx.lock_granted = granted
         if ctx.lock_span:
             self._recorder.end_span(
-                ctx.lock_span, self.scheduler.now,
+                ctx.lock_span, self._scheduler.now,
                 status=STATUS_OK if granted else FailureReason.LOCK_TIMEOUT.value,
             )
             ctx.lock_span = 0
@@ -1026,18 +1156,20 @@ class QuorumCoordinator:
             return
         ctx.attempts += 1
         ctx.replies.clear()
-        ctx.versions.clear()
-        ctx.votes.clear()
-        # Stale commit acknowledgements must not leak into the next
-        # attempt: a fresh attempt selects a fresh quorum, and acks from an
-        # earlier one would let ``_on_ack`` complete the commit early.
-        ctx.acks.clear()
+        if ctx.op_type != "read":
+            ctx.versions.clear()
+            ctx.votes.clear()
+            # Stale commit acknowledgements must not leak into the next
+            # attempt: a fresh attempt selects a fresh quorum, and acks
+            # from an earlier one would let ``_on_ack`` complete the
+            # commit early.
+            ctx.acks.clear()
         recorder = self._recorder
         if recorder.enabled:
             self._close_attempt(ctx)
             ctx.attempt_span = recorder.start_span(
                 ctx.trace_id, ctx.op_span, "attempt", SpanKind.ATTEMPT,
-                self.scheduler.now, op=ctx.op_type, number=ctx.attempts,
+                self._scheduler.now, op=ctx.op_type, number=ctx.attempts,
             )
         if ctx.op_type == "read" or ctx.copy_read:
             # Copy operations restart from their read phase on every
@@ -1079,7 +1211,7 @@ class QuorumCoordinator:
                 delay = policy_delay
         recorder = self._recorder
         if recorder.enabled:
-            now = self.scheduler.now
+            now = self._scheduler.now
             span = recorder.start_span(
                 ctx.trace_id, ctx.attempt_span or ctx.op_span,
                 "unavailable_defer", SpanKind.DEFER, now, op=ctx.op_type,
@@ -1088,21 +1220,22 @@ class QuorumCoordinator:
                 span, now + delay,
                 status=FailureReason.UNAVAILABLE.value,
             )
-        self.scheduler.schedule(
-            delay,
-            lambda: self._retry_or_fail(ctx, FailureReason.UNAVAILABLE),
-        )
+        self._scheduler.call_later(delay, self._retry_unavailable, ctx)
+
+    def _retry_unavailable(self, ctx: _OpContext) -> None:
+        self._retry_or_fail(ctx, FailureReason.UNAVAILABLE)
 
     def _retry_or_fail(self, ctx: _OpContext, reason: FailureReason) -> None:
         if ctx.finished:
             return
-        self._close_attempt(ctx, status=reason.value)
+        if self._trace_enabled:
+            self._close_attempt(ctx, status=reason.value)
         if ctx.attempts >= self._max_attempts:
             self._finish(ctx, success=False, reason=reason)
             return
         if self._recorder.enabled:
             self._recorder.event(
-                ctx.trace_id, ctx.op_span, "retry", self.scheduler.now,
+                ctx.trace_id, ctx.op_span, "retry", self._scheduler.now,
                 op=ctx.op_type, reason=reason.value, attempt=ctx.attempts,
             )
         # The unavailability path already charged its delay in
@@ -1118,21 +1251,30 @@ class QuorumCoordinator:
             self._start_attempt(ctx)
             return
         if self._recorder.enabled:
-            now = self.scheduler.now
+            now = self._scheduler.now
             span = self._recorder.start_span(
                 ctx.trace_id, ctx.op_span, "backoff", SpanKind.DEFER, now,
                 op=ctx.op_type, attempt=ctx.attempts,
             )
             self._recorder.end_span(span, now + delay)
-        self.scheduler.schedule(delay, lambda: self._start_attempt(ctx))
+        self._scheduler.call_later(delay, self._start_attempt, ctx)
 
     def _arm_timeout(self, ctx: _OpContext) -> None:
-        self._cancel_timeout(ctx)
-        attempt = ctx.attempts
-        stage = ctx.stage
-        ctx.timeout_handle = self.scheduler.schedule(
-            self._timeout, lambda: self._on_timeout(ctx, attempt, stage)
+        handle = ctx.timeout_handle
+        if handle is not None:  # _cancel_timeout, inlined (armed per phase)
+            handle.cancel()
+        # A tuple argument instead of a closure: the timeout is armed once
+        # per protocol phase, and (ctx, attempt, stage) pins which phase
+        # it guards so a late firing after a retry is recognisably stale.
+        ctx.timeout_handle = self._scheduler.schedule(
+            self._timeout, self._fire_timeout, (ctx, ctx.attempts, ctx.stage)
         )
+
+    def _fire_timeout(
+        self, armed: tuple[_OpContext, int, _Stage]
+    ) -> None:
+        ctx, attempt, stage = armed
+        self._on_timeout(ctx, attempt, stage)
 
     def _cancel_timeout(self, ctx: _OpContext) -> None:
         if ctx.timeout_handle is not None:
@@ -1156,7 +1298,7 @@ class QuorumCoordinator:
         if self._recorder.enabled:
             self._recorder.event(
                 ctx.trace_id, ctx.attempt_span or ctx.op_span, "timeout",
-                self.scheduler.now, op=ctx.op_type, stage=stage.value,
+                self._scheduler.now, op=ctx.op_type, stage=stage.value,
                 attempt=attempt,
             )
         if self._suspects is not None and stage is not _Stage.COMMIT:
@@ -1165,7 +1307,7 @@ class QuorumCoordinator:
             # from future selections by the liveness oracle, but stragglers
             # and flaky links look exactly like this.
             self._suspects.record_timeout(
-                sorted(self._pending_members(ctx, stage)), self.scheduler.now
+                sorted(self._pending_members(ctx, stage)), self._scheduler.now
             )
         if stage is _Stage.COMMIT:
             self._continue_commit(ctx)
@@ -1199,7 +1341,7 @@ class QuorumCoordinator:
         if recorder.enabled:
             self._close_attempt(ctx)
             recorder.end_span(
-                ctx.op_span, self.scheduler.now, status=STATUS_OK,
+                ctx.op_span, self._scheduler.now, status=STATUS_OK,
                 attempts=ctx.attempts, quorum=0, version_quorum=0,
             )
         ctx.on_done(
@@ -1213,7 +1355,7 @@ class QuorumCoordinator:
                 version_quorum=frozenset(),
                 attempts=ctx.attempts,
                 started_at=ctx.started_at,
-                finished_at=self.scheduler.now,
+                finished_at=self._scheduler.now,
                 leased=True,
             )
         )
@@ -1230,19 +1372,25 @@ class QuorumCoordinator:
             return
         ctx.finished = True
         self._in_flight -= 1
-        self._cancel_timeout(ctx)
-        self._unregister(ctx)
+        # _cancel_timeout + _unregister, inlined: this tail runs once per
+        # operation and the two call frames are measurable at bench scale.
+        handle = ctx.timeout_handle
+        if handle is not None:
+            handle.cancel()
+            ctx.timeout_handle = None
+        self._by_request.pop(ctx.request_id, None)
+        self._by_txid.pop(ctx.txid, None)
         # Only release a lock that was actually granted: on the
         # LOCK_TIMEOUT path the request was denied while still queued, so
         # there is nothing to release.
         if ctx.lock_granted:
             self._locks.release(ctx.lock_token, ctx.key)
-        recorder = self._recorder
-        if recorder.enabled:
+        if self._trace_enabled:
+            recorder = self._recorder
             status = STATUS_OK if success else reason.value
             self._close_attempt(ctx, status=status)
             recorder.end_span(
-                ctx.op_span, self.scheduler.now, status=status,
+                ctx.op_span, self._scheduler.now, status=status,
                 attempts=ctx.attempts, quorum=len(ctx.quorum),
                 version_quorum=len(ctx.version_quorum),
             )
@@ -1261,7 +1409,7 @@ class QuorumCoordinator:
             version_quorum=ctx.version_quorum,
             attempts=ctx.attempts,
             started_at=ctx.started_at,
-            finished_at=self.scheduler.now,
+            finished_at=self._scheduler.now,
             reason=reason if not success else FailureReason.NONE,
             failed_stage="" if success else ctx.stage.value,
         )
@@ -1293,25 +1441,36 @@ class QuorumCoordinator:
             return
         ctx.stage = _Stage.READ
         ctx.quorum = quorum
-        self._begin_phase(ctx, "read", len(quorum))
+        if self._trace_enabled:
+            self._begin_phase(ctx, "read", len(quorum))
         ctx.request_id = self._tx_ids.next_id()
         self._by_request[ctx.request_id] = ctx
         self._arm_timeout(ctx)
         sid = self.sid
         request_id = ctx.request_id
         key = ctx.key
+        members = self._sorted_members.get(quorum)
+        if members is None:
+            members = self._sorted_members[quorum] = sorted(quorum)
+        # Positional: (src, dst, key, request_id) — the fan-out's
+        # allocation rate makes keyword binding measurable.
         self._network.broadcast([
-            ReadRequest(src=sid, dst=member, key=key, request_id=request_id)
-            for member in sorted(quorum)
+            ReadRequest(sid, member, key, request_id)
+            for member in members
         ])
 
     def _on_read_reply(self, ctx: _OpContext, message: ReadReply) -> None:
+        # Completeness by count: replies are keyed by sender and can only
+        # come from the current attempt's quorum (the request id routing
+        # a reply here is fresh per attempt and was only ever sent to
+        # quorum members; duplicates overwrite in place), so
+        # ``len(replies) == len(quorum)`` iff every member answered — no
+        # per-reply set materialisation needed.  Same argument for the
+        # version/vote/ack tallies below (txids are fresh per attempt).
         ctx.replies[message.src] = message
-        if set(ctx.replies) < ctx.quorum:
+        if len(ctx.replies) < len(ctx.quorum):
             return
-        best = max(
-            ctx.replies.values(), key=lambda reply: reply.timestamp.sort_key()
-        )
+        best = max(ctx.replies.values(), key=_reply_sort_key)
         if ctx.copy_read:
             self._copy_read_complete(ctx, best)
             return
@@ -1327,7 +1486,8 @@ class QuorumCoordinator:
         commit in between.
         """
         self._cancel_timeout(ctx)
-        self._end_phase(ctx)
+        if ctx.phase_span:
+            self._end_phase(ctx)
         self._by_request.pop(ctx.request_id, None)
         if best.value is None:
             # Never written: nothing to transfer (and nothing a lease or
@@ -1370,24 +1530,30 @@ class QuorumCoordinator:
             return
         ctx.stage = _Stage.VERSION
         ctx.version_quorum = quorum
-        self._begin_phase(ctx, "version", len(quorum))
+        if self._trace_enabled:
+            self._begin_phase(ctx, "version", len(quorum))
         ctx.request_id = self._tx_ids.next_id()
         self._by_request[ctx.request_id] = ctx
         self._arm_timeout(ctx)
         sid = self.sid
         request_id = ctx.request_id
         key = ctx.key
+        members = self._sorted_members.get(quorum)
+        if members is None:
+            members = self._sorted_members[quorum] = sorted(quorum)
+        # Positional: (src, dst, key, request_id).
         self._network.broadcast([
-            VersionRequest(src=sid, dst=member, key=key, request_id=request_id)
-            for member in sorted(quorum)
+            VersionRequest(sid, member, key, request_id)
+            for member in members
         ])
 
     def _on_version_reply(self, ctx: _OpContext, message: VersionReply) -> None:
         ctx.versions[message.src] = message.timestamp
-        if set(ctx.versions) < ctx.version_quorum:
+        if len(ctx.versions) < len(ctx.version_quorum):
             return
         self._cancel_timeout(ctx)
-        self._end_phase(ctx)
+        if ctx.phase_span:
+            self._end_phase(ctx)
         observed = dominant(list(ctx.versions.values()))
         floor = self._version_floor.get(ctx.key, ZERO_TIMESTAMP)
         current = observed if observed.version >= floor.version else floor
@@ -1407,18 +1573,21 @@ class QuorumCoordinator:
         assert ctx.write_timestamp is not None
         ctx.stage = _Stage.PREPARE
         ctx.quorum = quorum
-        self._begin_phase(ctx, "prepare", len(quorum))
+        if self._trace_enabled:
+            self._begin_phase(ctx, "prepare", len(quorum))
         ctx.txid = self._tx_ids.next_id()
         self._by_txid[ctx.txid] = ctx
         self._arm_timeout(ctx)
         sid = self.sid
+        members = self._sorted_members.get(quorum)
+        if members is None:
+            members = self._sorted_members[quorum] = sorted(quorum)
+        # Positional: (src, dst, txid, key, value, timestamp).
         self._network.broadcast([
             PrepareMessage(
-                src=sid, dst=member,
-                txid=ctx.txid, key=ctx.key,
-                value=ctx.value, timestamp=ctx.write_timestamp,
+                sid, member, ctx.txid, ctx.key, ctx.value, ctx.write_timestamp
             )
-            for member in sorted(quorum)
+            for member in members
         ])
 
     def _on_vote(self, ctx: _OpContext, message: VoteMessage) -> None:
@@ -1429,7 +1598,7 @@ class QuorumCoordinator:
             self._broadcast_decision(ctx, commit=False)
             self._retry_or_fail(ctx, FailureReason.VOTE_REFUSED)
             return
-        if set(ctx.votes) < ctx.quorum:
+        if len(ctx.votes) < len(ctx.quorum):
             return
         # Decision reached: the write is now durable (commit logged), but the
         # exclusive lock is held until every live quorum member has applied
@@ -1438,14 +1607,15 @@ class QuorumCoordinator:
         assert ctx.write_timestamp is not None
         self._version_floor[ctx.key] = ctx.write_timestamp
         ctx.stage = _Stage.COMMIT
-        self._begin_phase(ctx, "commit", len(ctx.quorum))
+        if self._trace_enabled:
+            self._begin_phase(ctx, "commit", len(ctx.quorum))
         self._arm_timeout(ctx)
 
     def _on_ack(self, ctx: _OpContext, message: AckMessage) -> None:
         if not message.committed:
             return  # stale abort-acks from earlier attempts
         ctx.acks.add(message.src)
-        if ctx.acks >= ctx.quorum:
+        if len(ctx.acks) >= len(ctx.quorum):
             self._complete_commit(ctx)
 
     def _continue_commit(self, ctx: _OpContext) -> None:
@@ -1466,17 +1636,17 @@ class QuorumCoordinator:
         if self._suspects is not None:
             # Live-but-silent quorum members holding up the commit phase
             # are straggler evidence too.
-            self._suspects.record_timeout(sorted(pending), self.scheduler.now)
+            self._suspects.record_timeout(sorted(pending), self._scheduler.now)
         if self._recorder.enabled:
             self._recorder.event(
                 ctx.trace_id, ctx.attempt_span or ctx.op_span,
-                "commit_retransmit", self.scheduler.now, op=ctx.op_type,
+                "commit_retransmit", self._scheduler.now, op=ctx.op_type,
                 pending=len(pending),
             )
         sid = self.sid
         txid = ctx.txid
         self._network.broadcast([
-            CommitMessage(src=sid, dst=member, txid=txid)
+            CommitMessage(sid, member, txid)
             for member in sorted(pending)
         ])
         self._arm_timeout(ctx)
@@ -1493,9 +1663,14 @@ class QuorumCoordinator:
         sid = self.sid
         txid = ctx.txid
         message_type = CommitMessage if commit else AbortMessage
+        quorum = ctx.quorum
+        members = self._sorted_members.get(quorum)
+        if members is None:
+            members = self._sorted_members[quorum] = sorted(quorum)
+        # Positional: (src, dst, txid).
         self._network.broadcast([
-            message_type(src=sid, dst=member, txid=txid)
-            for member in sorted(ctx.quorum)
+            message_type(sid, member, txid)
+            for member in members
         ])
 
     def _on_decision_request(self, message: DecisionRequest) -> None:
@@ -1535,7 +1710,7 @@ class QuorumCoordinator:
                 # A replica asking for a past decision is running
                 # recovery: it is certainly alive right now.
                 if self._suspects is not None and message.src >= 0:
-                    self._suspects.exonerate(message.src, self.scheduler.now)
+                    self._suspects.exonerate(message.src, self._scheduler.now)
                 self._on_decision_request(message)
                 return
             raise TypeError(
@@ -1546,5 +1721,5 @@ class QuorumCoordinator:
         if ctx is None or ctx.stage is not stage:
             return
         if self._suspects is not None and message.src >= 0:
-            self._suspects.exonerate(message.src, self.scheduler.now)
+            self._suspects.exonerate(message.src, self._scheduler.now)
         handler(ctx, message)

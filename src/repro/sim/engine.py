@@ -308,7 +308,7 @@ def build_replica_group(
     # client's write must revoke the lease every other client would
     # otherwise serve reads from.
     leases = (
-        LeaseCache(epoch=lambda: network.liveness_epoch)
+        LeaseCache(epoch=network.current_liveness_epoch)
         if config.leases
         else None
     )
@@ -322,7 +322,7 @@ def build_replica_group(
             # of a partition is indistinguishable from a crashed one
             # (Section 2.2 treats partitioning as a special case of site
             # and link failures).
-            return sites[sid].is_up and network.reachable(_csid, sid)
+            return sites[sid].up and network.reachable(_csid, sid)
 
         # The coordinator's own seed is drawn unconditionally (legacy
         # stream); the retry-policy jitter seed is drawn *only* when a
@@ -348,7 +348,7 @@ def build_replica_group(
                 tx_ids=tx_ids,
                 version_floor=version_floor,
                 recorder=recorder,
-                liveness_epoch=lambda: network.liveness_epoch,
+                liveness_epoch=network.current_liveness_epoch,
                 retry_policy=retry_policy,
                 suspects=suspects,
                 selector=shared_selector,
@@ -429,20 +429,24 @@ def run_workload(
     :func:`repro.shard.store.simulate_sharded`.
     """
     operations = workload.spec.operations
+    # The completion hook halts the scheduler's inlined drain loop the
+    # instant the last outcome reports, so the loop never pays a
+    # per-event completion poll.  A workload that completes before the
+    # loop starts (zero operations) leaves the stop pending and run()
+    # consumes it without executing anything.
+    workload.add_on_complete(scheduler.stop)
     workload.start()
-    executed = 0
-    while workload.completed < operations:
+    executed = scheduler.run(max_events=max_events)
+    if workload.completed < operations:
         if executed >= max_events:
             raise RuntimeError(
                 f"simulation exceeded {max_events} events "
                 f"({workload.completed}/{operations} ops done)"
             )
-        if not scheduler.step():
-            raise RuntimeError(
-                "event queue drained before the workload completed "
-                f"({workload.completed}/{operations} ops done)"
-            )
-        executed += 1
+        raise RuntimeError(
+            "event queue drained before the workload completed "
+            f"({workload.completed}/{operations} ops done)"
+        )
     return executed
 
 

@@ -5,15 +5,29 @@ times and executed in (time, insertion-order) order, so two events at the
 same instant fire in the order they were scheduled — this makes every
 simulation run bit-for-bit reproducible for a fixed RNG seed.
 
-Queue entries are plain three-slot lists ``[time, sequence, callback]``
+Queue entries are plain four-slot lists ``[time, sequence, callback, arg]``
 rather than dataclass instances: the scheduler is the simulator's inner
 ring (every message delivery and timeout passes through it), and list
 construction + elementwise comparison is measurably cheaper than object
 allocation with ``__lt__`` dispatch.  The unique, monotonically
 increasing sequence number guarantees heap comparisons never reach the
 (incomparable) callback slot and preserves the insertion-order tie-break.
-Cancellation clears the callback slot in place (``entry[2] = None``) —
-no tombstone flag, no handle bookkeeping beyond the shared list.
+
+The ``arg`` slot lets hot callers schedule ``(callback, argument)`` pairs
+— a message delivery is ``(network._deliver, message)`` — instead of
+allocating a closure per event; :data:`_NO_ARG` marks a plain thunk.
+:meth:`Scheduler.call_later` is the handle-free variant for events that
+are never cancelled (the vast majority), skipping the
+:class:`EventHandle` allocation entirely.
+
+Cancellation clears the callback slot in place (``entry[_CALLBACK] =
+None``) — no tombstone flag, no handle bookkeeping beyond the shared
+list.  Cancelled entries used to stay in the heap until their time came
+up, which let schedule/cancel churn (lease revocation, retry timers)
+grow the heap without bound; the scheduler now counts them and compacts
+the queue in place — filter + ``heapify``, order-preserving because
+(time, sequence) is a total order — once at least
+:data:`_COMPACT_MIN_CANCELLED` cancelled entries make up half the queue.
 """
 
 from __future__ import annotations
@@ -22,23 +36,39 @@ import heapq
 from collections.abc import Callable
 from typing import Any
 
-# Entry slots: [time, sequence, callback-or-None].
+# Entry slots: [time, sequence, callback-or-None, arg].
 _TIME = 0
 _SEQ = 1
 _CALLBACK = 2
+_ARG = 3
+
+#: Sentinel ``arg`` meaning "call the callback with no argument at all".
+#: (``None`` is a legitimate argument value, so identity is the test.)
+_NO_ARG = object()
+
+#: Compaction trigger: rebuild the queue in place once at least this many
+#: cancelled entries make up >= half of it.  The floor keeps tiny queues
+#: from compacting on every other cancel; the fraction bounds the heap at
+#: ~2x its live size under any schedule/cancel churn pattern.
+_COMPACT_MIN_CANCELLED = 64
 
 
 class EventHandle:
     """Handle returned by :meth:`Scheduler.schedule`; allows cancellation."""
 
-    __slots__ = ("_entry",)
+    __slots__ = ("_scheduler", "_entry")
 
-    def __init__(self, entry: list) -> None:
+    def __init__(self, scheduler: "Scheduler", entry: list) -> None:
+        self._scheduler = scheduler
         self._entry = entry
 
     def cancel(self) -> None:
         """Prevent the event from firing (no-op if it already fired)."""
-        self._entry[_CALLBACK] = None
+        entry = self._entry
+        if entry[_CALLBACK] is not None:
+            entry[_CALLBACK] = None
+            entry[_ARG] = None
+            self._scheduler._note_cancelled()
 
     @property
     def time(self) -> float:
@@ -54,6 +84,8 @@ class Scheduler:
         self._sequence = 0
         self._now = 0.0
         self._processed = 0
+        self._cancelled = 0
+        self._stopped = False
 
     @property
     def now(self) -> float:
@@ -70,22 +102,102 @@ class Scheduler:
         """Number of events still queued (including cancelled ones)."""
         return len(self._queue)
 
+    @property
+    def cancelled_events(self) -> int:
+        """Cancelled entries currently dead in the queue (introspection)."""
+        return self._cancelled
+
     def schedule(
-        self, delay: float, callback: Callable[[], Any]
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        arg: Any = _NO_ARG,
     ) -> EventHandle:
-        """Run ``callback`` after ``delay`` simulated time units."""
+        """Run ``callback`` (with ``arg``, if given) after ``delay`` units."""
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
-        entry = [self._now + delay, self._sequence, callback]
+        entry = [self._now + delay, self._sequence, callback, arg]
         self._sequence += 1
         heapq.heappush(self._queue, entry)
-        return EventHandle(entry)
+        return EventHandle(self, entry)
 
     def schedule_at(
-        self, time: float, callback: Callable[[], Any]
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        arg: Any = _NO_ARG,
     ) -> EventHandle:
         """Run ``callback`` at absolute simulation time ``time``."""
-        return self.schedule(time - self._now, callback)
+        return self.schedule(time - self._now, callback, arg)
+
+    def call_later(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        arg: Any = _NO_ARG,
+    ) -> None:
+        """Handle-free :meth:`schedule` for events that are never cancelled.
+
+        The inner ring's workhorse: message deliveries and lock grants are
+        fire-and-forget, so skipping the :class:`EventHandle` allocation
+        (and the cancel bookkeeping it implies) is pure profit.
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(
+            self._queue, [self._now + delay, self._sequence, callback, arg]
+        )
+        self._sequence += 1
+
+    def call_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        arg: Any = _NO_ARG,
+    ) -> None:
+        """Handle-free :meth:`schedule_at` (see :meth:`call_later`).
+
+        Computes the entry time as ``now + (time - now)`` — the same
+        float round-trip :meth:`schedule_at` performs — so switching a
+        call site between the two can never perturb event ordering.
+        """
+        delay = time - self._now
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(
+            self._queue, [self._now + delay, self._sequence, callback, arg]
+        )
+        self._sequence += 1
+
+    def stop(self) -> None:
+        """Make the innermost :meth:`run` loop return after the current event.
+
+        Consumed by the next (or current) :meth:`run` call; :meth:`step`
+        ignores it.  This is how a workload's completion callback halts
+        the drain loop without per-event completion polling.
+        """
+        self._stopped = True
+
+    def _note_cancelled(self) -> None:
+        """Count a cancellation and compact the queue when dominated by dead
+        entries.
+
+        In-place (``queue[:] =``) so a :meth:`run` loop holding a local
+        reference keeps seeing the live queue; ``heapify`` may reorder the
+        internal array but pop order is fixed by the (time, sequence)
+        total order, so execution order is untouched.
+        """
+        self._cancelled += 1
+        queue = self._queue
+        if (
+            self._cancelled >= _COMPACT_MIN_CANCELLED
+            and self._cancelled * 2 >= len(queue)
+        ):
+            queue[:] = [
+                entry for entry in queue if entry[_CALLBACK] is not None
+            ]
+            heapq.heapify(queue)
+            self._cancelled = 0
 
     def step(self) -> bool:
         """Execute the next event; returns False when the queue is empty."""
@@ -94,32 +206,74 @@ class Scheduler:
             entry = heapq.heappop(queue)
             callback = entry[_CALLBACK]
             if callback is None:
+                self._cancelled -= 1
                 continue
+            # Clear the slot so a late cancel() of this entry stays a no-op
+            # for the cancelled-entry accounting.
+            entry[_CALLBACK] = None
             self._now = entry[_TIME]
             self._processed += 1
-            callback()
+            arg = entry[_ARG]
+            if arg is _NO_ARG:
+                callback()
+            else:
+                callback(arg)
             return True
         return False
 
-    def run(self, until: float | None = None, max_events: int | None = None) -> None:
-        """Drain the queue, optionally stopping at a time or event budget.
+    def run(
+        self, until: float | None = None, max_events: int | None = None
+    ) -> int:
+        """Drain the queue, optionally stopping at a time or event budget;
+        returns the number of events executed.
 
         ``until`` is an absolute simulation time: events scheduled strictly
-        later stay queued and the clock is advanced to ``until``.
+        later stay queued and the clock is advanced to ``until``.  A
+        pending :meth:`stop` — one requested while no run loop was active —
+        is consumed immediately without executing anything.
+
+        The pop/fire loop is inlined (rather than delegating to
+        :meth:`step`) because this *is* the simulator's inner ring: one
+        method call and one attribute load per event are measurable at
+        millions of events.
         """
+        if self._stopped:
+            self._stopped = False
+            return 0
         executed = 0
         queue = self._queue
+        pop = heapq.heappop
+        # Fold the two optional limits into always-comparable sentinels so
+        # the loop pays one comparison each instead of an ``is not None``
+        # test plus a comparison per event.  ``inf`` never triggers either
+        # branch, which is exactly the unlimited behaviour.
+        budget = float("inf") if max_events is None else max_events
+        horizon = float("inf") if until is None else until
         while queue:
-            if max_events is not None and executed >= max_events:
-                return
+            if executed >= budget:
+                return executed
             head = queue[0]
-            if head[_CALLBACK] is None:
-                heapq.heappop(queue)
+            callback = head[_CALLBACK]
+            if callback is None:
+                pop(queue)
+                self._cancelled -= 1
                 continue
-            if until is not None and head[_TIME] > until:
+            if head[_TIME] > horizon:
                 self._now = until
-                return
-            self.step()
+                return executed
+            pop(queue)
+            head[_CALLBACK] = None
+            self._now = head[_TIME]
+            self._processed += 1
+            arg = head[_ARG]
+            if arg is _NO_ARG:
+                callback()
+            else:
+                callback(arg)
             executed += 1
+            if self._stopped:
+                self._stopped = False
+                return executed
         if until is not None and until > self._now:
             self._now = until
+        return executed

@@ -64,7 +64,7 @@ class LeaseCache:
     ----------
     epoch:
         Zero-argument callable returning the current liveness epoch
-        (wire it to ``lambda: network.liveness_epoch``).  Entries granted
+        (wire it to ``network.current_liveness_epoch``).  Entries granted
         under an older epoch are treated as missing and dropped.
 
     The ``hits`` / ``misses`` / ``grants`` / ``invalidations`` /

@@ -185,12 +185,17 @@ class Monitor:
             summary.total_replicas_contacted += len(outcome.quorum) + len(
                 outcome.version_quorum
             )
-            summary.latencies.append(outcome.latency)
-            for sid in outcome.quorum:
-                touches[sid] += 1
+            # finished_at - started_at == outcome.latency, without the
+            # per-outcome property call on the monitor's hottest line.
+            summary.latencies.append(outcome.finished_at - outcome.started_at)
+            # Counter.update counts iterable elements in C — same result
+            # as a per-sid += 1 loop, measurably cheaper per outcome.
+            touches.update(outcome.quorum)
         else:
             summary.failed += 1
-            summary.failure_latencies.append(outcome.latency)
+            summary.failure_latencies.append(
+                outcome.finished_at - outcome.started_at
+            )
             summary.failure_reasons[outcome.reason.value] += 1
 
     def merge(self, other: "Monitor") -> "Monitor":

@@ -172,6 +172,11 @@ class Workload:
         self._arrival_rng: random.Random | None = None
         self._next_value = 0
         self._cum_weights = self._build_cum_weights()
+        #: key index -> interned "k<i>" name, filled on first use.  Under
+        #: a Zipf-skewed draw the hit rate is high and a dict probe beats
+        #: re-formatting the f-string on every operation; lazy (not a
+        #: prebuilt list) so million-key specs pay only for keys touched.
+        self._key_names: dict[int, str] = {}
 
     def _build_cum_weights(self) -> list[float] | None:
         """Cumulative Zipf weights, computed once per workload.
@@ -257,7 +262,10 @@ class Workload:
             return
         self._scheduled_arrivals += 1
         self._next_arrival_at += self._next_gap()
-        self._scheduler.schedule_at(self._next_arrival_at, self._arrive)
+        # call_at == schedule_at minus the EventHandle nobody keeps
+        # (arrivals are never cancelled); same float round-trip, so the
+        # event times are bit-identical.
+        self._scheduler.call_at(self._next_arrival_at, self._arrive)
 
     def _arrive(self) -> None:
         self._schedule_next_arrival()
@@ -281,13 +289,31 @@ class Workload:
                     _sink(outcome)
                     self._op_done(outcome)
         self._issued += 1
-        key = f"k{key_index}"
+        key = self._key_names.get(key_index)
+        if key is None:
+            key = self._key_names[key_index] = f"k{key_index}"
         if self._rng.random() < self._spec.read_fraction:
             coordinator.read(key, done)
         else:
             value = f"v{self._next_value}"
             self._next_value += 1
             coordinator.write(key, value, done)
+
+    def add_on_complete(self, callback: Callable[[], None]) -> None:
+        """Chain a completion hook (fires once, after any existing hook).
+
+        The engine uses this to stop the scheduler's drain loop the
+        instant the last outcome reports; chaining keeps any hook the
+        workload was constructed with intact.
+        """
+        prev = self._on_complete
+        if prev is None:
+            self._on_complete = callback
+        else:
+            def chained() -> None:
+                prev()
+                callback()
+            self._on_complete = chained
 
     def _op_done(self, outcome: OperationOutcome) -> None:
         self._completed += 1

@@ -1,5 +1,7 @@
 """Unit tests for the discrete-event scheduler."""
 
+import random
+
 import pytest
 
 from repro.sim.events import Scheduler
@@ -114,3 +116,190 @@ class TestRunControls:
         scheduler.schedule(2.0, lambda: fired.append(2))
         assert scheduler.step() is True
         assert fired == [1]
+
+    def test_stop_halts_run_and_leaves_queue(self):
+        scheduler = Scheduler()
+        fired = []
+        scheduler.schedule(1.0, lambda: (fired.append(1), scheduler.stop()))
+        scheduler.schedule(2.0, lambda: fired.append(2))
+        assert scheduler.run() == 1
+        assert fired == [1]
+        assert scheduler.pending_events == 1
+        # The flag was consumed: a fresh run drains the remainder.
+        assert scheduler.run() == 1
+        assert fired == [1, 2]
+
+    def test_pending_stop_consumed_without_draining(self):
+        scheduler = Scheduler()
+        fired = []
+        scheduler.schedule(1.0, lambda: fired.append(1))
+        scheduler.stop()  # requested outside any run loop
+        assert scheduler.run() == 0
+        assert fired == []
+        assert scheduler.run() == 1
+        assert fired == [1]
+
+
+class TestArgScheduling:
+    def test_schedule_passes_argument(self):
+        scheduler = Scheduler()
+        fired = []
+        scheduler.schedule(1.0, fired.append, "payload")
+        scheduler.run()
+        assert fired == ["payload"]
+
+    def test_none_is_a_legitimate_argument(self):
+        scheduler = Scheduler()
+        fired = []
+        scheduler.schedule(1.0, fired.append, None)
+        scheduler.run()
+        assert fired == [None]
+
+    def test_call_later_fires_without_handle(self):
+        scheduler = Scheduler()
+        fired = []
+        assert scheduler.call_later(1.0, fired.append, "x") is None
+        scheduler.call_later(2.0, lambda: fired.append("thunk"))
+        scheduler.run()
+        assert fired == ["x", "thunk"]
+
+    def test_call_later_negative_delay_rejected(self):
+        with pytest.raises(ValueError, match="past"):
+            Scheduler().call_later(-1.0, lambda: None)
+
+    def test_call_later_and_schedule_share_insertion_order(self):
+        scheduler = Scheduler()
+        fired = []
+        scheduler.call_later(1.0, fired.append, "a")
+        scheduler.schedule(1.0, fired.append, "b")
+        scheduler.call_later(1.0, fired.append, "c")
+        scheduler.run()
+        assert fired == ["a", "b", "c"]
+
+
+class TestCompaction:
+    def test_heap_bounded_under_cancel_churn(self):
+        """Regression: schedule/cancel churn must not grow the heap unbounded.
+
+        Each cycle mimics a retry timer: arm a far-future timeout, then
+        cancel it before it fires.  Before compaction the dead entries
+        accumulated until their (distant) times came up — 10_000 cycles
+        left ~10_000 corpses.  With in-place compaction the queue stays
+        within a small multiple of its live size.
+        """
+        scheduler = Scheduler()
+        alive = scheduler.schedule(1e9, lambda: None)  # one live sentinel
+        peak = 0
+        for _ in range(10_000):
+            handle = scheduler.schedule(1e6, lambda: None)
+            handle.cancel()
+            peak = max(peak, scheduler.pending_events)
+        assert peak < 300  # ~2x the compaction floor, not ~10_000
+        assert scheduler.pending_events < 300
+        alive.cancel()
+
+    def test_compaction_preserves_pending_count_semantics(self):
+        scheduler = Scheduler()
+        handles = [scheduler.schedule(float(i + 1), lambda: None)
+                   for i in range(200)]
+        for handle in handles[::2]:
+            handle.cancel()
+        # 100 cancelled of 200 triggers compaction (>= 64 and >= half).
+        assert scheduler.cancelled_events == 0
+        assert scheduler.pending_events == 100
+        assert scheduler.run() == 100
+
+    def test_double_cancel_counts_once(self):
+        scheduler = Scheduler()
+        fired = []
+        handle = scheduler.schedule(1.0, lambda: fired.append(1))
+        scheduler.schedule(2.0, lambda: fired.append(2))
+        handle.cancel()
+        handle.cancel()
+        assert scheduler.cancelled_events == 1
+        scheduler.run()
+        assert fired == [2]
+
+
+class _ReferenceScheduler:
+    """Sorted-list oracle: (time, insertion-order) execution, no heap."""
+
+    def __init__(self):
+        self.events = []  # [time, seq, tag, live]
+        self.seq = 0
+        self.now = 0.0
+
+    def schedule(self, delay, tag):
+        entry = [self.now + delay, self.seq, tag, True]
+        self.seq += 1
+        self.events.append(entry)
+        return entry
+
+    def run(self, until=None):
+        fired = []
+        while True:
+            live = [e for e in self.events if e[3]]
+            if not live:
+                break
+            head = min(live)
+            if until is not None and head[0] > until:
+                self.now = until
+                return fired
+            head[3] = False
+            self.events.remove(head)
+            self.now = head[0]
+            fired.append(head[2])
+        if until is not None and until > self.now:
+            self.now = until
+        return fired
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 17])
+def test_execution_order_matches_reference_under_churn(seed):
+    """Seeded property test: interleaved schedule / schedule_at / cancel /
+    partial run(until=...) produce exactly the reference (time, insertion)
+    order — including compaction kicking in mid-run.
+    """
+    rng = random.Random(seed)
+    scheduler = Scheduler()
+    reference = _ReferenceScheduler()
+    fired = []
+    cancellable = []  # (handle, ref_entry) pairs still live
+
+    for round_no in range(40):
+        for _ in range(rng.randint(20, 60)):
+            delay = rng.choice([0.0, 0.5, 1.0, 1.0, 2.5, 10.0, 1e6])
+            tag = (round_no, reference.seq)
+            if rng.random() < 0.5:
+                handle = scheduler.schedule(delay, fired.append, tag)
+            else:
+                target = scheduler.now + delay
+                handle = scheduler.schedule_at(target, fired.append, tag)
+            cancellable.append((handle, reference.schedule(delay, tag)))
+        # Cancel a large fraction to force compaction episodes.
+        rng.shuffle(cancellable)
+        keep = rng.randint(0, len(cancellable) // 3)
+        for handle, ref_entry in cancellable[keep:]:
+            handle.cancel()
+            ref_entry[3] = False
+            if ref_entry in reference.events:
+                reference.events.remove(ref_entry)
+        del cancellable[keep:]
+        until = scheduler.now + rng.choice([0.0, 0.7, 3.0, 20.0])
+        expected = reference.run(until=until)
+        fired.clear()
+        scheduler.run(until=until)
+        assert fired == expected, f"divergence in round {round_no}"
+        assert scheduler.now == reference.now
+        cancellable = [
+            (handle, ref_entry)
+            for handle, ref_entry in cancellable
+            if ref_entry[3]
+        ]
+
+    # Drain: everything still queued fires in reference order.
+    expected = reference.run()
+    fired.clear()
+    scheduler.run()
+    assert fired == expected
+    assert scheduler.now == reference.now

@@ -89,6 +89,17 @@ def _configs():
         check_invariants=True,
         seed=21,
     )
+    yield "tree_1-3-5_duplicating", SimulationConfig(
+        # Duplicate delivery exercises the second RNG draw + second
+        # scheduled delivery per message in Network.send — the closure-free
+        # rewrite must replay both draws and both deliveries exactly.
+        tree=from_spec("1-3-5"),
+        workload=WorkloadSpec(operations=150, read_fraction=0.5, keys=8),
+        duplicate_probability=0.25,
+        timeout=6.0,
+        max_attempts=4,
+        seed=17,
+    )
     yield "chaos_flapping_invariants", SimulationConfig(
         tree=from_spec("1-3-5"),
         workload=WorkloadSpec(
@@ -232,6 +243,27 @@ GOLDEN_SUMMARIES = {
         "write_version_cost": 2.0,
         "writes": 85,
     },
+    "tree_1-3-5_duplicating": {
+        "duration": 600.0,
+        "failure_latency_mean": NAN,
+        "messages_delivered": 2516.0,
+        "messages_dropped": 0.0,
+        "messages_sent": 2007.0,
+        "read_availability": 1.0,
+        "read_cost": 2.0,
+        "read_failure_latency_mean": NAN,
+        "read_latency_mean": 2.0,
+        "read_load": 0.3466666666666667,
+        "reads": 75,
+        "write_availability": 1.0,
+        "write_cost": 3.96,
+        "write_cost_total": 5.96,
+        "write_failure_latency_mean": NAN,
+        "write_latency_mean": 6.0,
+        "write_load": 0.52,
+        "write_version_cost": 2.0,
+        "writes": 75,
+    },
     "chaos_flapping_invariants": {
         "duration": 522.9804330542281,
         "failure_latency_mean": 24.236987779518604,
@@ -296,3 +328,20 @@ def test_goldens_cover_chaos_and_structural_paths():
     assert any("lossy" in name for name in names)
     assert any("structural" in name for name in names)
     assert any("service_time" in name for name in names)
+    assert any("duplicating" in name for name in names)
+
+
+def test_duplicate_delivery_stream_pinned():
+    """The duplicating config actually exercises duplication, exactly.
+
+    Pinning the network's ``duplicated`` counter pins the second RNG draw
+    and the second scheduled delivery of every duplicated message.  The
+    delivered total stays slightly below ``sent + duplicated`` because the
+    run stops the instant the last operation completes, with a tail of
+    duplicates still in flight — exactly as the pre-optimisation
+    simulator behaved.
+    """
+    result = simulate(CONFIGS["tree_1-3-5_duplicating"])
+    stats = result.network_stats
+    assert stats.duplicated == 510
+    assert stats.sent < stats.delivered <= stats.sent + stats.duplicated

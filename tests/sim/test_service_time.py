@@ -11,6 +11,8 @@ from repro.sim.site import Site
 
 
 class Client:
+    up = True
+
     def __init__(self):
         self.received = []
 

@@ -26,6 +26,8 @@ from repro.sim.site import Site, SiteState
 class Client:
     """A recording endpoint standing in for the coordinator."""
 
+    up = True
+
     def __init__(self):
         self.received = []
 
