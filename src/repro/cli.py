@@ -798,6 +798,96 @@ def _add_trace_sim_arguments(parser) -> None:
                         help="replica count for --protocol")
 
 
+def _run_serve(args) -> int:
+    """``repro serve``: run one replica site process until killed."""
+    import asyncio
+
+    from repro.runtime.siteserver import serve_site
+
+    try:
+        asyncio.run(
+            serve_site(
+                args.sid,
+                host=args.host,
+                port=args.port,
+                service_time=args.service_time,
+            )
+        )
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _run_cluster(args) -> int:
+    """``repro cluster``: real processes, real sockets, optional kill -9."""
+    import asyncio
+    import json
+
+    from repro.runtime.cluster import KVFrontend, LocalCluster, run_traffic
+
+    async def drive() -> int:
+        cluster = LocalCluster(
+            spec=args.spec,
+            timeout=args.timeout,
+            max_attempts=args.max_attempts,
+            seed=args.seed,
+        )
+        await cluster.start()
+        print(
+            f"cluster up: spec={args.spec} sites={cluster.n} "
+            f"ports={[site.port for site in cluster.sites]}",
+            flush=True,
+        )
+        exit_code = 0
+        try:
+            report = await run_traffic(
+                cluster,
+                operations=args.operations,
+                read_fraction=args.read_fraction,
+                keys=args.keys,
+                seed=args.seed,
+                kill_after_ops=args.kill_after_ops,
+                kill_site=args.kill_site,
+            )
+            summary = report.summary()
+            if report.killed_site is not None:
+                print(
+                    f"SIGKILLed site {report.killed_site} after "
+                    f"{report.kill_after_ops} ops; post-kill reads "
+                    f"{report.post_kill_reads - report.post_kill_read_failures}"
+                    f"/{report.post_kill_reads} succeeded",
+                    flush=True,
+                )
+            print(json.dumps(summary, indent=2))
+            # Gate: every read must succeed — including every read issued
+            # after the kill (writes may legitimately lose their quorum).
+            if report.read_failures or (
+                report.killed_site is not None
+                and report.post_kill_read_failures
+            ):
+                exit_code = 1
+            if args.serve:
+                frontend = KVFrontend(cluster, port=args.serve_port)
+                await frontend.start()
+                print(f"REPRO-KV port={frontend.port}", flush=True)
+                await frontend.stop_requested.wait()
+                await frontend.stop()
+        finally:
+            await cluster.stop()
+            orphans = cluster.orphans()
+            if orphans:
+                print(f"orphaned site processes: {orphans}", flush=True)
+                exit_code = 1
+            else:
+                print("cluster shut down cleanly (no orphans)", flush=True)
+        return exit_code
+
+    try:
+        return asyncio.run(asyncio.wait_for(drive(), args.deadline))
+    except KeyboardInterrupt:
+        return 130
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -1120,6 +1210,62 @@ def build_parser() -> argparse.ArgumentParser:
              "running a fresh simulation",
     )
 
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run ONE replica site as a real TCP server (the runtime "
+             "backend's per-process entry point)",
+    )
+    serve_parser.add_argument("--sid", type=int, required=True,
+                              help="this site's replica SID (>= 0)")
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port", type=int, default=0,
+        help="listen port (0 = ephemeral; the bound port is announced on "
+             "stdout as 'REPRO-SITE sid=... port=...')",
+    )
+    serve_parser.add_argument(
+        "--service-time", type=float, default=0.0,
+        help="artificial per-message processing delay in seconds",
+    )
+
+    cluster_parser = sub.add_parser(
+        "cluster",
+        help="spawn N local site processes + a coordinator front-end, run "
+             "smoke get/put traffic over real TCP, optionally kill -9 a "
+             "site mid-run",
+    )
+    cluster_parser.add_argument(
+        "spec", nargs="?", default="1-3",
+        help="tree spec for the replica group (e.g. 1-3, 1-3-5)",
+    )
+    cluster_parser.add_argument("--operations", type=int, default=200)
+    cluster_parser.add_argument("--read-fraction", type=float, default=0.8)
+    cluster_parser.add_argument("--keys", type=int, default=8)
+    cluster_parser.add_argument("--seed", type=int, default=0)
+    cluster_parser.add_argument(
+        "--timeout", type=float, default=1.0,
+        help="coordinator quorum-phase timeout in WALL seconds",
+    )
+    cluster_parser.add_argument("--max-attempts", type=int, default=4)
+    cluster_parser.add_argument(
+        "--kill-after-ops", type=int, default=None,
+        help="SIGKILL a site after this many measured operations",
+    )
+    cluster_parser.add_argument(
+        "--kill-site", type=int, default=None,
+        help="which SID to kill (default: the deepest-level leaf, n-1)",
+    )
+    cluster_parser.add_argument(
+        "--serve", action="store_true",
+        help="after the smoke run, keep serving the get/put KV API over "
+             "TCP until a client sends a stop frame",
+    )
+    cluster_parser.add_argument("--serve-port", type=int, default=0)
+    cluster_parser.add_argument(
+        "--deadline", type=float, default=120.0,
+        help="hard wall-clock cap on the whole run (orphan safety net)",
+    )
+
     all_parser = sub.add_parser("all", help="everything, default parameters")
     all_parser.add_argument("--p", type=float, default=0.7)
     return parser
@@ -1173,6 +1319,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         _print_profile(args)
     elif args.command == "report":
         _print_report(args)
+    elif args.command == "serve":
+        return _run_serve(args)
+    elif args.command == "cluster":
+        return _run_cluster(args)
     elif args.command == "all":
         _print_example()
         print()

@@ -1,0 +1,150 @@
+"""Wire format: protocol messages as length-prefixed JSON frames.
+
+Each frame is a 4-byte big-endian length followed by a UTF-8 JSON
+object.  JSON (not msgpack) because the toolchain ships no third-party
+serializer and the protocol's payloads are small scalars; the framing
+keeps message boundaries exact either way.
+
+Two frame families share the wire:
+
+* **protocol frames** (``kind: "msg"``) — one of the ten
+  :mod:`repro.sim.messages` classes, encoded field-by-field from the
+  per-class tables below.  :class:`~repro.sim.replica.Timestamp` values
+  travel as a ``[version, sid]`` pair.  ``msg_id`` is *not* carried: it
+  exists for tracing only, and each process stamps decoded messages from
+  its own counter.
+* **control frames** (any other ``kind``) — connection handshakes
+  (``hello``) and the KV front-end API (``get`` / ``put`` / ``result`` /
+  ``stop``).  These never reach the protocol layer; the transport and
+  servers consume them directly.
+
+Keys and values must be JSON-representable (the KV API uses strings);
+that is a wire restriction, not a protocol one — the simulator backend
+still accepts arbitrary Python objects.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any
+
+from repro.sim.messages import (
+    AbortMessage,
+    AckMessage,
+    CommitMessage,
+    DecisionRequest,
+    Message,
+    PrepareMessage,
+    ReadReply,
+    ReadRequest,
+    VersionReply,
+    VersionRequest,
+    VoteMessage,
+)
+from repro.sim.replica import Timestamp
+
+#: Hard cap on a single frame (1 MiB): a corrupt length prefix must not
+#: make a reader allocate gigabytes.
+MAX_FRAME_BYTES = 1 << 20
+
+_LENGTH = struct.Struct(">I")
+
+#: Payload fields per message class, in constructor order (after
+#: ``src``/``dst``).  Order matters: decode calls the constructor
+#: positionally, exactly as the coordinator/site do.
+_FIELDS: dict[type, tuple[str, ...]] = {
+    ReadRequest: ("key", "request_id"),
+    ReadReply: ("key", "request_id", "value", "timestamp"),
+    VersionRequest: ("key", "request_id"),
+    VersionReply: ("key", "request_id", "timestamp"),
+    PrepareMessage: ("txid", "key", "value", "timestamp"),
+    VoteMessage: ("txid", "vote_commit"),
+    CommitMessage: ("txid",),
+    AbortMessage: ("txid",),
+    AckMessage: ("txid", "committed"),
+    DecisionRequest: ("txid",),
+}
+
+_BY_NAME: dict[str, type] = {cls.type_name: cls for cls in _FIELDS}
+
+#: Fields carrying a :class:`Timestamp` (encoded as ``[version, sid]``).
+_TIMESTAMP_FIELDS = frozenset({"timestamp"})
+
+
+class CodecError(ValueError):
+    """A frame that cannot be decoded into a protocol message."""
+
+
+def encode_message(message: Message) -> dict[str, Any]:
+    """Message -> JSON-ready dict (``kind: "msg"``)."""
+    fields = _FIELDS.get(type(message))
+    if fields is None:
+        raise CodecError(f"unencodable message type {type(message).__name__}")
+    obj: dict[str, Any] = {
+        "kind": "msg",
+        "type": message.type_name,
+        "src": message.src,
+        "dst": message.dst,
+    }
+    for name in fields:
+        value = getattr(message, name)
+        if name in _TIMESTAMP_FIELDS:
+            value = [value.version, value.sid]
+        obj[name] = value
+    return obj
+
+
+def decode_message(obj: dict[str, Any]) -> Message:
+    """JSON dict -> message instance (fresh local ``msg_id``)."""
+    cls = _BY_NAME.get(obj.get("type", ""))
+    if cls is None:
+        raise CodecError(f"unknown message type {obj.get('type')!r}")
+    try:
+        args: list[Any] = [obj["src"], obj["dst"]]
+        for name in _FIELDS[cls]:
+            value = obj[name]
+            if name in _TIMESTAMP_FIELDS:
+                value = Timestamp(value[0], value[1])
+            args.append(value)
+    except (KeyError, IndexError, TypeError) as exc:
+        raise CodecError(f"malformed {cls.type_name} frame: {obj!r}") from exc
+    return cls(*args)
+
+
+def encode_frame(obj: dict[str, Any]) -> bytes:
+    """One wire frame: length prefix + compact JSON payload."""
+    payload = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise CodecError(f"frame too large ({len(payload)} bytes)")
+    return _LENGTH.pack(len(payload)) + payload
+
+
+def write_frame(writer: asyncio.StreamWriter, obj: dict[str, Any]) -> None:
+    """Queue one frame on ``writer`` (no flush — asyncio buffers)."""
+    writer.write(encode_frame(obj))
+
+
+async def read_frame(reader: asyncio.StreamReader) -> dict[str, Any] | None:
+    """Read one frame; ``None`` on clean EOF at a frame boundary."""
+    try:
+        prefix = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as exc:
+        if exc.partial:
+            raise CodecError("EOF inside a frame length prefix") from exc
+        return None
+    (length,) = _LENGTH.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise CodecError(f"frame length {length} exceeds {MAX_FRAME_BYTES}")
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise CodecError("EOF inside a frame payload") from exc
+    try:
+        obj = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CodecError("undecodable frame payload") from exc
+    if not isinstance(obj, dict):
+        raise CodecError(f"frame payload is not an object: {obj!r}")
+    return obj

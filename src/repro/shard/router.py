@@ -70,10 +70,18 @@ class HashRouter(ShardRouter):
 
     seed: int = 0
 
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        # ``mix64(seed)`` is a pure function of a frozen field; hoist it
+        # here so ``shard_of`` — called once per key per placement — pays
+        # one mix instead of two.  (Frozen dataclass, hence the
+        # ``object.__setattr__`` escape hatch.)
+        object.__setattr__(self, "_mixed_seed", mix64(self.seed))
+
     def shard_of(self, key: int) -> int:
         if key < 0:
             raise ValueError("key indices are non-negative")
-        return mix64(key ^ mix64(self.seed)) % self.shards
+        return mix64(key ^ self._mixed_seed) % self.shards
 
 
 @dataclass(frozen=True)

@@ -55,13 +55,13 @@ from typing import TYPE_CHECKING, Any
 if TYPE_CHECKING:  # annotation-only: repro.fault type-hints this module back
     from repro.fault.detector import SuspectList
     from repro.fault.retry import RetryPolicy
+    from repro.runtime.interfaces import CancelHandle, Clock
 
 from repro.obs.recorder import NULL_RECORDER, NullRecorder
 from repro.obs.spans import STATUS_OK, SpanKind
 from repro.quorums.liveness import LivenessOracle
 from repro.quorums.selection import SelectionIndex
 from repro.quorums.system import QuorumSystem
-from repro.sim.events import EventHandle, Scheduler
 from repro.sim.leases import LeaseCache, LeaseEntry
 from repro.sim.locks import LockManager, LockMode
 from repro.sim.messages import (
@@ -248,7 +248,7 @@ class _OpContext:
             self.votes: dict[int, bool] = {}
             self.acks: set[int] = set()
         self.write_timestamp: Timestamp | None = None
-        self.timeout_handle: EventHandle | None = None
+        self.timeout_handle: "CancelHandle | None" = None
         self.finished = finished
         self.write_system = write_system
         self.lock_granted = False
@@ -365,10 +365,14 @@ class QuorumCoordinator:
             raise ValueError("batch window cannot be negative")
         self.sid = sid
         self._network = network
-        #: The simulation scheduler, resolved once: internal hot paths read
-        #: ``self._scheduler.now`` directly instead of chaining through two
-        #: properties (coordinator.scheduler -> network.scheduler) per probe.
-        self._scheduler = network.scheduler
+        #: The transport's clock, resolved once: internal hot paths read
+        #: ``self._clock.now`` directly instead of chaining through two
+        #: properties (coordinator.clock -> network.clock) per probe.
+        #: This is the seam that lets the same coordinator run on the
+        #: simulator (virtual time) and the asyncio runtime (wall time):
+        #: everything time-related below goes through this Clock, never
+        #: through simulator-only attributes like ``network.scheduler``.
+        self._clock = network.clock
         self._system = system
         self._locks = locks
         self._detector = detector
@@ -402,7 +406,7 @@ class QuorumCoordinator:
         self._suspects = suspects
         self._batch_window = batch_window
         self._batch: list[_BatchedOp] = []
-        self._batch_handle: EventHandle | None = None
+        self._batch_handle: "CancelHandle | None" = None
         self._leases = leases
         # Reconfiguration pause gate: while paused, public submissions are
         # deferred (with their original submission time) and replayed in
@@ -594,7 +598,7 @@ class QuorumCoordinator:
             return system.select_write_quorum(self._detector, self._rng)
         suspects = self._suspects
         avoid: frozenset[int] = (
-            suspects.suspected(self._scheduler.now)
+            suspects.suspected(self._clock.now)
             if suspects is not None
             else frozenset()
         )
@@ -652,9 +656,21 @@ class QuorumCoordinator:
         return self._in_flight == 0
 
     @property
-    def scheduler(self) -> Scheduler:
-        """The simulation scheduler (via the network)."""
-        return self._network.scheduler
+    def clock(self) -> "Clock":
+        """The transport-seam clock this coordinator times against."""
+        return self._clock
+
+    @property
+    def scheduler(self) -> "Clock":
+        """Legacy alias for :attr:`clock`.
+
+        On the simulator backend this is the event scheduler (the sim's
+        clock and delivery engine are one object), which is what existing
+        callers — reconfiguration, the engine — expect.  They only use
+        the :class:`~repro.runtime.interfaces.Clock` surface, so the
+        alias is exact on both backends.
+        """
+        return self._clock
 
     # ------------------------------------------------------------------
     # public operations
@@ -671,7 +687,7 @@ class QuorumCoordinator:
         coordinator is paused (a quiescent migration window), the
         submission is deferred whole and replayed at :meth:`resume`.
         """
-        self._submit_read(key, on_done, self._scheduler.now)
+        self._submit_read(key, on_done, self._clock.now)
 
     def _submit_read(
         self, key: Any, on_done: DoneCallback, submitted_at: float
@@ -712,7 +728,7 @@ class QuorumCoordinator:
             on_done=on_done,
             lock_token=self._tx_ids.next_id(),
             started_at=(
-                self._scheduler.now if started_at is None else started_at
+                self._clock.now if started_at is None else started_at
             ),
             stage=_Stage.READ,
         )
@@ -727,7 +743,7 @@ class QuorumCoordinator:
 
     def write(self, key: Any, value: Any, on_done: DoneCallback) -> None:
         """Issue a quorum write; ``on_done`` fires exactly once."""
-        self._submit_write(key, value, on_done, self._scheduler.now)
+        self._submit_write(key, value, on_done, self._clock.now)
 
     def _submit_write(
         self, key: Any, value: Any, on_done: DoneCallback, submitted_at: float
@@ -820,7 +836,7 @@ class QuorumCoordinator:
             key=key,
             on_done=on_done,
             lock_token=self._tx_ids.next_id(),
-            started_at=self._scheduler.now,
+            started_at=self._clock.now,
             stage=_Stage.READ,
             write_system=write_system,
             copy_read=True,
@@ -866,7 +882,7 @@ class QuorumCoordinator:
             on_done=on_done,
             lock_token=self._tx_ids.next_id(),
             started_at=(
-                self._scheduler.now if started_at is None else started_at
+                self._clock.now if started_at is None else started_at
             ),
             stage=_Stage.VERSION,
             write_system=write_system,
@@ -892,7 +908,7 @@ class QuorumCoordinator:
         if entry is None:
             return False
         self._in_flight += 1
-        now = self._scheduler.now
+        now = self._clock.now
         outcome = OperationOutcome(
             op_type="read",
             key=key,
@@ -907,7 +923,7 @@ class QuorumCoordinator:
             leased=True,
         )
 
-        self._scheduler.call_later(0.0, self._deliver_leased, (on_done, outcome))
+        self._clock.call_later(0.0, self._deliver_leased, (on_done, outcome))
         return True
 
     def _deliver_leased(
@@ -926,7 +942,7 @@ class QuorumCoordinator:
         self._in_flight += 1
         self._batch.append(op)
         if self._batch_handle is None:
-            self._batch_handle = self._scheduler.schedule(
+            self._batch_handle = self._clock.schedule(
                 self._batch_window, self._flush_batch
             )
 
@@ -982,7 +998,7 @@ class QuorumCoordinator:
         entry = self._leases.lookup(key)
         if entry is None:
             return False
-        now = self._scheduler.now
+        now = self._clock.now
         self._in_flight -= len(reads)
         for op in reads:
             op.on_done(
@@ -1069,7 +1085,7 @@ class QuorumCoordinator:
         recorder = self._recorder
         if not recorder.enabled:
             return
-        now = self._scheduler.now
+        now = self._clock.now
         ctx.trace_id = ctx.op_span = recorder.start_trace(
             ctx.op_type, now, key=str(ctx.key), coordinator=self.sid
         )
@@ -1082,7 +1098,7 @@ class QuorumCoordinator:
         recorder = self._recorder
         if not recorder.enabled:
             return
-        now = self._scheduler.now
+        now = self._clock.now
         if ctx.phase_span:
             recorder.end_span(ctx.phase_span, now)
             ctx.phase_span = 0
@@ -1098,7 +1114,7 @@ class QuorumCoordinator:
     def _end_phase(self, ctx: _OpContext, status: str = STATUS_OK) -> None:
         if ctx.phase_span:
             self._recorder.end_span(
-                ctx.phase_span, self._scheduler.now, status=status
+                ctx.phase_span, self._clock.now, status=status
             )
             ctx.phase_span = 0
 
@@ -1108,7 +1124,7 @@ class QuorumCoordinator:
             return
         self._end_phase(ctx, status=status)
         if ctx.attempt_span:
-            recorder.end_span(ctx.attempt_span, self._scheduler.now, status=status)
+            recorder.end_span(ctx.attempt_span, self._clock.now, status=status)
             ctx.attempt_span = 0
 
     # ------------------------------------------------------------------
@@ -1119,7 +1135,7 @@ class QuorumCoordinator:
         ctx.lock_granted = granted
         if ctx.lock_span:
             self._recorder.end_span(
-                ctx.lock_span, self._scheduler.now,
+                ctx.lock_span, self._clock.now,
                 status=STATUS_OK if granted else FailureReason.LOCK_TIMEOUT.value,
             )
             ctx.lock_span = 0
@@ -1169,7 +1185,7 @@ class QuorumCoordinator:
             self._close_attempt(ctx)
             ctx.attempt_span = recorder.start_span(
                 ctx.trace_id, ctx.op_span, "attempt", SpanKind.ATTEMPT,
-                self._scheduler.now, op=ctx.op_type, number=ctx.attempts,
+                self._clock.now, op=ctx.op_type, number=ctx.attempts,
             )
         if ctx.op_type == "read" or ctx.copy_read:
             # Copy operations restart from their read phase on every
@@ -1211,7 +1227,7 @@ class QuorumCoordinator:
                 delay = policy_delay
         recorder = self._recorder
         if recorder.enabled:
-            now = self._scheduler.now
+            now = self._clock.now
             span = recorder.start_span(
                 ctx.trace_id, ctx.attempt_span or ctx.op_span,
                 "unavailable_defer", SpanKind.DEFER, now, op=ctx.op_type,
@@ -1220,7 +1236,7 @@ class QuorumCoordinator:
                 span, now + delay,
                 status=FailureReason.UNAVAILABLE.value,
             )
-        self._scheduler.call_later(delay, self._retry_unavailable, ctx)
+        self._clock.call_later(delay, self._retry_unavailable, ctx)
 
     def _retry_unavailable(self, ctx: _OpContext) -> None:
         self._retry_or_fail(ctx, FailureReason.UNAVAILABLE)
@@ -1235,7 +1251,7 @@ class QuorumCoordinator:
             return
         if self._recorder.enabled:
             self._recorder.event(
-                ctx.trace_id, ctx.op_span, "retry", self._scheduler.now,
+                ctx.trace_id, ctx.op_span, "retry", self._clock.now,
                 op=ctx.op_type, reason=reason.value, attempt=ctx.attempts,
             )
         # The unavailability path already charged its delay in
@@ -1251,13 +1267,13 @@ class QuorumCoordinator:
             self._start_attempt(ctx)
             return
         if self._recorder.enabled:
-            now = self._scheduler.now
+            now = self._clock.now
             span = self._recorder.start_span(
                 ctx.trace_id, ctx.op_span, "backoff", SpanKind.DEFER, now,
                 op=ctx.op_type, attempt=ctx.attempts,
             )
             self._recorder.end_span(span, now + delay)
-        self._scheduler.call_later(delay, self._start_attempt, ctx)
+        self._clock.call_later(delay, self._start_attempt, ctx)
 
     def _arm_timeout(self, ctx: _OpContext) -> None:
         handle = ctx.timeout_handle
@@ -1266,7 +1282,7 @@ class QuorumCoordinator:
         # A tuple argument instead of a closure: the timeout is armed once
         # per protocol phase, and (ctx, attempt, stage) pins which phase
         # it guards so a late firing after a retry is recognisably stale.
-        ctx.timeout_handle = self._scheduler.schedule(
+        ctx.timeout_handle = self._clock.schedule(
             self._timeout, self._fire_timeout, (ctx, ctx.attempts, ctx.stage)
         )
 
@@ -1298,7 +1314,7 @@ class QuorumCoordinator:
         if self._recorder.enabled:
             self._recorder.event(
                 ctx.trace_id, ctx.attempt_span or ctx.op_span, "timeout",
-                self._scheduler.now, op=ctx.op_type, stage=stage.value,
+                self._clock.now, op=ctx.op_type, stage=stage.value,
                 attempt=attempt,
             )
         if self._suspects is not None and stage is not _Stage.COMMIT:
@@ -1307,7 +1323,7 @@ class QuorumCoordinator:
             # from future selections by the liveness oracle, but stragglers
             # and flaky links look exactly like this.
             self._suspects.record_timeout(
-                sorted(self._pending_members(ctx, stage)), self._scheduler.now
+                sorted(self._pending_members(ctx, stage)), self._clock.now
             )
         if stage is _Stage.COMMIT:
             self._continue_commit(ctx)
@@ -1341,7 +1357,7 @@ class QuorumCoordinator:
         if recorder.enabled:
             self._close_attempt(ctx)
             recorder.end_span(
-                ctx.op_span, self._scheduler.now, status=STATUS_OK,
+                ctx.op_span, self._clock.now, status=STATUS_OK,
                 attempts=ctx.attempts, quorum=0, version_quorum=0,
             )
         ctx.on_done(
@@ -1355,7 +1371,7 @@ class QuorumCoordinator:
                 version_quorum=frozenset(),
                 attempts=ctx.attempts,
                 started_at=ctx.started_at,
-                finished_at=self._scheduler.now,
+                finished_at=self._clock.now,
                 leased=True,
             )
         )
@@ -1390,7 +1406,7 @@ class QuorumCoordinator:
             status = STATUS_OK if success else reason.value
             self._close_attempt(ctx, status=status)
             recorder.end_span(
-                ctx.op_span, self._scheduler.now, status=status,
+                ctx.op_span, self._clock.now, status=status,
                 attempts=ctx.attempts, quorum=len(ctx.quorum),
                 version_quorum=len(ctx.version_quorum),
             )
@@ -1409,7 +1425,7 @@ class QuorumCoordinator:
             version_quorum=ctx.version_quorum,
             attempts=ctx.attempts,
             started_at=ctx.started_at,
-            finished_at=self._scheduler.now,
+            finished_at=self._clock.now,
             reason=reason if not success else FailureReason.NONE,
             failed_stage="" if success else ctx.stage.value,
         )
@@ -1636,11 +1652,11 @@ class QuorumCoordinator:
         if self._suspects is not None:
             # Live-but-silent quorum members holding up the commit phase
             # are straggler evidence too.
-            self._suspects.record_timeout(sorted(pending), self._scheduler.now)
+            self._suspects.record_timeout(sorted(pending), self._clock.now)
         if self._recorder.enabled:
             self._recorder.event(
                 ctx.trace_id, ctx.attempt_span or ctx.op_span,
-                "commit_retransmit", self._scheduler.now, op=ctx.op_type,
+                "commit_retransmit", self._clock.now, op=ctx.op_type,
                 pending=len(pending),
             )
         sid = self.sid
@@ -1710,7 +1726,7 @@ class QuorumCoordinator:
                 # A replica asking for a past decision is running
                 # recovery: it is certainly alive right now.
                 if self._suspects is not None and message.src >= 0:
-                    self._suspects.exonerate(message.src, self._scheduler.now)
+                    self._suspects.exonerate(message.src, self._clock.now)
                 self._on_decision_request(message)
                 return
             raise TypeError(
@@ -1721,5 +1737,5 @@ class QuorumCoordinator:
         if ctx is None or ctx.stage is not stage:
             return
         if self._suspects is not None and message.src >= 0:
-            self._suspects.exonerate(message.src, self._scheduler.now)
+            self._suspects.exonerate(message.src, self._clock.now)
         handler(ctx, message)

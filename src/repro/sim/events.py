@@ -259,7 +259,12 @@ class Scheduler:
                 self._cancelled -= 1
                 continue
             if head[_TIME] > horizon:
-                self._now = until
+                # Advance to the horizon, never backwards: with events
+                # pending at times >= the current clock, a stale
+                # ``until < now`` must not rewind virtual time (the
+                # empty-queue tail below has the same guard).
+                if until > self._now:
+                    self._now = until
                 return executed
             pop(queue)
             head[_CALLBACK] = None

@@ -19,10 +19,12 @@ import enum
 from collections import deque
 from collections.abc import Callable
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.obs.recorder import NULL_RECORDER, NullRecorder
-from repro.sim.events import Scheduler
+
+if TYPE_CHECKING:  # annotation-only: the seam protocol, not a hard dep
+    from repro.runtime.interfaces import Clock
 
 
 class LockMode(enum.Enum):
@@ -85,7 +87,11 @@ class LockManager:
     Parameters
     ----------
     scheduler:
-        Event scheduler used to fire grant callbacks and wait timeouts.
+        Any transport-seam :class:`~repro.runtime.interfaces.Clock` used
+        to fire grant callbacks and wait timeouts — the simulator's event
+        scheduler or the asyncio runtime's wall clock.  Grants are always
+        delivered asynchronously (``call_later(0.0, ...)``) so lock
+        acquisition never recurses into the caller on either backend.
     wait_timeout:
         Optional cap on queue time; a request still queued after this long
         is denied (callback fires with ``False``).
@@ -97,7 +103,7 @@ class LockManager:
 
     def __init__(
         self,
-        scheduler: Scheduler,
+        scheduler: "Clock",
         wait_timeout: float | None = None,
         recorder: NullRecorder = NULL_RECORDER,
     ) -> None:

@@ -303,6 +303,18 @@ class Network:
         """The simulation's event scheduler."""
         return self._scheduler
 
+    @property
+    def clock(self) -> Scheduler:
+        """The transport-seam clock (see :mod:`repro.runtime.interfaces`).
+
+        For the simulator backend this *is* the event scheduler — virtual
+        time and the delivery engine share one heap.  Protocol code must
+        use this property (never :attr:`scheduler`, which is simulator
+        detail) so it runs unchanged on transports whose clock is the
+        asyncio event loop.
+        """
+        return self._scheduler
+
     # ------------------------------------------------------------------
     # liveness epochs
     # ------------------------------------------------------------------

@@ -105,7 +105,7 @@ class Site:
         #: checks it on every delivery and the service loop on every
         #: message, where a property + enum comparison is measurable.
         self.up = True
-        self._scheduler = network.scheduler
+        self._clock = network.clock
         self._service_time = service_time
         self._queue: deque[Message] = deque()
         self._busy = False
@@ -197,7 +197,7 @@ class Site:
             self._busy = False
             return
         self._busy = True
-        self._scheduler.call_later(
+        self._clock.call_later(
             self._service_time, self._service_done, queue.popleft()
         )
 
@@ -215,7 +215,7 @@ class Site:
             handler(self, message)
             queue = self._queue
             if queue:
-                self._scheduler.call_later(
+                self._clock.call_later(
                     self._service_time, self._service_done, queue.popleft()
                 )
                 return

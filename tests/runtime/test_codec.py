@@ -1,0 +1,129 @@
+"""Wire codec: every protocol message survives the frame roundtrip."""
+
+import asyncio
+
+import pytest
+
+from repro.runtime.codec import (
+    MAX_FRAME_BYTES,
+    CodecError,
+    decode_message,
+    encode_frame,
+    encode_message,
+    read_frame,
+)
+from repro.sim.messages import (
+    AbortMessage,
+    AckMessage,
+    CommitMessage,
+    DecisionRequest,
+    PrepareMessage,
+    ReadReply,
+    ReadRequest,
+    VersionReply,
+    VersionRequest,
+    VoteMessage,
+)
+from repro.sim.replica import ZERO_TIMESTAMP, Timestamp
+
+ALL_MESSAGES = [
+    ReadRequest(-1, 3, "k1", 17),
+    ReadReply(3, -1, "k1", 17, "value", Timestamp(4, 8)),
+    ReadReply(3, -1, "k1", 18, None, ZERO_TIMESTAMP),  # never-written key
+    VersionRequest(-1, 0, "k2", 19),
+    VersionReply(0, -1, "k2", 19, Timestamp(7, 9)),
+    PrepareMessage(-1, 2, 101, "k2", "payload", Timestamp(8, 8)),
+    VoteMessage(2, -1, 101, True),
+    VoteMessage(2, -1, 102, False),
+    CommitMessage(-1, 2, 101),
+    AbortMessage(-1, 2, 102),
+    AckMessage(2, -1, 101, True),
+    DecisionRequest(4, -1, 103),
+]
+
+
+def _fields(message):
+    names = [
+        name
+        for cls in reversed(type(message).__mro__)
+        for name in getattr(cls, "__slots__", ())
+        if name != "msg_id"  # regenerated locally, deliberately not carried
+    ]
+    return {name: getattr(message, name) for name in names}
+
+
+@pytest.mark.parametrize(
+    "message", ALL_MESSAGES, ids=lambda m: f"{m.type_name}-{m.msg_id}"
+)
+def test_roundtrip_every_message_type(message):
+    decoded = decode_message(encode_message(message))
+    assert type(decoded) is type(message)
+    assert _fields(decoded) == _fields(message)
+
+
+def test_timestamp_travels_as_version_sid_pair():
+    obj = encode_message(ReadReply(3, -1, "k", 1, "v", Timestamp(5, 2)))
+    assert obj["timestamp"] == [5, 2]
+    decoded = decode_message(obj)
+    assert decoded.timestamp == Timestamp(5, 2)
+    assert decoded.timestamp.dominates(Timestamp(4, 0))
+
+
+def test_unknown_type_rejected():
+    with pytest.raises(CodecError, match="unknown message type"):
+        decode_message({"kind": "msg", "type": "Gossip", "src": 0, "dst": 1})
+
+
+def test_malformed_frame_rejected():
+    with pytest.raises(CodecError, match="malformed"):
+        decode_message({"kind": "msg", "type": "ReadRequest", "src": 0})
+
+
+def _feed(data: bytes) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    reader.feed_eof()
+    return reader
+
+
+def test_frame_stream_roundtrip():
+    async def main():
+        frames = [encode_message(message) for message in ALL_MESSAGES]
+        wire = b"".join(encode_frame(frame) for frame in frames)
+        reader = _feed(wire)
+        seen = []
+        while (frame := await read_frame(reader)) is not None:
+            seen.append(frame)
+        assert seen == frames
+
+    asyncio.run(main())
+
+
+def test_clean_eof_returns_none_but_torn_frame_raises():
+    async def main():
+        assert await read_frame(_feed(b"")) is None
+        with pytest.raises(CodecError, match="length prefix"):
+            await read_frame(_feed(b"\x00\x00"))
+        whole = encode_frame({"kind": "hello", "sid": 1})
+        with pytest.raises(CodecError, match="payload"):
+            await read_frame(_feed(whole[:-1]))
+
+    asyncio.run(main())
+
+
+def test_oversized_length_prefix_rejected_before_allocation():
+    async def main():
+        huge = (MAX_FRAME_BYTES + 1).to_bytes(4, "big")
+        with pytest.raises(CodecError, match="exceeds"):
+            await read_frame(_feed(huge))
+
+    asyncio.run(main())
+
+
+def test_non_object_payload_rejected():
+    async def main():
+        frame = b"\x00\x00\x00\x02[]"
+        with pytest.raises(CodecError, match="not an object"):
+            await read_frame(_feed(frame))
+
+    asyncio.run(main())

@@ -85,6 +85,31 @@ class TestRouterContract:
         with pytest.raises(ValueError):
             HashRouter(shards=4).shard_of(-1)
 
+    @pytest.mark.parametrize("shards,seed", [(1, 0), (4, 0), (8, 7),
+                                             (16, 2**63 + 11)])
+    def test_hash_placement_bit_identical_to_unhoisted_formula(
+        self, shards, seed
+    ):
+        # The hoisted per-instance mixed seed must reproduce the original
+        # per-call formula ``mix64(key ^ mix64(seed)) % shards`` exactly —
+        # a placement shift would silently reshuffle every sharded store
+        # built from the same (shards, seed) parameters.
+        router = HashRouter(shards=shards, seed=seed)
+        expected = [
+            mix64(key ^ mix64(seed)) % shards for key in range(2048)
+        ]
+        assert router.placement(2048) == expected
+
+    def test_hash_mixed_seed_hoisted_once(self):
+        # ``shard_of`` must not re-derive mix64(seed) per call: the cached
+        # value is computed at construction and reused verbatim.
+        router = HashRouter(shards=4, seed=123)
+        assert router._mixed_seed == mix64(123)
+        sentinel = object()
+        object.__setattr__(router, "_mixed_seed", sentinel)
+        with pytest.raises(TypeError):
+            router.shard_of(0)  # proves the cached value is what's used
+
 
 class TestRangeRouter:
     def test_monotone_and_contiguous(self):

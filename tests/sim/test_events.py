@@ -98,6 +98,28 @@ class TestRunControls:
         scheduler.run(until=10.0)
         assert scheduler.now == 10.0
 
+    def test_run_until_past_horizon_never_rewinds_clock(self):
+        """Regression: ``run(until=t)`` with ``t < now`` must be a no-op on
+        the clock, not a time-travel device.
+
+        With a far-future event still pending, the in-loop horizon branch
+        used to assign ``self._now = until`` unguarded — rewinding virtual
+        time and corrupting every relative delay computed afterwards.
+        """
+        scheduler = Scheduler()
+        scheduler.schedule(10.0, lambda: None)
+        scheduler.schedule(1e6, lambda: None)  # pending far-future event
+        scheduler.run(until=10.0)
+        assert scheduler.now == 10.0
+        executed = scheduler.run(until=5.0)  # stale horizon in the past
+        assert executed == 0
+        assert scheduler.now == 10.0  # monotone: not rewound to 5.0
+        # And with an *empty* queue the tail path is already guarded.
+        scheduler.run()
+        now = scheduler.now
+        scheduler.run(until=now - 1.0)
+        assert scheduler.now == now
+
     def test_max_events_budget(self):
         scheduler = Scheduler()
         for _ in range(5):
@@ -243,7 +265,7 @@ class _ReferenceScheduler:
                 break
             head = min(live)
             if until is not None and head[0] > until:
-                self.now = until
+                self.now = max(self.now, until)
                 return fired
             head[3] = False
             self.events.remove(head)
